@@ -1,0 +1,46 @@
+"""Benchmark: regenerate Figure 2 (max ingress traffic vs batch size).
+
+Paper claims reproduced:
+
+* FL-GAN's per-communication traffic is flat in the batch size (it ships
+  models), MD-GAN's grows linearly (it ships generated images and feedback);
+* the two worker-side curves cross at a batch size in the order of hundreds
+  of images, below which MD-GAN is the cheaper scheme per communication.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record_rows
+
+from repro.experiments import run_fig2
+
+
+@pytest.mark.paper_artifact("fig2")
+def test_fig2_ingress_traffic(benchmark):
+    batch_sizes = np.unique(np.logspace(0, 4, 30).astype(int)).tolist()
+    result = benchmark.pedantic(
+        run_fig2, kwargs=dict(batch_sizes=batch_sizes), rounds=1, iterations=1
+    )
+    record_rows(benchmark, result)
+
+    for architecture in ("mnist-mlp", "cifar10-cnn"):
+        rows = [r for r in result.rows if r["architecture"] == architecture]
+        flgan_worker = rows[0]["flgan_worker"]
+        assert all(r["flgan_worker"] == flgan_worker for r in rows), "FL-GAN curve must be flat"
+        mdgan_curve = [r["mdgan_worker"] for r in rows]
+        assert all(b <= a for a, b in zip(mdgan_curve[1:], mdgan_curve)), (
+            "MD-GAN curve must be non-decreasing in b"
+        )
+        # Crossover exists: MD-GAN cheaper at b=1, more expensive at b=10,000.
+        assert rows[0]["mdgan_worker"] < flgan_worker
+        assert rows[-1]["mdgan_worker"] > flgan_worker
+        # And it falls in the range the paper describes (tens to ~1,000 images).
+        crossings = [
+            r["batch_size"] for r in rows if r["mdgan_worker"] >= flgan_worker
+        ]
+        assert 10 <= min(crossings) <= 1500
+
+    print()
+    for note in result.notes:
+        print("note:", note)

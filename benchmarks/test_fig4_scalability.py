@@ -1,0 +1,51 @@
+"""Benchmark: regenerate Figure 4 (MD-GAN scores vs number of workers).
+
+The paper varies N in {1, 10, 25, 50} with the MNIST MLP, comparing swap
+vs no-swap and constant-worker vs constant-server workload.  The benchmark
+runs a scaled-down worker ladder and asserts structural properties: the
+local shard shrinks as 1/N, the constant-server mode shrinks the batch size,
+and all runs produce finite scores.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record_rows
+
+from repro.experiments import run_fig4
+
+
+@pytest.mark.paper_artifact("fig4")
+def test_fig4_scalability(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_fig4, kwargs=dict(scale=bench_scale), rounds=1, iterations=1
+    )
+    record_rows(benchmark, result)
+
+    assert all(np.isfinite(r["fid"]) for r in result.rows)
+    worker_counts = sorted({r["num_workers"] for r in result.rows})
+    assert len(worker_counts) >= 2
+
+    # Local shards shrink as N grows (|B_n| = |B| / N).
+    by_n = {
+        n: [r for r in result.rows if r["num_workers"] == n] for n in worker_counts
+    }
+    shard_sizes = [by_n[n][0]["local_shard_size"] for n in worker_counts]
+    assert all(b <= a for a, b in zip(shard_sizes, shard_sizes[1:]))
+
+    # The constant-server mode uses batch sizes that decrease with N.
+    server_rows = [r for r in result.rows if r["mode"] == "constant_server"]
+    if server_rows:
+        batches = {r["num_workers"]: r["batch_size"] for r in server_rows}
+        ordered = [batches[n] for n in sorted(batches)]
+        assert all(b <= a for a, b in zip(ordered, ordered[1:]))
+
+    # Both swap settings were exercised.
+    assert {r["swap"] for r in result.rows} == {True, False}
+
+    benchmark.extra_info["grid"] = [
+        {k: r[k] for k in ("num_workers", "mode", "swap", "score", "fid")}
+        for r in result.rows
+    ]
+    print()
+    print(result.to_text())

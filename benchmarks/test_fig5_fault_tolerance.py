@@ -1,0 +1,51 @@
+"""Benchmark: regenerate Figure 5 (fault tolerance under worker crashes).
+
+One worker crashes every I/N iterations (taking its data with it); the run
+with crashes is compared against the same MD-GAN configuration without
+crashes and the standalone baselines.  Asserted shape: all workers end up
+crashed, the crashing run still completes and reports finite scores, and the
+no-crash run is at least as good as the crashing one (within noise).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record_rows
+
+from repro.experiments import run_fig5
+
+
+def _final(result, competitor, metric):
+    rows = [r for r in result.rows if r["competitor"] == competitor]
+    rows.sort(key=lambda r: r["iteration"])
+    return rows[-1][metric]
+
+
+@pytest.mark.paper_artifact("fig5")
+def test_fig5_fault_tolerance(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_fig5, kwargs=dict(scale=bench_scale), rounds=1, iterations=1
+    )
+    record_rows(benchmark, result)
+
+    competitors = {r["competitor"] for r in result.rows}
+    assert {"md-gan-crashes", "md-gan-no-crash"} <= competitors
+    assert all(np.isfinite(r["fid"]) for r in result.rows)
+
+    histories = result.extras["histories"]
+    crash_events = [
+        e for e in histories["md-gan-crashes"]["events"] if e["kind"] == "crash"
+    ]
+    # The uniform schedule crashes every worker by the end of the run.
+    assert len(crash_events) == bench_scale.num_workers
+
+    crash_fid = _final(result, "md-gan-crashes", "fid")
+    nocrash_fid = _final(result, "md-gan-no-crash", "fid")
+    # Losing data shares cannot (systematically) help; allow generous noise.
+    assert crash_fid >= 0.5 * nocrash_fid
+
+    benchmark.extra_info["final_fid"] = {
+        name: _final(result, name, "fid") for name in sorted(competitors)
+    }
+    print()
+    print(result.to_text())

@@ -1,0 +1,101 @@
+"""Micro-benchmarks of the NumPy substrate's hot paths.
+
+Not a paper artefact: these quantify the cost of the building blocks that
+dominate training time (convolution forward/backward, a full MD-GAN global
+iteration, a federated averaging round), so regressions in the substrate are
+visible independently of the experiment-level benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GANObjective,
+    MDGANTrainer,
+    TrainingConfig,
+    discriminator_update,
+    generator_feedback,
+    sample_generator_images,
+)
+from repro.datasets import make_gaussian_ring, partition_iid
+from repro.models import build_mnist_cnn_gan, build_toy_gan
+from repro.nn import Adam
+from repro.nn.tensor_ops import conv2d_forward, conv2d_input_grad, conv2d_weight_grad
+
+
+@pytest.fixture(scope="module")
+def conv_inputs():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(16, 16, 16, 16))
+    w = rng.normal(size=(32, 16, 3, 3))
+    grad = rng.normal(size=(16, 32, 8, 8))
+    return x, w, grad
+
+
+def test_conv2d_forward(benchmark, conv_inputs):
+    x, w, _ = conv_inputs
+    out = benchmark(conv2d_forward, x, w, 2, 1)
+    assert out.shape == (16, 32, 8, 8)
+
+
+def test_conv2d_input_grad(benchmark, conv_inputs):
+    x, w, grad = conv_inputs
+    out = benchmark(conv2d_input_grad, grad, w, (16, 16), 2, 1)
+    assert out.shape == x.shape
+
+
+def test_conv2d_weight_grad(benchmark, conv_inputs):
+    x, w, grad = conv_inputs
+    out = benchmark(conv2d_weight_grad, x, grad, (3, 3), 2, 1)
+    assert out.shape == w.shape
+
+
+def test_cnn_discriminator_step(benchmark):
+    rng = np.random.default_rng(1)
+    factory = build_mnist_cnn_gan(image_shape=(1, 16, 16), width_factor=0.25)
+    generator = factory.make_generator(rng)
+    discriminator = factory.make_discriminator(rng)
+    objective = GANObjective(factory)
+    optimizer = Adam()
+    real = rng.uniform(-1, 1, size=(16, 1, 16, 16))
+    labels = rng.integers(0, 10, size=16)
+    fake = sample_generator_images(generator, factory, 16, rng)
+
+    def step():
+        return discriminator_update(
+            discriminator, objective, optimizer, real, labels, fake.images, fake.labels
+        )
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)
+
+
+def test_error_feedback_computation(benchmark):
+    rng = np.random.default_rng(2)
+    factory = build_mnist_cnn_gan(image_shape=(1, 16, 16), width_factor=0.25)
+    generator = factory.make_generator(rng)
+    discriminator = factory.make_discriminator(rng)
+    objective = GANObjective(factory)
+    batch = sample_generator_images(generator, factory, 16, rng)
+
+    def feedback():
+        return generator_feedback(discriminator, objective, batch)
+
+    loss, grad = benchmark(feedback)
+    assert grad.shape == batch.images.shape
+
+
+def test_mdgan_global_iteration(benchmark):
+    rng = np.random.default_rng(3)
+    train, _ = make_gaussian_ring(n_train=400, n_test=50, seed=4)
+    factory = build_toy_gan(num_classes=train.num_classes)
+    shards = partition_iid(train, 8, rng)
+    config = TrainingConfig(iterations=1, batch_size=16, seed=5)
+    trainer = MDGANTrainer(factory, shards, config)
+    counter = iter(range(1, 10_000))
+
+    def one_iteration():
+        trainer.train_iteration(next(counter))
+
+    benchmark(one_iteration)
+    assert trainer.cluster.meter.total_messages() > 0

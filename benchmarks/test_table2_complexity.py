@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table II (computation / memory complexity).
+
+Paper claim reproduced: MD-GAN reduces the per-worker computation and memory
+complexity by roughly a factor of two (grey rows of Table II), at the price
+of a higher server workload.
+"""
+
+import pytest
+
+from conftest import record_rows
+
+from repro.experiments import run_table2
+
+
+@pytest.mark.paper_artifact("table2")
+def test_table2_complexity(benchmark):
+    result = benchmark(run_table2)
+    record_rows(benchmark, result)
+
+    worker_rows = [r for r in result.rows if r["quantity"] == "computation_worker"]
+    memory_rows = [r for r in result.rows if r["quantity"] == "memory_worker"]
+    server_rows = [r for r in result.rows if r["quantity"] == "computation_server"]
+
+    # Paper's headline: workers do at most ~half the work under MD-GAN.
+    for row in worker_rows + memory_rows:
+        assert row["mdgan"] <= 0.51 * row["flgan"], row
+    # The flip side: the MD-GAN server works harder than the FL-GAN server.
+    for row in server_rows:
+        assert row["mdgan"] > row["flgan"], row
+
+    print()
+    print(result.to_text())

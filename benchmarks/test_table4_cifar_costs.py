@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Table IV (CIFAR10 communication costs, N=10).
+
+Paper numbers reproduced in shape: at b=10 MD-GAN's server->worker cost is a
+couple of MB per iteration (paper: 2.30 MB) against tens of MB per round for
+FL-GAN; at b=100 MD-GAN's cost grows tenfold while FL-GAN's stays constant.
+"""
+
+import pytest
+
+from conftest import record_rows
+
+from repro.experiments import run_table4
+
+
+@pytest.mark.paper_artifact("table4")
+def test_table4_cifar_costs(benchmark):
+    result = benchmark(run_table4)
+    record_rows(benchmark, result)
+
+    rows = {(r["batch_size"], r["communication"]): r for r in result.rows}
+
+    # MD-GAN server egress per iteration at b=10: ~2.3 MB (paper: 2.30 MB).
+    assert rows[(10, "server_to_worker_at_server")]["mdgan"] == pytest.approx(2.34, abs=0.2)
+    # Per-worker ingress at b=10: ~0.23 MB (paper: 0.23 MB).
+    assert rows[(10, "server_to_worker_at_worker")]["mdgan"] == pytest.approx(0.23, abs=0.05)
+    # Growing the batch size by 10x scales MD-GAN costs 10x ...
+    assert rows[(100, "server_to_worker_at_server")]["mdgan"] == pytest.approx(
+        10 * rows[(10, "server_to_worker_at_server")]["mdgan"], rel=1e-6
+    )
+    # ... while FL-GAN costs are batch-size independent.
+    assert rows[(100, "server_to_worker_at_server")]["flgan"] == pytest.approx(
+        rows[(10, "server_to_worker_at_server")]["flgan"], rel=1e-6
+    )
+    # W<->W swap messages ship the discriminator (~0.38 MB for the CIFAR CNN).
+    assert rows[(10, "worker_to_worker_at_worker")]["mdgan"] == pytest.approx(0.38, abs=0.05)
+
+    print()
+    print(result.to_text())

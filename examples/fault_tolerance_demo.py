@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Fault-tolerance demo: MD-GAN under rolling worker crashes (paper Figure 5).
+
+One worker fail-stop crashes every ``I / N`` iterations, taking its local data
+share with it.  The script compares the crashing run against an identical run
+without crashes and prints the crash timeline, the score/FID trajectories and
+the amount of data lost.
+
+Run::
+
+    python examples/fault_tolerance_demo.py [--workers 6] [--iterations 600]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import MDGANTrainer, TrainingConfig
+from repro.datasets import make_gaussian_ring, partition_iid
+from repro.metrics import GeneratorEvaluator
+from repro.models import build_toy_gan
+from repro.simulation import CrashSchedule, worker_name
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=6)
+    parser.add_argument("--iterations", type=int, default=600)
+    parser.add_argument("--batch-size", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=1)
+    return parser.parse_args()
+
+
+def run(trainer: MDGANTrainer, label: str) -> None:
+    history = trainer.train()
+    print(f"\n--- {label} ---")
+    for evaluation in history.evaluations:
+        print(
+            f"  iteration {evaluation.iteration:>5}: "
+            f"score={evaluation.score:.3f}  fid={evaluation.fid:.3f}"
+        )
+    crashes = history.events_of_kind("crash")
+    if crashes:
+        timeline = ", ".join(f"{c['worker']}@{c['iteration']}" for c in crashes)
+        print(f"  crashes: {timeline}")
+        alive = len(trainer._alive_workers())
+        print(f"  workers alive at the end: {alive}/{len(trainer.workers)}")
+
+
+def main() -> None:
+    args = parse_args()
+    rng = np.random.default_rng(args.seed)
+
+    train, test = make_gaussian_ring(n_train=2400, n_test=400, seed=args.seed)
+    shards = partition_iid(train, args.workers, rng)
+    evaluator = GeneratorEvaluator.from_datasets(
+        train, test, sample_size=300, classifier_epochs=6, seed=args.seed
+    )
+    factory = build_toy_gan(num_classes=train.num_classes)
+    config = TrainingConfig(
+        iterations=args.iterations,
+        batch_size=args.batch_size,
+        epochs_per_swap=1.0,
+        eval_every=max(1, args.iterations // 5),
+        eval_sample_size=300,
+        seed=args.seed,
+    )
+
+    schedule = CrashSchedule.uniform(
+        [worker_name(i) for i in range(args.workers)], args.iterations
+    )
+    print(
+        f"crash schedule: one of {args.workers} workers crashes every "
+        f"{args.iterations // args.workers} iterations; each crash removes "
+        f"{len(shards[0])} training samples from the system"
+    )
+
+    run(
+        MDGANTrainer(factory, shards, config, evaluator=evaluator, crash_schedule=schedule),
+        "MD-GAN with rolling crashes",
+    )
+    run(
+        MDGANTrainer(factory, shards, config, evaluator=evaluator),
+        "MD-GAN without crashes (reference)",
+    )
+
+    print(
+        "\nExpected shape (paper, Figure 5): on easy datasets the crash run keeps\n"
+        "up with the reference because the generator learns the distribution\n"
+        "before too much data disappears; on harder datasets early crashes hurt\n"
+        "because the lost shards were never fully exploited."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Quickstart: train MD-GAN on a toy distributed dataset in under a minute.
+
+This example walks through the full MD-GAN pipeline on the small "Gaussian
+ring" dataset:
+
+1. build a synthetic dataset and split it i.i.d. over ``N`` workers,
+2. train the frozen score classifier used for evaluation (dataset score + FID),
+3. train MD-GAN — one generator on the emulated server, one discriminator per
+   worker, error-feedback aggregation and periodic discriminator swaps,
+4. print the score/FID trajectory and the measured communication volume.
+
+Run::
+
+    python examples/quickstart.py [--workers 4] [--iterations 400]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import MDGANTrainer, TrainingConfig
+from repro.datasets import make_gaussian_ring, partition_iid
+from repro.metrics import GeneratorEvaluator
+from repro.models import build_toy_gan
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4, help="number of workers N")
+    parser.add_argument("--iterations", type=int, default=400, help="global iterations I")
+    parser.add_argument("--batch-size", type=int, default=16, help="batch size b")
+    parser.add_argument("--k", type=int, default=2, help="generated batches per iteration")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    rng = np.random.default_rng(args.seed)
+
+    # 1. Data: an 8-mode ring of Gaussian blobs, split i.i.d. over the workers.
+    train, test = make_gaussian_ring(n_train=2000, n_test=400, seed=args.seed)
+    shards = partition_iid(train, args.workers, rng)
+    print(f"dataset: {train.name}, {len(train)} samples, "
+          f"{args.workers} workers x {len(shards[0])} samples")
+
+    # 2. Evaluation: a frozen classifier provides the dataset score and FID.
+    evaluator = GeneratorEvaluator.from_datasets(
+        train, test, sample_size=300, classifier_epochs=6, seed=args.seed
+    )
+    print(f"score classifier accuracy: {evaluator.classifier.accuracy(test):.3f}")
+    reference = evaluator.evaluate_dataset(test)
+    print(f"real-data reference: score={reference.score:.3f} fid={reference.fid:.3f}")
+
+    # 3. MD-GAN training.
+    factory = build_toy_gan(num_classes=train.num_classes)
+    config = TrainingConfig(
+        iterations=args.iterations,
+        batch_size=args.batch_size,
+        num_batches=args.k,
+        epochs_per_swap=1.0,
+        eval_every=max(1, args.iterations // 4),
+        eval_sample_size=300,
+        seed=args.seed,
+    )
+    trainer = MDGANTrainer(factory, shards, config, evaluator=evaluator)
+    print(f"\ntraining MD-GAN: I={config.iterations}, b={config.batch_size}, "
+          f"k={trainer.num_batches}, swap every {trainer.swap_period} iterations")
+    history = trainer.train()
+
+    # 4. Results.
+    print("\nscore / FID trajectory:")
+    for evaluation in history.evaluations:
+        print(f"  iteration {evaluation.iteration:>5}: "
+              f"score={evaluation.score:.3f}  fid={evaluation.fid:.3f}  "
+              f"modes={evaluation.modes_covered}/{train.num_classes}")
+
+    traffic = history.traffic
+    print("\nmeasured communication:")
+    print(f"  server -> workers (generated batches): {traffic['generated_batch_bytes'] / 1e6:.2f} MB")
+    print(f"  workers -> server (error feedback):    {traffic['feedback_bytes'] / 1e6:.2f} MB")
+    print(f"  worker <-> worker (discriminator swap): {traffic['swap_bytes'] / 1e6:.2f} MB")
+    print(f"  swaps performed: {len(history.events_of_kind('swap'))}")
+
+
+if __name__ == "__main__":
+    main()

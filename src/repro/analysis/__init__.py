@@ -1,0 +1,34 @@
+"""``repro.analysis`` — analytic complexity and communication models.
+
+Implements the closed-form expressions behind the paper's Table II
+(computation / memory), Table III (communication complexity), Table IV
+(instantiated CIFAR10 costs) and Figure 2 (ingress traffic vs batch size).
+"""
+
+from .communication import (
+    MEGABYTE,
+    CommunicationInputs,
+    crossover_batch_size,
+    ingress_traffic_per_iteration,
+    ingress_traffic_sweep,
+    table3_communication,
+    table4_costs,
+)
+from .complexity import (
+    ComplexityInputs,
+    table2_complexities,
+    worker_reduction_factor,
+)
+
+__all__ = [
+    "ComplexityInputs",
+    "table2_complexities",
+    "worker_reduction_factor",
+    "CommunicationInputs",
+    "table3_communication",
+    "table4_costs",
+    "ingress_traffic_per_iteration",
+    "ingress_traffic_sweep",
+    "crossover_batch_size",
+    "MEGABYTE",
+]

@@ -1,0 +1,113 @@
+"""Configuration objects for the three training algorithms.
+
+The configuration mirrors the notation of the paper's Table I:
+
+=============  =====================================================
+``batch_size``    ``b`` — batch size
+``iterations``    ``I`` — number of global training iterations
+``disc_steps``    ``L`` — discriminator learning steps per iteration
+``epochs_per_swap``  ``E`` — local epochs between discriminator swaps
+                    (MD-GAN) or between federated rounds (FL-GAN)
+``num_batches``   ``k`` — number of generated batches per iteration
+                    (MD-GAN only; ``None`` means ``max(1, floor(log N))``)
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = ["OptimizerConfig", "TrainingConfig", "resolve_num_batches"]
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Adam settings for one network (generator or discriminator).
+
+    The paper's CelebA experiment tunes the Adam hyper-parameters separately
+    per competitor and per network, hence a dedicated config object.
+    """
+
+    learning_rate: float = 2e-4
+    beta1: float = 0.5
+    beta2: float = 0.999
+    eps: float = 1e-8
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {self.learning_rate}")
+        if not (0 <= self.beta1 < 1 and 0 <= self.beta2 < 1):
+            raise ValueError("beta1/beta2 must lie in [0, 1)")
+
+    def build(self):
+        """Instantiate the corresponding :class:`repro.nn.Adam` optimizer."""
+        from ..nn.optim import Adam
+
+        return Adam(
+            learning_rate=self.learning_rate,
+            beta1=self.beta1,
+            beta2=self.beta2,
+            eps=self.eps,
+        )
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Shared configuration for standalone, FL-GAN and MD-GAN training."""
+
+    iterations: int = 1000
+    batch_size: int = 10
+    disc_steps: int = 1
+    epochs_per_swap: float = 1.0
+    num_batches: Optional[int] = None
+    generator_opt: OptimizerConfig = field(default_factory=OptimizerConfig)
+    discriminator_opt: OptimizerConfig = field(default_factory=OptimizerConfig)
+    non_saturating: bool = True
+    label_smoothing: float = 1.0
+    seed: int = 0
+    eval_every: int = 0
+    eval_sample_size: int = 500
+    #: Fraction of workers participating in each MD-GAN iteration
+    #: (Section VII-4 extension; 1.0 reproduces the paper's algorithm).
+    participation_fraction: float = 1.0
+    #: Record traffic/compute statistics in the history (cheap, on by default).
+    record_traffic: bool = True
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise ValueError(f"iterations must be positive, got {self.iterations}")
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.disc_steps < 1:
+            raise ValueError(f"disc_steps must be >= 1, got {self.disc_steps}")
+        if self.epochs_per_swap <= 0 and not math.isinf(self.epochs_per_swap):
+            raise ValueError(
+                "epochs_per_swap must be positive (use math.inf to disable swaps)"
+            )
+        if self.num_batches is not None and self.num_batches < 1:
+            raise ValueError(f"num_batches must be >= 1, got {self.num_batches}")
+        if not 0.0 < self.participation_fraction <= 1.0:
+            raise ValueError("participation_fraction must be in (0, 1]")
+        if self.eval_every < 0:
+            raise ValueError("eval_every must be >= 0 (0 disables evaluation)")
+
+    def with_overrides(self, **kwargs) -> "TrainingConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+def resolve_num_batches(config: TrainingConfig, num_workers: int) -> int:
+    """Resolve the paper's ``k`` parameter for a given worker count.
+
+    ``None`` selects the paper's default ``max(1, floor(log N))``; explicit
+    values are clamped to ``[1, N]`` (the paper requires ``k <= N``).
+    """
+    if num_workers <= 0:
+        raise ValueError(f"num_workers must be positive, got {num_workers}")
+    if config.num_batches is None:
+        k = max(1, int(math.floor(math.log(num_workers))) if num_workers > 1 else 1)
+    else:
+        k = config.num_batches
+    return max(1, min(k, num_workers))

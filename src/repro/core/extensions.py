@@ -1,0 +1,85 @@
+"""Extensions of MD-GAN discussed in the paper's perspectives (Section VII).
+
+Two extensions are provided as thin variants of :class:`MDGANTrainer`:
+
+* :class:`AsyncMDGANTrainer` — the "asynchronous setting" of Section VII-1.
+  Instead of averaging all worker feedbacks and applying one generator
+  update per global iteration, the server applies an update for each
+  feedback as it is processed.  The emulation remains single-threaded (as in
+  the paper's own setup), but the update schedule — and therefore the
+  staleness of the parameters each worker's feedback was computed on — now
+  matches the asynchronous variant.
+* :class:`SampledMDGANTrainer` — the "scaling the number of workers"
+  discussion of Section VII-4.  Only a random fraction of workers
+  participates in each global iteration, the way federated learning samples
+  a subset of devices per round; discriminator swapping still circulates
+  models across the full population so the whole distributed dataset is
+  eventually leveraged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..datasets.base import ImageDataset
+from ..metrics.evaluator import GeneratorEvaluator
+from ..models.base import GANFactory
+from ..simulation.failures import CrashSchedule
+from ..simulation.network import LinkModel
+from .config import TrainingConfig
+from .mdgan import MDGANTrainer
+
+__all__ = ["AsyncMDGANTrainer", "SampledMDGANTrainer"]
+
+
+class AsyncMDGANTrainer(MDGANTrainer):
+    """MD-GAN with per-feedback generator updates (Section VII-1)."""
+
+    def __init__(
+        self,
+        factory: GANFactory,
+        shards: Sequence[ImageDataset],
+        config: TrainingConfig,
+        evaluator: Optional[GeneratorEvaluator] = None,
+        link_model: Optional[LinkModel] = None,
+        crash_schedule: Optional[CrashSchedule] = None,
+        swap_enabled: bool = True,
+    ) -> None:
+        super().__init__(
+            factory,
+            shards,
+            config,
+            evaluator=evaluator,
+            link_model=link_model,
+            crash_schedule=crash_schedule,
+            swap_enabled=swap_enabled,
+            per_feedback_updates=True,
+        )
+        self.history.algorithm = "md-gan-async"
+
+
+class SampledMDGANTrainer(MDGANTrainer):
+    """MD-GAN with partial worker participation per iteration (Section VII-4)."""
+
+    def __init__(
+        self,
+        factory: GANFactory,
+        shards: Sequence[ImageDataset],
+        config: TrainingConfig,
+        participation_fraction: float = 0.5,
+        evaluator: Optional[GeneratorEvaluator] = None,
+        link_model: Optional[LinkModel] = None,
+        crash_schedule: Optional[CrashSchedule] = None,
+        swap_enabled: bool = True,
+    ) -> None:
+        config = config.with_overrides(participation_fraction=participation_fraction)
+        super().__init__(
+            factory,
+            shards,
+            config,
+            evaluator=evaluator,
+            link_model=link_model,
+            crash_schedule=crash_schedule,
+            swap_enabled=swap_enabled,
+        )
+        self.history.algorithm = "md-gan-sampled"

@@ -1,0 +1,241 @@
+"""FL-GAN — federated learning adapted to GANs (paper Section III-c).
+
+Each worker holds a *complete* GAN (generator plus discriminator) treated as
+one atomic object, and trains it locally on its data shard exactly like the
+standalone baseline.  Every ``E`` local epochs the workers ship both
+parameter sets to the central server, which averages them (FedAvg) and
+broadcasts the result back; all active workers start the next round from the
+same averaged model.
+
+Evaluation uses the server's averaged generator, as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.base import ImageDataset
+from ..datasets.sampler import EpochSampler
+from ..metrics.evaluator import GeneratorEvaluator
+from ..models.base import GANFactory, generator_input
+from ..nn.model import Sequential
+from ..nn.serialize import average_parameters
+from ..simulation.cluster import SERVER_NAME, Cluster
+from ..simulation.messages import MessageKind
+from ..simulation.network import LinkModel
+from .config import TrainingConfig
+from .gan_ops import (
+    GANObjective,
+    discriminator_update,
+    generator_update,
+    sample_generator_images,
+)
+from .history import TrainingHistory
+
+__all__ = ["FLGANWorkerState", "FLGANTrainer"]
+
+
+@dataclass
+class FLGANWorkerState:
+    """Per-worker state: a full local GAN plus its optimizers and sampler."""
+
+    index: int
+    generator: Sequential
+    discriminator: Sequential
+    gen_opt: object
+    disc_opt: object
+    sampler: EpochSampler
+    dataset: ImageDataset
+    rng: np.random.Generator = None
+
+
+class FLGANTrainer:
+    """Federated-averaging GAN trainer over ``N`` emulated workers."""
+
+    def __init__(
+        self,
+        factory: GANFactory,
+        shards: Sequence[ImageDataset],
+        config: TrainingConfig,
+        evaluator: Optional[GeneratorEvaluator] = None,
+        link_model: Optional[LinkModel] = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("FL-GAN needs at least one worker shard")
+        self.factory = factory
+        self.config = config
+        self.evaluator = evaluator
+        self.cluster = Cluster(num_workers=len(shards), link_model=link_model)
+
+        self._rng = np.random.default_rng(config.seed)
+        self._objective = GANObjective(
+            factory,
+            non_saturating=config.non_saturating,
+            label_smoothing=config.label_smoothing,
+        )
+
+        # The server keeps the reference (averaged) generator/discriminator.
+        self.server_generator = factory.make_generator(self._rng)
+        self.server_discriminator = factory.make_discriminator(self._rng)
+
+        self.workers: List[FLGANWorkerState] = []
+        for index, shard in enumerate(shards):
+            worker_rng = np.random.default_rng(config.seed + 1000 + index)
+            generator = factory.make_generator(worker_rng)
+            discriminator = factory.make_discriminator(worker_rng)
+            # All workers start from the same global model, as in federated
+            # learning where the server initialises the round-0 model.
+            generator.set_parameters(self.server_generator.get_parameters())
+            discriminator.set_parameters(self.server_discriminator.get_parameters())
+            self.workers.append(
+                FLGANWorkerState(
+                    index=index,
+                    generator=generator,
+                    discriminator=discriminator,
+                    gen_opt=config.generator_opt.build(),
+                    disc_opt=config.discriminator_opt.build(),
+                    sampler=EpochSampler(shard, config.batch_size, worker_rng),
+                    dataset=shard,
+                    rng=worker_rng,
+                )
+            )
+
+        self.history = TrainingHistory(
+            algorithm="fl-gan",
+            config={
+                "batch_size": config.batch_size,
+                "iterations": config.iterations,
+                "epochs_per_round": config.epochs_per_swap,
+                "num_workers": len(shards),
+                "architecture": factory.name,
+            },
+        )
+
+    # -- helpers -----------------------------------------------------------------
+    @property
+    def iterations_per_round(self) -> int:
+        """Local iterations between two federated rounds: ``E * m / b``."""
+        m = min(len(w.dataset) for w in self.workers)
+        if math.isinf(self.config.epochs_per_swap):
+            return self.config.iterations + 1
+        return max(1, int(round(self.config.epochs_per_swap * m / self.config.batch_size)))
+
+    def sample_images(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Generate ``n`` images from the server's averaged generator."""
+        noise = rng.normal(0.0, 1.0, size=(n, self.factory.latent_dim))
+        labels = (
+            rng.integers(0, self.factory.num_classes, size=n)
+            if self.factory.conditional
+            else None
+        )
+        g_input = generator_input(noise, labels, self.factory.num_classes)
+        return self.server_generator.predict(g_input)
+
+    # -- federated round ------------------------------------------------------------
+    def _local_iteration(self, worker: FLGANWorkerState) -> tuple:
+        cfg = self.config
+        worker_rng = worker.rng
+        disc_loss = 0.0
+        for _ in range(cfg.disc_steps):
+            real_images, real_labels = worker.sampler.next_batch()
+            generated = sample_generator_images(
+                worker.generator, self.factory, cfg.batch_size, worker_rng
+            )
+            disc_loss = discriminator_update(
+                worker.discriminator,
+                self._objective,
+                worker.disc_opt,
+                real_images,
+                real_labels if self.factory.conditional else None,
+                generated.images,
+                generated.labels,
+            )
+        gen_loss = generator_update(
+            worker.generator,
+            worker.discriminator,
+            self.factory,
+            self._objective,
+            worker.gen_opt,
+            cfg.batch_size,
+            worker_rng,
+        )
+        return gen_loss, disc_loss
+
+    def _federated_round(self, iteration: int) -> None:
+        """Workers upload their GANs, the server averages and broadcasts."""
+        gen_vectors, disc_vectors = [], []
+        for worker in self.workers:
+            node = self.cluster.workers[worker.index]
+            if not node.alive:
+                continue
+            payload = {
+                "generator": worker.generator.get_parameters(),
+                "discriminator": worker.discriminator.get_parameters(),
+            }
+            node.send(SERVER_NAME, MessageKind.MODEL_UPDATE, payload, iteration)
+        for message in self.cluster.server.receive(MessageKind.MODEL_UPDATE):
+            gen_vectors.append(message.payload["generator"])
+            disc_vectors.append(message.payload["discriminator"])
+        if not gen_vectors:
+            return
+        avg_gen = average_parameters(gen_vectors)
+        avg_disc = average_parameters(disc_vectors)
+        self.server_generator.set_parameters(avg_gen)
+        self.server_discriminator.set_parameters(avg_disc)
+        for worker in self.workers:
+            node = self.cluster.workers[worker.index]
+            if not node.alive:
+                continue
+            self.cluster.server.send(
+                node.name,
+                MessageKind.MODEL_BROADCAST,
+                {"generator": avg_gen, "discriminator": avg_disc},
+                iteration,
+            )
+            broadcast = node.receive(MessageKind.MODEL_BROADCAST)
+            if broadcast:
+                worker.generator.set_parameters(broadcast[-1].payload["generator"])
+                worker.discriminator.set_parameters(
+                    broadcast[-1].payload["discriminator"]
+                )
+        self.history.record_event(iteration, "federated_round", workers=len(gen_vectors))
+
+    # -- main loop --------------------------------------------------------------------
+    def train(self) -> TrainingHistory:
+        """Run ``config.iterations`` synchronous local iterations with rounds."""
+        cfg = self.config
+        round_length = self.iterations_per_round
+        for iteration in range(1, cfg.iterations + 1):
+            gen_losses, disc_losses = [], []
+            for worker in self.workers:
+                if not self.cluster.workers[worker.index].alive:
+                    continue
+                gen_loss, disc_loss = self._local_iteration(worker)
+                gen_losses.append(gen_loss)
+                disc_losses.append(disc_loss)
+            if gen_losses:
+                self.history.record_losses(
+                    iteration, float(np.mean(gen_losses)), float(np.mean(disc_losses))
+                )
+            if iteration % round_length == 0:
+                self._federated_round(iteration)
+            if (
+                self.evaluator is not None
+                and cfg.eval_every
+                and (iteration % cfg.eval_every == 0 or iteration == cfg.iterations)
+            ):
+                result = self.evaluator.evaluate(self.sample_images, iteration)
+                self.history.record_evaluation(result)
+        if cfg.record_traffic:
+            meter = self.cluster.meter
+            self.history.traffic = {
+                "total_bytes": float(meter.total_bytes()),
+                "server_ingress_bytes": float(meter.node_ingress(SERVER_NAME)),
+                "server_egress_bytes": float(meter.node_egress(SERVER_NAME)),
+                "rounds": float(len(self.history.events_of_kind("federated_round"))),
+            }
+        return self.history

@@ -1,0 +1,268 @@
+"""Shared GAN training steps used by every trainer.
+
+The MD-GAN algorithm splits the classic generator update into two halves:
+workers compute the gradient of the generator objective *with respect to the
+generated images* (the error feedback ``F_n``), and the server chains that
+feedback through the generator to obtain parameter gradients.  The helpers in
+this module expose exactly those halves, so the standalone trainer, FL-GAN's
+local updates and MD-GAN's split updates all share one implementation of the
+loss mathematics (Section II of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..models.base import GANFactory, generator_input
+from ..nn.losses import ACGANLoss, GANLoss
+from ..nn.model import Sequential
+from ..nn.optim import Optimizer
+
+__all__ = [
+    "GANObjective",
+    "GeneratedBatch",
+    "discriminator_update",
+    "generator_feedback",
+    "apply_feedback_to_generator",
+    "generator_update",
+    "sample_generator_images",
+]
+
+
+@dataclass
+class GeneratedBatch:
+    """A batch of generated images together with its generation inputs.
+
+    ``noise``/``labels`` are kept so that the owner of the generator can
+    replay the forward pass when turning error feedback into parameter
+    gradients (MD-GAN server) or so that conditional losses know the intended
+    classes (ACGAN).
+    """
+
+    images: np.ndarray
+    noise: np.ndarray
+    labels: Optional[np.ndarray]
+    batch_index: int = 0
+
+
+class GANObjective:
+    """Adversarial objective dispatching between vanilla GAN and ACGAN."""
+
+    def __init__(
+        self,
+        factory: GANFactory,
+        non_saturating: bool = True,
+        label_smoothing: float = 1.0,
+    ) -> None:
+        self.factory = factory
+        self.conditional = factory.conditional
+        if self.conditional:
+            self._loss = ACGANLoss(
+                num_classes=factory.num_classes,
+                non_saturating=non_saturating,
+                label_smoothing=label_smoothing,
+            )
+        else:
+            self._loss = GANLoss(
+                non_saturating=non_saturating, label_smoothing=label_smoothing
+            )
+
+    # -- discriminator side ------------------------------------------------------
+    def discriminator_loss(
+        self,
+        real_outputs: np.ndarray,
+        real_labels: Optional[np.ndarray],
+        fake_outputs: np.ndarray,
+        fake_labels: Optional[np.ndarray],
+    ) -> Tuple[float, np.ndarray, np.ndarray]:
+        """Loss and gradients w.r.t. the discriminator's raw outputs."""
+        if self.conditional:
+            return self._loss.discriminator_loss(
+                real_outputs, real_labels, fake_outputs, fake_labels
+            )
+        return self._loss.discriminator_loss(real_outputs, fake_outputs)
+
+    def discriminator_real_term(
+        self, real_outputs: np.ndarray, real_labels: Optional[np.ndarray]
+    ) -> Tuple[float, np.ndarray]:
+        """Real-data term of the discriminator loss (the paper's A-tilde).
+
+        The discriminator loss is additive over the real and generated
+        batches, so the two terms can be backpropagated independently —
+        which is what the trainers do (one forward/backward per batch, so
+        layer activation caches always match the gradient being pushed).
+        """
+        from ..nn.losses import bce_with_logits, softmax_cross_entropy
+
+        smoothing = self._loss.label_smoothing
+        if self.conditional:
+            adv, cls = self._loss.split(real_outputs)
+            loss_adv, grad_adv = bce_with_logits(adv, np.full_like(adv, smoothing))
+            loss_cls, grad_cls = softmax_cross_entropy(cls, real_labels)
+            grad = np.concatenate([grad_adv, self._loss.aux_weight * grad_cls], axis=1)
+            return float(loss_adv + self._loss.aux_weight * loss_cls), grad
+        loss, grad = bce_with_logits(
+            real_outputs, np.full_like(real_outputs, smoothing)
+        )
+        return float(loss), grad
+
+    def discriminator_fake_term(
+        self, fake_outputs: np.ndarray, fake_labels: Optional[np.ndarray]
+    ) -> Tuple[float, np.ndarray]:
+        """Generated-data term of the discriminator loss (the paper's B-tilde)."""
+        from ..nn.losses import bce_with_logits, softmax_cross_entropy
+
+        if self.conditional:
+            adv, cls = self._loss.split(fake_outputs)
+            loss_adv, grad_adv = bce_with_logits(adv, np.zeros_like(adv))
+            loss_cls, grad_cls = softmax_cross_entropy(cls, fake_labels)
+            grad = np.concatenate([grad_adv, self._loss.aux_weight * grad_cls], axis=1)
+            return float(loss_adv + self._loss.aux_weight * loss_cls), grad
+        loss, grad = bce_with_logits(fake_outputs, np.zeros_like(fake_outputs))
+        return float(loss), grad
+
+    # -- generator side ------------------------------------------------------------
+    def generator_loss(
+        self, fake_outputs: np.ndarray, fake_labels: Optional[np.ndarray]
+    ) -> Tuple[float, np.ndarray]:
+        """Loss and gradient w.r.t. the discriminator outputs on fake data."""
+        if self.conditional:
+            return self._loss.generator_loss(fake_outputs, fake_labels)
+        return self._loss.generator_loss(fake_outputs)
+
+
+def sample_generator_images(
+    generator: Sequential,
+    factory: GANFactory,
+    batch_size: int,
+    rng: np.random.Generator,
+    batch_index: int = 0,
+    training: bool = True,
+) -> GeneratedBatch:
+    """Draw noise (and labels if conditional) and run the generator forward."""
+    noise = rng.normal(0.0, 1.0, size=(batch_size, factory.latent_dim))
+    labels = (
+        rng.integers(0, factory.num_classes, size=batch_size)
+        if factory.conditional
+        else None
+    )
+    g_input = generator_input(noise, labels, factory.num_classes)
+    images = generator.forward(g_input, training=training)
+    return GeneratedBatch(images=images, noise=noise, labels=labels, batch_index=batch_index)
+
+
+def discriminator_update(
+    discriminator: Sequential,
+    objective: GANObjective,
+    optimizer: Optimizer,
+    real_images: np.ndarray,
+    real_labels: Optional[np.ndarray],
+    fake_images: np.ndarray,
+    fake_labels: Optional[np.ndarray],
+) -> float:
+    """One discriminator learning step (paper Section II-1).
+
+    The discriminator loss is the sum of a real-batch term (A-tilde) and a
+    generated-batch term (B-tilde), so each term is forwarded and
+    backpropagated in its own pass — gradients accumulate across the two
+    passes and a single optimizer step is applied.  Returns the total loss.
+    """
+    discriminator.zero_grad()
+    real_outputs = discriminator.forward(real_images, training=True)
+    loss_real, grad_real = objective.discriminator_real_term(real_outputs, real_labels)
+    discriminator.backward(grad_real)
+
+    fake_outputs = discriminator.forward(fake_images, training=True)
+    loss_fake, grad_fake = objective.discriminator_fake_term(fake_outputs, fake_labels)
+    discriminator.backward(grad_fake)
+
+    optimizer.step(discriminator)
+    return float(loss_real + loss_fake)
+
+
+def generator_feedback(
+    discriminator: Sequential,
+    objective: GANObjective,
+    generated: GeneratedBatch,
+) -> Tuple[float, np.ndarray]:
+    """Compute MD-GAN's error feedback ``F_n`` for a generated batch.
+
+    Returns ``(generator_loss, dJ_gen/d_images)`` where the gradient has the
+    same shape as ``generated.images``.  The discriminator's parameter
+    gradients are cleared afterwards — the worker never updates its
+    discriminator from the generator objective.
+    """
+    outputs = discriminator.forward(generated.images, training=True)
+    loss, grad_outputs = objective.generator_loss(outputs, generated.labels)
+    discriminator.zero_grad()
+    feedback = discriminator.backward(grad_outputs)
+    # Discard the parameter gradients produced as a by-product; only the
+    # input gradient (the feedback) is used.
+    discriminator.zero_grad()
+    return float(loss), feedback
+
+
+def apply_feedback_to_generator(
+    generator: Sequential,
+    factory: GANFactory,
+    batches: Sequence[GeneratedBatch],
+    feedbacks: Sequence[np.ndarray],
+    weights: Optional[Sequence[float]] = None,
+) -> None:
+    """Turn error feedbacks into generator parameter gradients (server side).
+
+    For every generated batch that received feedback, the generator forward
+    pass is replayed on the stored noise and the (weighted) feedback is
+    backpropagated; gradients accumulate across batches.  Weights default to
+    ``1 / len(feedbacks)``, matching the paper's averaging of worker
+    feedbacks (Section IV-B2).
+
+    The caller is responsible for calling ``generator.zero_grad()`` before
+    and for applying the optimizer step afterwards.
+    """
+    if len(batches) != len(feedbacks):
+        raise ValueError(
+            f"Got {len(batches)} batches but {len(feedbacks)} feedbacks"
+        )
+    if not batches:
+        return
+    if weights is None:
+        weights = [1.0 / len(feedbacks)] * len(feedbacks)
+    if len(weights) != len(feedbacks):
+        raise ValueError("weights must match feedbacks in length")
+    for batch, feedback, weight in zip(batches, feedbacks, weights):
+        if feedback.shape != batch.images.shape:
+            raise ValueError(
+                f"Feedback shape {feedback.shape} does not match generated "
+                f"batch shape {batch.images.shape}"
+            )
+        g_input = generator_input(batch.noise, batch.labels, factory.num_classes)
+        generator.forward(g_input, training=True)
+        generator.backward(np.asarray(feedback, dtype=np.float64) * weight)
+
+
+def generator_update(
+    generator: Sequential,
+    discriminator: Sequential,
+    factory: GANFactory,
+    objective: GANObjective,
+    optimizer: Optimizer,
+    batch_size: int,
+    rng: np.random.Generator,
+) -> float:
+    """Classic single-machine generator update (used by standalone / FL-GAN).
+
+    Implemented with the same two-half mechanics as MD-GAN — compute the
+    image-space gradient through the discriminator, then chain it through
+    the generator — which keeps the mathematics identical across all three
+    algorithms.
+    """
+    generated = sample_generator_images(generator, factory, batch_size, rng)
+    loss, feedback = generator_feedback(discriminator, objective, generated)
+    generator.zero_grad()
+    apply_feedback_to_generator(generator, factory, [generated], [feedback])
+    optimizer.step(generator)
+    return float(loss)

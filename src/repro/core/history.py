@@ -1,0 +1,99 @@
+"""Structured training history shared by all trainers.
+
+Records per-iteration losses, periodic evaluation scores, communication
+statistics and notable events (swaps, federated rounds, crashes).  The
+experiment harness consumes histories to produce the series plotted in
+Figures 3-6 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..metrics.evaluator import EvaluationResult
+
+__all__ = ["TrainingHistory"]
+
+
+@dataclass
+class TrainingHistory:
+    """Time series collected during one training run."""
+
+    algorithm: str
+    config: Dict[str, object] = field(default_factory=dict)
+    iterations: List[int] = field(default_factory=list)
+    generator_loss: List[float] = field(default_factory=list)
+    discriminator_loss: List[float] = field(default_factory=list)
+    evaluations: List[EvaluationResult] = field(default_factory=list)
+    events: List[Dict[str, object]] = field(default_factory=list)
+    traffic: Dict[str, float] = field(default_factory=dict)
+    compute: Dict[str, float] = field(default_factory=dict)
+
+    # -- recording -------------------------------------------------------------
+    def record_losses(self, iteration: int, gen_loss: float, disc_loss: float) -> None:
+        """Append per-iteration generator / discriminator losses."""
+        self.iterations.append(int(iteration))
+        self.generator_loss.append(float(gen_loss))
+        self.discriminator_loss.append(float(disc_loss))
+
+    def record_evaluation(self, result: EvaluationResult) -> None:
+        """Append a periodic evaluation result."""
+        self.evaluations.append(result)
+
+    def record_event(self, iteration: int, kind: str, **details: object) -> None:
+        """Append a structured event (swap, round, crash, ...)."""
+        self.events.append({"iteration": int(iteration), "kind": kind, **details})
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def score_series(self) -> Dict[str, List[float]]:
+        """Evaluation series keyed by metric name."""
+        return {
+            "iteration": [e.iteration for e in self.evaluations],
+            "score": [e.score for e in self.evaluations],
+            "fid": [e.fid for e in self.evaluations],
+            "modes_covered": [e.modes_covered for e in self.evaluations],
+        }
+
+    @property
+    def final_evaluation(self) -> Optional[EvaluationResult]:
+        """Last recorded evaluation, or ``None`` if evaluation was disabled."""
+        return self.evaluations[-1] if self.evaluations else None
+
+    def best_score(self) -> float:
+        """Best (highest) dataset score observed."""
+        if not self.evaluations:
+            return float("nan")
+        return max(e.score for e in self.evaluations)
+
+    def best_fid(self) -> float:
+        """Best (lowest) FID observed."""
+        if not self.evaluations:
+            return float("nan")
+        return min(e.fid for e in self.evaluations)
+
+    def mean_generator_loss(self, last: int = 0) -> float:
+        """Mean generator loss over the whole run or the last ``last`` iterations."""
+        losses = self.generator_loss[-last:] if last else self.generator_loss
+        return float(np.mean(losses)) if losses else float("nan")
+
+    def events_of_kind(self, kind: str) -> List[Dict[str, object]]:
+        """All recorded events of the given kind."""
+        return [e for e in self.events if e["kind"] == kind]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict export (JSON-serialisable) used by the report writers."""
+        return {
+            "algorithm": self.algorithm,
+            "config": dict(self.config),
+            "iterations": list(self.iterations),
+            "generator_loss": list(self.generator_loss),
+            "discriminator_loss": list(self.discriminator_loss),
+            "evaluations": [e.as_dict() for e in self.evaluations],
+            "events": list(self.events),
+            "traffic": dict(self.traffic),
+            "compute": dict(self.compute),
+        }

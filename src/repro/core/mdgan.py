@@ -1,0 +1,440 @@
+"""MD-GAN — multi-discriminator GAN over distributed datasets (paper Section IV).
+
+The algorithm keeps a *single* generator on the central server and one
+discriminator per worker; workers never see each other's data.  One global
+iteration implements the four steps of Algorithm 1:
+
+1. the server generates ``k`` batches (``k <= N``) and sends two of them to
+   every participating worker (``X_n^{(d)}`` for discriminator training,
+   ``X_n^{(g)}`` for the generator's error feedback);
+2. every worker performs ``L`` discriminator learning steps against a real
+   batch drawn from its local shard;
+3. every worker computes the error feedback
+   ``F_n = dB~(X_n^{(g)}) / dx`` — the gradient of the generator objective
+   with respect to the generated images — and ships it to the server;
+4. the server chains all feedbacks through the generator (replaying the
+   forward pass on the stored noise), averages them and applies one Adam
+   step.
+
+Every ``E`` local epochs the workers swap their discriminator parameters in
+a gossip fashion (the ``SWAP`` procedure), which combats the overfitting of a
+discriminator to its local shard.
+
+The implementation routes every communication through the emulated network
+so byte-level traffic is measured, and supports the paper's fail-stop crash
+experiments plus two extensions discussed in Section VII: per-feedback
+(asynchronous-style) generator updates and partial worker participation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.base import ImageDataset
+from ..datasets.sampler import EpochSampler
+from ..metrics.evaluator import GeneratorEvaluator
+from ..models.base import GANFactory, generator_input
+from ..nn.model import Sequential
+from ..simulation.cluster import SERVER_NAME, Cluster
+from ..simulation.failures import CrashSchedule
+from ..simulation.messages import MessageKind
+from ..simulation.network import LinkModel
+from .config import TrainingConfig, resolve_num_batches
+from .gan_ops import (
+    GANObjective,
+    GeneratedBatch,
+    apply_feedback_to_generator,
+    discriminator_update,
+    generator_feedback,
+)
+from .history import TrainingHistory
+
+__all__ = ["MDGANWorkerState", "MDGANTrainer"]
+
+
+@dataclass
+class MDGANWorkerState:
+    """Per-worker state: a discriminator, its optimizer and the local shard."""
+
+    index: int
+    discriminator: Sequential
+    disc_opt: object
+    sampler: EpochSampler
+    dataset: ImageDataset
+    rng: np.random.Generator
+
+
+class MDGANTrainer:
+    """MD-GAN trainer: one server-side generator versus ``N`` worker discriminators."""
+
+    def __init__(
+        self,
+        factory: GANFactory,
+        shards: Sequence[ImageDataset],
+        config: TrainingConfig,
+        evaluator: Optional[GeneratorEvaluator] = None,
+        link_model: Optional[LinkModel] = None,
+        crash_schedule: Optional[CrashSchedule] = None,
+        swap_enabled: bool = True,
+        per_feedback_updates: bool = False,
+    ) -> None:
+        if not shards:
+            raise ValueError("MD-GAN needs at least one worker shard")
+        self.factory = factory
+        self.config = config
+        self.evaluator = evaluator
+        self.swap_enabled = swap_enabled
+        self.per_feedback_updates = per_feedback_updates
+        self.cluster = Cluster(
+            num_workers=len(shards),
+            link_model=link_model,
+            crash_schedule=crash_schedule,
+        )
+
+        self._rng = np.random.default_rng(config.seed)
+        self._objective = GANObjective(
+            factory,
+            non_saturating=config.non_saturating,
+            label_smoothing=config.label_smoothing,
+        )
+
+        # Server-side generator (the only generator in the system).
+        self.generator: Sequential = factory.make_generator(self._rng)
+        self._gen_opt = config.generator_opt.build()
+
+        # Worker-side discriminators.
+        self.workers: List[MDGANWorkerState] = []
+        for index, shard in enumerate(shards):
+            worker_rng = np.random.default_rng(config.seed + 1000 + index)
+            self.workers.append(
+                MDGANWorkerState(
+                    index=index,
+                    discriminator=factory.make_discriminator(worker_rng),
+                    disc_opt=config.discriminator_opt.build(),
+                    sampler=EpochSampler(shard, config.batch_size, worker_rng),
+                    dataset=shard,
+                    rng=worker_rng,
+                )
+            )
+
+        self.num_batches = resolve_num_batches(config, len(shards))
+        self.history = TrainingHistory(
+            algorithm="md-gan",
+            config={
+                "batch_size": config.batch_size,
+                "iterations": config.iterations,
+                "disc_steps": config.disc_steps,
+                "num_workers": len(shards),
+                "num_batches_k": self.num_batches,
+                "epochs_per_swap": config.epochs_per_swap,
+                "swap_enabled": swap_enabled,
+                "per_feedback_updates": per_feedback_updates,
+                "participation_fraction": config.participation_fraction,
+                "architecture": factory.name,
+            },
+        )
+
+    # -- helpers -----------------------------------------------------------------
+    @property
+    def swap_period(self) -> int:
+        """Iterations between swaps: ``m E / b`` (Algorithm 1, line 11)."""
+        if math.isinf(self.config.epochs_per_swap) or not self.swap_enabled:
+            return 0
+        m = min(len(w.dataset) for w in self.workers)
+        return max(1, int(round(m * self.config.epochs_per_swap / self.config.batch_size)))
+
+    def _alive_workers(self) -> List[MDGANWorkerState]:
+        return [
+            w for w in self.workers if self.cluster.workers[w.index].alive
+        ]
+
+    def _participating_workers(self) -> List[MDGANWorkerState]:
+        """Workers taking part in this iteration (Section VII-4 extension)."""
+        alive = self._alive_workers()
+        frac = self.config.participation_fraction
+        if frac >= 1.0 or len(alive) <= 1:
+            return alive
+        count = max(1, int(round(frac * len(alive))))
+        chosen = self._rng.choice(len(alive), size=count, replace=False)
+        return [alive[i] for i in sorted(chosen)]
+
+    def sample_images(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Generate ``n`` images from the server generator (evaluation mode)."""
+        noise = rng.normal(0.0, 1.0, size=(n, self.factory.latent_dim))
+        labels = (
+            rng.integers(0, self.factory.num_classes, size=n)
+            if self.factory.conditional
+            else None
+        )
+        g_input = generator_input(noise, labels, self.factory.num_classes)
+        return self.generator.predict(g_input)
+
+    # -- server side --------------------------------------------------------------
+    def _generate_batches(self, k: int) -> List[GeneratedBatch]:
+        """Step 1: the server generates ``k`` batches of size ``b``."""
+        batches = []
+        for j in range(k):
+            noise = self._rng.normal(
+                0.0, 1.0, size=(self.config.batch_size, self.factory.latent_dim)
+            )
+            labels = (
+                self._rng.integers(0, self.factory.num_classes, size=self.config.batch_size)
+                if self.factory.conditional
+                else None
+            )
+            g_input = generator_input(noise, labels, self.factory.num_classes)
+            images = self.generator.forward(g_input, training=True)
+            batches.append(
+                GeneratedBatch(images=images, noise=noise, labels=labels, batch_index=j)
+            )
+            # Cost model of Section IV-B3: generating a batch costs O(b |w|).
+            self.cluster.server.compute.charge(
+                "batch_generation", self.config.batch_size * self.generator.num_parameters
+            )
+        self.cluster.server.compute.observe_memory(
+            k * self.config.batch_size * self.generator.num_parameters
+        )
+        return batches
+
+    def _distribute_batches(
+        self, iteration: int, batches: List[GeneratedBatch], participants: List[MDGANWorkerState]
+    ) -> Dict[int, Dict[str, int]]:
+        """Step 1 (cont.): send two batches to every participating worker.
+
+        Uses the paper's round-robin assignment:
+        ``X_n^{(g)} = X^{(n mod k)}`` and ``X_n^{(d)} = X^{((n+1) mod k)}``.
+        Returns the mapping ``worker index -> {"d": batch_index, "g": batch_index}``.
+        """
+        k = len(batches)
+        assignment: Dict[int, Dict[str, int]] = {}
+        for order, worker in enumerate(participants):
+            g_idx = order % k
+            d_idx = (order + 1) % k
+            assignment[worker.index] = {"g": g_idx, "d": d_idx}
+            node = self.cluster.workers[worker.index]
+            payload = {
+                "X_d": batches[d_idx].images,
+                "X_g": batches[g_idx].images,
+            }
+            metadata = {
+                "labels_d": batches[d_idx].labels,
+                "labels_g": batches[g_idx].labels,
+                "batch_index_g": g_idx,
+                "batch_index_d": d_idx,
+            }
+            self.cluster.server.send(
+                node.name,
+                MessageKind.GENERATED_BATCHES,
+                payload,
+                iteration,
+                **metadata,
+            )
+        return assignment
+
+    def _aggregate_feedback(
+        self,
+        iteration: int,
+        batches: List[GeneratedBatch],
+    ) -> int:
+        """Step 4: collect feedbacks, chain them through the generator, update ``w``."""
+        messages = self.cluster.server.receive(MessageKind.ERROR_FEEDBACK)
+        if not messages:
+            return 0
+        self.cluster.server.compute.observe_memory(
+            len(messages) * self.config.batch_size * self.factory.object_size
+        )
+        if self.per_feedback_updates:
+            # Section VII-1 style: apply one generator update per feedback as
+            # it arrives instead of averaging across workers.
+            for message in messages:
+                batch = batches[message.metadata["batch_index"]]
+                self.generator.zero_grad()
+                apply_feedback_to_generator(
+                    self.generator,
+                    self.factory,
+                    [batch],
+                    [message.payload],
+                    weights=[1.0],
+                )
+                self._gen_opt.step(self.generator)
+                self.cluster.server.compute.charge(
+                    "generator_update",
+                    self.config.batch_size * self.generator.num_parameters,
+                )
+            return len(messages)
+        used_batches = [batches[m.metadata["batch_index"]] for m in messages]
+        feedbacks = [m.payload for m in messages]
+        self.generator.zero_grad()
+        apply_feedback_to_generator(self.generator, self.factory, used_batches, feedbacks)
+        self._gen_opt.step(self.generator)
+        self.cluster.server.compute.charge(
+            "generator_update",
+            len(messages) * self.config.batch_size * self.generator.num_parameters,
+        )
+        return len(messages)
+
+    # -- worker side ---------------------------------------------------------------
+    def _worker_iteration(
+        self,
+        iteration: int,
+        worker: MDGANWorkerState,
+    ) -> Optional[Dict[str, float]]:
+        """Steps 2-3 for one worker: L discriminator steps + error feedback."""
+        node = self.cluster.workers[worker.index]
+        received = node.receive(MessageKind.GENERATED_BATCHES)
+        if not received:
+            return None
+        message = received[-1]
+        x_d = message.payload["X_d"]
+        x_g = message.payload["X_g"]
+        labels_d = message.metadata.get("labels_d")
+        labels_g = message.metadata.get("labels_g")
+        batch_index_g = message.metadata.get("batch_index_g", 0)
+
+        disc_loss = 0.0
+        for _ in range(self.config.disc_steps):
+            real_images, real_labels = worker.sampler.next_batch()
+            disc_loss = discriminator_update(
+                worker.discriminator,
+                self._objective,
+                worker.disc_opt,
+                real_images,
+                real_labels if self.factory.conditional else None,
+                x_d,
+                labels_d,
+            )
+            node.compute.charge(
+                "discriminator_training",
+                2 * self.config.batch_size * worker.discriminator.num_parameters,
+            )
+
+        gen_batch = GeneratedBatch(
+            images=x_g, noise=np.zeros((x_g.shape[0], self.factory.latent_dim)),
+            labels=labels_g, batch_index=batch_index_g,
+        )
+        gen_loss, feedback = generator_feedback(
+            worker.discriminator, self._objective, gen_batch
+        )
+        node.compute.charge(
+            "feedback", 2 * self.config.batch_size * worker.discriminator.num_parameters
+        )
+        node.compute.observe_memory(worker.discriminator.num_parameters)
+        node.send(
+            SERVER_NAME,
+            MessageKind.ERROR_FEEDBACK,
+            feedback,
+            iteration,
+            batch_index=batch_index_g,
+        )
+        return {"disc_loss": disc_loss, "gen_loss": gen_loss}
+
+    def _swap_discriminators(self, iteration: int) -> None:
+        """The SWAP procedure: gossip discriminator parameters between workers.
+
+        Every alive worker sends its discriminator parameters to another
+        worker chosen uniformly at random; to keep exactly one discriminator
+        per worker the destination assignment is a random permutation of the
+        alive workers (a worker mapped to itself simply keeps its own
+        parameters, which matches the "choose randomly another worker"
+        description in expectation while preserving the one-discriminator-
+        per-worker invariant).
+        """
+        alive = self._alive_workers()
+        if len(alive) < 2:
+            return
+        permutation = self._rng.permutation(len(alive))
+        parameter_vectors = {}
+        for src_pos, dst_pos in enumerate(permutation):
+            if src_pos == dst_pos:
+                continue
+            src = alive[src_pos]
+            dst = alive[dst_pos]
+            src_node = self.cluster.workers[src.index]
+            params = src.discriminator.get_parameters()
+            delivered = src_node.send(
+                self.cluster.workers[dst.index].name,
+                MessageKind.DISCRIMINATOR_SWAP,
+                params,
+                iteration,
+            )
+            if delivered:
+                parameter_vectors[dst.index] = params
+        for worker in alive:
+            node = self.cluster.workers[worker.index]
+            messages = node.receive(MessageKind.DISCRIMINATOR_SWAP)
+            if messages:
+                worker.discriminator.set_parameters(messages[-1].payload)
+        if parameter_vectors:
+            self.history.record_event(iteration, "swap", exchanged=len(parameter_vectors))
+
+    # -- main loop -------------------------------------------------------------------
+    def train_iteration(self, iteration: int) -> None:
+        """Run one global MD-GAN iteration (Algorithm 1 body)."""
+        crashed = self.cluster.apply_crashes(iteration)
+        for name in crashed:
+            self.history.record_event(iteration, "crash", worker=name)
+
+        participants = self._participating_workers()
+        if not participants:
+            return
+        k = min(self.num_batches, len(participants))
+        batches = self._generate_batches(k)
+        self._distribute_batches(iteration, batches, participants)
+
+        gen_losses, disc_losses = [], []
+        for worker in participants:
+            stats = self._worker_iteration(iteration, worker)
+            if stats is not None:
+                gen_losses.append(stats["gen_loss"])
+                disc_losses.append(stats["disc_loss"])
+
+        self._aggregate_feedback(iteration, batches)
+        if gen_losses:
+            self.history.record_losses(
+                iteration, float(np.mean(gen_losses)), float(np.mean(disc_losses))
+            )
+
+        period = self.swap_period
+        if period and iteration % period == 0:
+            self._swap_discriminators(iteration)
+
+    def train(self) -> TrainingHistory:
+        """Train for ``config.iterations`` global iterations and return the history."""
+        cfg = self.config
+        for iteration in range(1, cfg.iterations + 1):
+            if not self._alive_workers():
+                self.history.record_event(iteration, "all_workers_crashed")
+                break
+            self.train_iteration(iteration)
+            if (
+                self.evaluator is not None
+                and cfg.eval_every
+                and (iteration % cfg.eval_every == 0 or iteration == cfg.iterations)
+            ):
+                result = self.evaluator.evaluate(self.sample_images, iteration)
+                self.history.record_evaluation(result)
+        if cfg.record_traffic:
+            meter = self.cluster.meter
+            self.history.traffic = {
+                "total_bytes": float(meter.total_bytes()),
+                "server_ingress_bytes": float(meter.node_ingress(SERVER_NAME)),
+                "server_egress_bytes": float(meter.node_egress(SERVER_NAME)),
+                "swap_bytes": float(
+                    meter.total_bytes(MessageKind.DISCRIMINATOR_SWAP)
+                ),
+                "feedback_bytes": float(meter.total_bytes(MessageKind.ERROR_FEEDBACK)),
+                "generated_batch_bytes": float(
+                    meter.total_bytes(MessageKind.GENERATED_BATCHES)
+                ),
+            }
+            self.history.compute = {
+                "server_flops": float(self.cluster.server.compute.flops),
+                "mean_worker_flops": float(
+                    np.mean([self.cluster.workers[w.index].compute.flops for w in self.workers])
+                ),
+            }
+        return self.history

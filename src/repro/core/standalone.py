@@ -1,0 +1,124 @@
+"""Standalone (single-server) GAN training — the paper's baseline.
+
+The standalone GAN has access to the whole dataset ``B`` and trains on a
+single machine, exactly as in the original GAN formulation: ``L``
+discriminator learning steps followed by one generator learning step per
+iteration, both with the Adam optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Optional
+
+import numpy as np
+
+from ..datasets.base import ImageDataset
+from ..datasets.sampler import EpochSampler
+from ..metrics.evaluator import GeneratorEvaluator
+from ..models.base import GANFactory, generator_input
+from ..nn.model import Sequential
+from .config import TrainingConfig
+from .gan_ops import (
+    GANObjective,
+    discriminator_update,
+    generator_update,
+    sample_generator_images,
+)
+from .history import TrainingHistory
+
+__all__ = ["StandaloneGANTrainer"]
+
+
+class StandaloneGANTrainer:
+    """Classic single-machine GAN trainer (paper's "standalone GAN")."""
+
+    def __init__(
+        self,
+        factory: GANFactory,
+        dataset: ImageDataset,
+        config: TrainingConfig,
+        evaluator: Optional[GeneratorEvaluator] = None,
+    ) -> None:
+        self.factory = factory
+        self.dataset = dataset
+        self.config = config
+        self.evaluator = evaluator
+
+        self._rng = np.random.default_rng(config.seed)
+        self.generator: Sequential = factory.make_generator(self._rng)
+        self.discriminator: Sequential = factory.make_discriminator(self._rng)
+        self._gen_opt = config.generator_opt.build()
+        self._disc_opt = config.discriminator_opt.build()
+        self._objective = GANObjective(
+            factory,
+            non_saturating=config.non_saturating,
+            label_smoothing=config.label_smoothing,
+        )
+        self._sampler = EpochSampler(dataset, config.batch_size, self._rng)
+        self.history = TrainingHistory(
+            algorithm="standalone",
+            config={
+                "batch_size": config.batch_size,
+                "iterations": config.iterations,
+                "disc_steps": config.disc_steps,
+                "dataset": dataset.name,
+                "architecture": factory.name,
+            },
+        )
+
+    # -- sampling interface used by the evaluator -----------------------------
+    def sample_images(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Generate ``n`` images from the current generator (evaluation mode)."""
+        noise = rng.normal(0.0, 1.0, size=(n, self.factory.latent_dim))
+        labels = (
+            rng.integers(0, self.factory.num_classes, size=n)
+            if self.factory.conditional
+            else None
+        )
+        g_input = generator_input(noise, labels, self.factory.num_classes)
+        return self.generator.predict(g_input)
+
+    # -- training ---------------------------------------------------------------
+    def train_iteration(self, iteration: int) -> None:
+        """Run one global iteration (L discriminator steps + 1 generator step)."""
+        cfg = self.config
+        disc_loss = 0.0
+        for _ in range(cfg.disc_steps):
+            real_images, real_labels = self._sampler.next_batch()
+            generated = sample_generator_images(
+                self.generator, self.factory, cfg.batch_size, self._rng
+            )
+            disc_loss = discriminator_update(
+                self.discriminator,
+                self._objective,
+                self._disc_opt,
+                real_images,
+                real_labels if self.factory.conditional else None,
+                generated.images,
+                generated.labels,
+            )
+        gen_loss = generator_update(
+            self.generator,
+            self.discriminator,
+            self.factory,
+            self._objective,
+            self._gen_opt,
+            cfg.batch_size,
+            self._rng,
+        )
+        self.history.record_losses(iteration, gen_loss, disc_loss)
+
+    def train(self) -> TrainingHistory:
+        """Train for ``config.iterations`` iterations and return the history."""
+        cfg = self.config
+        for iteration in range(1, cfg.iterations + 1):
+            self.train_iteration(iteration)
+            if (
+                self.evaluator is not None
+                and cfg.eval_every
+                and (iteration % cfg.eval_every == 0 or iteration == cfg.iterations)
+            ):
+                result = self.evaluator.evaluate(self.sample_images, iteration)
+                self.history.record_evaluation(result)
+        return self.history

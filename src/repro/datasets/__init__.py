@@ -1,0 +1,47 @@
+"""``repro.datasets`` — synthetic image datasets and worker partitioning.
+
+Stands in for the public MNIST / CIFAR10 / CelebA datasets used by the paper
+(no network access in this environment).  See ``DESIGN.md`` for the
+substitution rationale.
+"""
+
+from .base import DatasetSpec, ImageDataset
+from .partition import (
+    merge_shards,
+    partition_by_label,
+    partition_dirichlet,
+    partition_iid,
+)
+from .sampler import EpochSampler, noise_batch, sample_labels
+from .synthetic import (
+    CELEBA_SPEC,
+    CIFAR10_SPEC,
+    DATASET_FACTORIES,
+    MNIST_SPEC,
+    load_dataset,
+    make_celeba_like,
+    make_cifar10_like,
+    make_gaussian_ring,
+    make_mnist_like,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "ImageDataset",
+    "partition_iid",
+    "partition_by_label",
+    "partition_dirichlet",
+    "merge_shards",
+    "EpochSampler",
+    "noise_batch",
+    "sample_labels",
+    "MNIST_SPEC",
+    "CIFAR10_SPEC",
+    "CELEBA_SPEC",
+    "DATASET_FACTORIES",
+    "load_dataset",
+    "make_mnist_like",
+    "make_cifar10_like",
+    "make_celeba_like",
+    "make_gaussian_ring",
+]

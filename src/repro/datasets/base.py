@@ -1,0 +1,147 @@
+"""Dataset containers shared by every data source in the reproduction.
+
+A :class:`ImageDataset` is an immutable pair of image tensor (NCHW, values in
+``[-1, 1]`` as expected by a ``tanh`` generator output) and integer labels.
+It also records the provenance metadata used by the analytic communication
+models (per-object size ``d`` in floats, number of classes, image geometry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ImageDataset", "DatasetSpec"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of a dataset family.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (``"mnist"``, ``"cifar10"``, ``"celeba"``).
+    channels, height, width:
+        Image geometry (NCHW per-sample shape is ``(channels, height, width)``).
+    num_classes:
+        Number of semantic classes (10 for MNIST/CIFAR10; CelebA is treated as
+        a single-class dataset with attribute-driven appearance variation).
+    train_size, test_size:
+        Reference sizes of the original dataset splits, used when the paper's
+        full-scale parameters are requested.
+    """
+
+    name: str
+    channels: int
+    height: int
+    width: int
+    num_classes: int
+    train_size: int
+    test_size: int
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """Per-sample tensor shape ``(C, H, W)``."""
+        return (self.channels, self.height, self.width)
+
+    @property
+    def object_size(self) -> int:
+        """Number of scalar features per object — the paper's ``d``."""
+        return self.channels * self.height * self.width
+
+
+@dataclass
+class ImageDataset:
+    """Labelled image dataset in NCHW layout with values in ``[-1, 1]``."""
+
+    images: np.ndarray
+    labels: np.ndarray
+    spec: DatasetSpec
+    name: str = field(default="")
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.images.ndim != 4:
+            raise ValueError(
+                f"images must be 4-D (N, C, H, W); got shape {self.images.shape}"
+            )
+        if self.images.shape[0] != self.labels.shape[0]:
+            raise ValueError(
+                f"images ({self.images.shape[0]}) and labels "
+                f"({self.labels.shape[0]}) disagree on the number of samples"
+            )
+        if self.images.shape[1:] != self.spec.shape:
+            raise ValueError(
+                f"images have per-sample shape {self.images.shape[1:]}, "
+                f"spec expects {self.spec.shape}"
+            )
+        if not self.name:
+            self.name = self.spec.name
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def num_classes(self) -> int:
+        """Number of semantic classes."""
+        return self.spec.num_classes
+
+    @property
+    def object_size(self) -> int:
+        """Number of scalar features per object — the paper's ``d``."""
+        return self.spec.object_size
+
+    def subset(self, indices: np.ndarray, name: Optional[str] = None) -> "ImageDataset":
+        """Return a new dataset restricted to ``indices`` (copies data)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= len(self)):
+            raise IndexError(
+                f"Indices out of range [0, {len(self)}): "
+                f"min={indices.min()}, max={indices.max()}"
+            )
+        return ImageDataset(
+            images=self.images[indices].copy(),
+            labels=self.labels[indices].copy(),
+            spec=self.spec,
+            name=name or f"{self.name}[{indices.size}]",
+        )
+
+    def sample_batch(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw a batch of ``batch_size`` images/labels uniformly with replacement."""
+        if len(self) == 0:
+            raise ValueError("Cannot sample from an empty dataset")
+        idx = rng.integers(0, len(self), size=batch_size)
+        return self.images[idx], self.labels[idx]
+
+    def iter_batches(
+        self,
+        batch_size: int,
+        rng: Optional[np.random.Generator] = None,
+        drop_last: bool = False,
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Iterate over the dataset once in (optionally shuffled) batches."""
+        n = len(self)
+        order = np.arange(n)
+        if rng is not None:
+            rng.shuffle(order)
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            if drop_last and idx.size < batch_size:
+                break
+            yield self.images[idx], self.labels[idx]
+
+    def class_counts(self) -> np.ndarray:
+        """Per-class sample counts, shape ``(num_classes,)``."""
+        return np.bincount(self.labels, minlength=self.spec.num_classes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ImageDataset(name={self.name!r}, n={len(self)}, "
+            f"shape={self.spec.shape}, classes={self.spec.num_classes})"
+        )

@@ -1,0 +1,97 @@
+"""Batch samplers used by the trainers.
+
+``EpochSampler`` reproduces the paper's notion of an *epoch*: a worker has
+completed one epoch after it has processed ``m = |B_n|`` samples, i.e. after
+``m / b`` batches (Algorithm 1 tests ``i mod (mE/b) == 0`` to decide when to
+swap discriminators).  The sampler therefore tracks how many samples have
+been drawn so trainers can trigger per-epoch actions consistently for both
+FL-GAN and MD-GAN.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .base import ImageDataset
+
+__all__ = ["EpochSampler", "noise_batch", "sample_labels"]
+
+
+class EpochSampler:
+    """Shuffled without-replacement batch sampler with epoch accounting."""
+
+    def __init__(
+        self,
+        dataset: ImageDataset,
+        batch_size: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if len(dataset) == 0:
+            raise ValueError("Cannot sample from an empty dataset")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self._rng = rng
+        self._order = rng.permutation(len(dataset))
+        self._cursor = 0
+        self.samples_drawn = 0
+        self.epochs_completed = 0
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    @property
+    def batches_per_epoch(self) -> int:
+        """Number of batches that constitute one pass over the local shard."""
+        return max(1, len(self.dataset) // self.batch_size)
+
+    def next_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the next ``(images, labels)`` batch, reshuffling per epoch.
+
+        Batches wrap around shard boundaries so every batch has exactly
+        ``batch_size`` samples even when the shard size is not a multiple of
+        the batch size (matching sampling with reshuffling in Keras'
+        ``fit``-style loops).
+        """
+        idx = np.empty(self.batch_size, dtype=np.int64)
+        filled = 0
+        while filled < self.batch_size:
+            take = min(self.batch_size - filled, len(self._order) - self._cursor)
+            idx[filled : filled + take] = self._order[self._cursor : self._cursor + take]
+            filled += take
+            self._cursor += take
+            if self._cursor >= len(self._order):
+                self._order = self._rng.permutation(len(self.dataset))
+                self._cursor = 0
+                self.epochs_completed += 1
+        self.samples_drawn += self.batch_size
+        return self.dataset.images[idx], self.dataset.labels[idx]
+
+    def replace_dataset(self, dataset: ImageDataset) -> None:
+        """Swap the underlying shard (used when reassigning data after churn)."""
+        if len(dataset) == 0:
+            raise ValueError("Cannot sample from an empty dataset")
+        self.dataset = dataset
+        self._order = self._rng.permutation(len(dataset))
+        self._cursor = 0
+
+
+def noise_batch(
+    batch_size: int, latent_dim: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw a batch of latent vectors ``z ~ N(0, I)`` (the paper's ``N^l``)."""
+    if batch_size <= 0 or latent_dim <= 0:
+        raise ValueError("batch_size and latent_dim must be positive")
+    return rng.normal(0.0, 1.0, size=(batch_size, latent_dim))
+
+
+def sample_labels(
+    batch_size: int, num_classes: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample uniform class labels for conditional (ACGAN) generation."""
+    if num_classes <= 0:
+        raise ValueError("num_classes must be positive")
+    return rng.integers(0, num_classes, size=batch_size)

@@ -1,0 +1,484 @@
+"""Procedural synthetic datasets standing in for MNIST, CIFAR10 and CelebA.
+
+The original experiments download the public MNIST / CIFAR10 / CelebA image
+datasets.  This environment has no network access, so each dataset is replaced
+by a *procedurally generated* equivalent that preserves the properties the
+MD-GAN evaluation actually exercises:
+
+* identical tensor geometry and channel count (so every communication /
+  complexity figure that depends on the object size ``d`` is unchanged),
+* 10 well-separated semantic classes (so the auxiliary-classifier losses,
+  the dataset-score classifier and the FID feature extractor all have real
+  structure to learn),
+* substantial intra-class appearance variation driven by continuous latent
+  factors (position, scale, rotation, colour, texture) so that a generator
+  has a non-trivial multi-modal distribution to fit and discriminators can
+  overfit a small local shard — the phenomenon discriminator swapping is
+  designed to mitigate.
+
+All generators are deterministic for a given seed and vectorised across the
+samples of a class (the per-class Python loop runs only ``num_classes``
+times).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from .base import DatasetSpec, ImageDataset
+
+__all__ = [
+    "MNIST_SPEC",
+    "CIFAR10_SPEC",
+    "CELEBA_SPEC",
+    "make_mnist_like",
+    "make_cifar10_like",
+    "make_celeba_like",
+    "make_gaussian_ring",
+]
+
+MNIST_SPEC = DatasetSpec(
+    name="mnist", channels=1, height=28, width=28, num_classes=10,
+    train_size=60_000, test_size=10_000,
+)
+CIFAR10_SPEC = DatasetSpec(
+    name="cifar10", channels=3, height=32, width=32, num_classes=10,
+    train_size=50_000, test_size=10_000,
+)
+CELEBA_SPEC = DatasetSpec(
+    name="celeba", channels=3, height=128, width=128, num_classes=10,
+    train_size=190_000, test_size=10_000,
+)
+
+
+# ---------------------------------------------------------------------------
+# drawing primitives (vectorised over samples)
+# ---------------------------------------------------------------------------
+
+def _grid(height: int, width: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalised coordinate grid in [-1, 1] x [-1, 1]."""
+    ys = np.linspace(-1.0, 1.0, height)
+    xs = np.linspace(-1.0, 1.0, width)
+    yy, xx = np.meshgrid(ys, xs, indexing="ij")
+    return yy, xx
+
+
+def _soft(mask_dist: np.ndarray, sharpness: float = 18.0) -> np.ndarray:
+    """Smooth indicator from a signed distance-like field (<= 0 is inside)."""
+    return 1.0 / (1.0 + np.exp(sharpness * mask_dist))
+
+
+def _ring(yy, xx, cy, cx, radius, thickness, sharpness=18.0):
+    """Ring (annulus) of the given centre, radius and thickness."""
+    dist = np.sqrt((yy - cy) ** 2 + (xx - cx) ** 2)
+    return _soft(np.abs(dist - radius) - thickness, sharpness)
+
+
+def _disk(yy, xx, cy, cx, radius, sharpness=18.0):
+    """Filled disk."""
+    dist = np.sqrt((yy - cy) ** 2 + (xx - cx) ** 2)
+    return _soft(dist - radius, sharpness)
+
+
+def _ellipse(yy, xx, cy, cx, ry, rx, sharpness=18.0):
+    """Filled axis-aligned ellipse."""
+    dist = np.sqrt(((yy - cy) / ry) ** 2 + ((xx - cx) / rx) ** 2)
+    return _soft(dist - 1.0, sharpness * 0.5)
+
+
+def _segment(yy, xx, y0, x0, y1, x1, thickness, sharpness=18.0):
+    """Line segment between (y0, x0) and (y1, x1) with the given thickness."""
+    dy, dx = y1 - y0, x1 - x0
+    length_sq = dy**2 + dx**2 + 1e-12
+    t = ((yy - y0) * dy + (xx - x0) * dx) / length_sq
+    t = np.clip(t, 0.0, 1.0)
+    py, px = y0 + t * dy, x0 + t * dx
+    dist = np.sqrt((yy - py) ** 2 + (xx - px) ** 2)
+    return _soft(dist - thickness, sharpness)
+
+
+def _stack(*masks: np.ndarray) -> np.ndarray:
+    """Combine intensity masks with a soft max (union of strokes)."""
+    out = masks[0]
+    for m in masks[1:]:
+        out = 1.0 - (1.0 - out) * (1.0 - m)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# MNIST-like digits
+# ---------------------------------------------------------------------------
+
+def _digit_masks(
+    label: int,
+    n: int,
+    yy: np.ndarray,
+    xx: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Render ``n`` samples of digit-evoking strokes for class ``label``.
+
+    Each class has a fixed stroke program whose control points are jittered
+    per sample, giving the intra-class variability a GAN must capture.
+    """
+    # Per-sample jitter: translation, scale, stroke thickness.
+    ty = rng.uniform(-0.14, 0.14, size=(n, 1, 1))
+    tx = rng.uniform(-0.14, 0.14, size=(n, 1, 1))
+    sc = rng.uniform(0.8, 1.1, size=(n, 1, 1))
+    th = rng.uniform(0.06, 0.11, size=(n, 1, 1))
+    y = (yy[None] - ty) / sc
+    x = (xx[None] - tx) / sc
+
+    if label == 0:
+        return _ring(y, x, 0.0, 0.0, 0.55, th)
+    if label == 1:
+        return _segment(y, x, -0.65, 0.05, 0.65, -0.05, th)
+    if label == 2:
+        top = _ring(y, x, -0.32, 0.0, 0.3, th) * _soft(y - (-0.30))
+        diag = _segment(y, x, -0.1, 0.3, 0.6, -0.4, th)
+        base = _segment(y, x, 0.6, -0.4, 0.6, 0.45, th)
+        return _stack(top, diag, base)
+    if label == 3:
+        top = _ring(y, x, -0.3, 0.0, 0.3, th) * _soft(-x - 0.05)
+        bot = _ring(y, x, 0.3, 0.0, 0.3, th) * _soft(-x - 0.05)
+        return _stack(top, bot)
+    if label == 4:
+        left = _segment(y, x, -0.6, -0.3, 0.05, -0.3, th)
+        bar = _segment(y, x, 0.05, -0.4, 0.05, 0.4, th)
+        right = _segment(y, x, -0.6, 0.25, 0.65, 0.25, th)
+        return _stack(left, bar, right)
+    if label == 5:
+        top = _segment(y, x, -0.6, -0.3, -0.6, 0.35, th)
+        left = _segment(y, x, -0.6, -0.3, -0.05, -0.3, th)
+        belly = _ring(y, x, 0.25, 0.02, 0.34, th)
+        return _stack(top, left, belly)
+    if label == 6:
+        spine = _segment(y, x, -0.6, -0.15, 0.2, -0.33, th)
+        loop = _ring(y, x, 0.3, 0.0, 0.32, th)
+        return _stack(spine, loop)
+    if label == 7:
+        top = _segment(y, x, -0.6, -0.35, -0.6, 0.4, th)
+        diag = _segment(y, x, -0.6, 0.4, 0.65, -0.15, th)
+        return _stack(top, diag)
+    if label == 8:
+        top = _ring(y, x, -0.3, 0.0, 0.3, th)
+        bot = _ring(y, x, 0.32, 0.0, 0.33, th)
+        return _stack(top, bot)
+    if label == 9:
+        loop = _ring(y, x, -0.28, 0.0, 0.3, th)
+        tail = _segment(y, x, -0.28, 0.3, 0.62, 0.18, th)
+        return _stack(loop, tail)
+    raise ValueError(f"MNIST-like labels are 0..9, got {label}")
+
+
+def make_mnist_like(
+    n_train: int = 2000,
+    n_test: int = 500,
+    image_size: int = 28,
+    noise: float = 0.04,
+    seed: int = 0,
+) -> Tuple[ImageDataset, ImageDataset]:
+    """Create an MNIST-like dataset of digit-evoking grayscale strokes.
+
+    Returns ``(train, test)`` datasets in NCHW layout with values in
+    ``[-1, 1]``.  ``image_size`` can be reduced (e.g. 16) for fast CI runs;
+    the default matches MNIST's 28x28 geometry.
+    """
+    spec = DatasetSpec(
+        name="mnist", channels=1, height=image_size, width=image_size,
+        num_classes=10, train_size=MNIST_SPEC.train_size,
+        test_size=MNIST_SPEC.test_size,
+    )
+    rng = np.random.default_rng(seed)
+    yy, xx = _grid(image_size, image_size)
+
+    def _make(n: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, 10, size=n)
+        images = np.zeros((n, 1, image_size, image_size), dtype=np.float64)
+        for label in range(10):
+            idx = np.where(labels == label)[0]
+            if idx.size == 0:
+                continue
+            masks = _digit_masks(label, idx.size, yy, xx, rng)
+            images[idx, 0] = masks
+        if noise > 0:
+            images += rng.normal(0.0, noise, size=images.shape)
+        images = np.clip(images, 0.0, 1.0)
+        return images * 2.0 - 1.0, labels
+
+    train_x, train_y = _make(n_train)
+    test_x, test_y = _make(n_test)
+    return (
+        ImageDataset(train_x, train_y, spec, name="mnist-train"),
+        ImageDataset(test_x, test_y, spec, name="mnist-test"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# CIFAR10-like coloured textured objects
+# ---------------------------------------------------------------------------
+
+_CIFAR_BASE_COLORS = np.array(
+    [
+        [0.55, 0.70, 0.95],  # airplane  : sky blue
+        [0.80, 0.20, 0.20],  # automobile: red
+        [0.35, 0.60, 0.30],  # bird      : green
+        [0.85, 0.60, 0.25],  # cat       : orange
+        [0.50, 0.40, 0.25],  # deer      : brown
+        [0.45, 0.45, 0.50],  # dog       : grey
+        [0.25, 0.75, 0.45],  # frog      : bright green
+        [0.60, 0.35, 0.20],  # horse     : chestnut
+        [0.30, 0.45, 0.80],  # ship      : navy
+        [0.70, 0.70, 0.25],  # truck     : yellow
+    ]
+)
+
+
+def _cifar_shape(label: int, n, yy, xx, rng):
+    """Foreground mask per class: alternating disks, boxes and triangles."""
+    cy = rng.uniform(-0.2, 0.2, size=(n, 1, 1))
+    cx = rng.uniform(-0.2, 0.2, size=(n, 1, 1))
+    size = rng.uniform(0.35, 0.6, size=(n, 1, 1))
+    kind = label % 4
+    if kind == 0:
+        return _disk(yy[None], xx[None], cy, cx, size, 10.0)
+    if kind == 1:
+        return _ellipse(yy[None], xx[None], cy, cx, size * 0.6, size, 10.0)
+    if kind == 2:
+        box = _soft(np.abs(yy[None] - cy) - size * 0.7, 10.0) * _soft(
+            np.abs(xx[None] - cx) - size * 0.7, 10.0
+        )
+        return box
+    # triangle-ish wedge
+    wedge = _soft((yy[None] - cy) * -1.0 - size * 0.7, 10.0) * _soft(
+        np.abs(xx[None] - cx) - (yy[None] - cy + size) * 0.6, 10.0
+    )
+    return wedge
+
+
+def make_cifar10_like(
+    n_train: int = 2000,
+    n_test: int = 500,
+    image_size: int = 32,
+    noise: float = 0.05,
+    seed: int = 0,
+) -> Tuple[ImageDataset, ImageDataset]:
+    """Create a CIFAR10-like dataset of coloured textured objects.
+
+    Each class pairs a characteristic hue with a shape family and a textured
+    background; per-sample latent factors vary position, scale, hue jitter
+    and texture frequency.
+    """
+    spec = DatasetSpec(
+        name="cifar10", channels=3, height=image_size, width=image_size,
+        num_classes=10, train_size=CIFAR10_SPEC.train_size,
+        test_size=CIFAR10_SPEC.test_size,
+    )
+    rng = np.random.default_rng(seed)
+    yy, xx = _grid(image_size, image_size)
+
+    def _make(n: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, 10, size=n)
+        images = np.zeros((n, 3, image_size, image_size), dtype=np.float64)
+        for label in range(10):
+            idx = np.where(labels == label)[0]
+            if idx.size == 0:
+                continue
+            m = idx.size
+            mask = _cifar_shape(label, m, yy, xx, rng)
+            base = _CIFAR_BASE_COLORS[label]
+            color = base[None, :] + rng.normal(0.0, 0.06, size=(m, 3))
+            color = np.clip(color, 0.05, 0.95)
+            # Textured background: low-frequency sinusoidal pattern whose
+            # phase/frequency differ per sample and per class.
+            freq = rng.uniform(2.0, 5.0, size=(m, 1, 1)) + label * 0.3
+            phase = rng.uniform(0.0, 2 * np.pi, size=(m, 1, 1))
+            bg = 0.35 + 0.15 * np.sin(freq * np.pi * xx[None] + phase) * np.cos(
+                freq * np.pi * yy[None]
+            )
+            bg_color = np.clip(
+                0.5 + rng.normal(0.0, 0.1, size=(m, 3)), 0.2, 0.8
+            )
+            for ch in range(3):
+                fg = color[:, ch, None, None] * (0.8 + 0.2 * np.cos(
+                    3.0 * np.pi * yy[None] + phase
+                ))
+                images[idx, ch] = mask * fg + (1.0 - mask) * bg * bg_color[:, ch, None, None]
+        if noise > 0:
+            images += rng.normal(0.0, noise, size=images.shape)
+        images = np.clip(images, 0.0, 1.0)
+        return images * 2.0 - 1.0, labels
+
+    train_x, train_y = _make(n_train)
+    test_x, test_y = _make(n_test)
+    return (
+        ImageDataset(train_x, train_y, spec, name="cifar10-train"),
+        ImageDataset(test_x, test_y, spec, name="cifar10-test"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# CelebA-like synthetic faces
+# ---------------------------------------------------------------------------
+
+def make_celeba_like(
+    n_train: int = 1000,
+    n_test: int = 200,
+    image_size: int = 32,
+    noise: float = 0.03,
+    seed: int = 0,
+) -> Tuple[ImageDataset, ImageDataset]:
+    """Create a CelebA-like dataset of synthetic face compositions.
+
+    Faces are composed of a skin-tone ellipse, hair region, two eyes and a
+    mouth whose curvature/width vary continuously.  The ten "classes" are
+    coarse appearance bins (hair colour x skin tone x smile), giving the
+    score classifier a supervised signal analogous to CelebA attributes.
+
+    The paper uses 128x128 crops; ``image_size`` defaults to a scaled-down 32
+    so CPU benchmarks stay tractable, and can be raised to 128 to match the
+    paper exactly.
+    """
+    spec = DatasetSpec(
+        name="celeba", channels=3, height=image_size, width=image_size,
+        num_classes=10, train_size=CELEBA_SPEC.train_size,
+        test_size=CELEBA_SPEC.test_size,
+    )
+    rng = np.random.default_rng(seed)
+    yy, xx = _grid(image_size, image_size)
+
+    hair_colors = np.array(
+        [[0.1, 0.08, 0.06], [0.45, 0.3, 0.12], [0.8, 0.7, 0.3], [0.4, 0.4, 0.42], [0.6, 0.2, 0.15]]
+    )
+    skin_tones = np.array([[0.95, 0.8, 0.7], [0.6, 0.45, 0.35]])
+
+    def _make(n: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = np.zeros(n, dtype=np.int64)
+        images = np.zeros((n, 3, image_size, image_size), dtype=np.float64)
+        hair_idx = rng.integers(0, len(hair_colors), size=n)
+        skin_idx = rng.integers(0, len(skin_tones), size=n)
+        smile = rng.uniform(-1.0, 1.0, size=n)
+        labels = (hair_idx * 2 + skin_idx) % 10
+
+        face_ry = rng.uniform(0.5, 0.65, size=(n, 1, 1))
+        face_rx = rng.uniform(0.38, 0.5, size=(n, 1, 1))
+        cy = rng.uniform(-0.05, 0.1, size=(n, 1, 1))
+        cx = rng.uniform(-0.08, 0.08, size=(n, 1, 1))
+
+        face = _ellipse(yy[None], xx[None], cy, cx, face_ry, face_rx, 14.0)
+        hair = _ellipse(yy[None], xx[None], cy - 0.25, cx, face_ry * 0.9, face_rx * 1.15, 14.0)
+        hair = np.clip(hair - face * 0.85, 0.0, 1.0)
+        eye_y = cy - 0.12
+        eye_dx = rng.uniform(0.16, 0.22, size=(n, 1, 1))
+        eye_r = rng.uniform(0.045, 0.07, size=(n, 1, 1))
+        eyes = _stack(
+            _disk(yy[None], xx[None], eye_y, cx - eye_dx, eye_r, 25.0),
+            _disk(yy[None], xx[None], eye_y, cx + eye_dx, eye_r, 25.0),
+        )
+        mouth_y = cy + face_ry * 0.45
+        mouth_w = rng.uniform(0.12, 0.22, size=(n, 1, 1))
+        curve = smile[:, None, None] * 0.12
+        mouth = _soft(
+            np.abs(yy[None] - (mouth_y + curve * (xx[None] - cx) ** 2 / (mouth_w**2 + 1e-6)))
+            - 0.03,
+            25.0,
+        ) * _soft(np.abs(xx[None] - cx) - mouth_w, 25.0)
+
+        bg_shade = rng.uniform(0.25, 0.75, size=(n, 1, 1))
+        for ch in range(3):
+            skin = skin_tones[skin_idx, ch, None, None]
+            hairc = hair_colors[hair_idx, ch, None, None]
+            img = bg_shade * (0.7 + 0.1 * ch)
+            img = img * (1 - face) + face * skin
+            img = img * (1 - hair) + hair * hairc
+            img = img * (1 - eyes) + eyes * 0.08
+            img = img * (1 - mouth) + mouth * np.array([0.75, 0.25, 0.3])[ch]
+            images[:, ch] = img
+        if noise > 0:
+            images += rng.normal(0.0, noise, size=images.shape)
+        images = np.clip(images, 0.0, 1.0)
+        return images * 2.0 - 1.0, labels
+
+    train_x, train_y = _make(n_train)
+    test_x, test_y = _make(n_test)
+    return (
+        ImageDataset(train_x, train_y, spec, name="celeba-train"),
+        ImageDataset(test_x, test_y, spec, name="celeba-test"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tiny analytic dataset for unit tests / toy examples
+# ---------------------------------------------------------------------------
+
+def make_gaussian_ring(
+    n_train: int = 2000,
+    n_test: int = 500,
+    image_size: int = 8,
+    num_modes: int = 8,
+    seed: int = 0,
+) -> Tuple[ImageDataset, ImageDataset]:
+    """Tiny dataset of single-blob images arranged on a ring of modes.
+
+    Useful for fast unit/integration tests: each class places a Gaussian blob
+    at one of ``num_modes`` angular positions, so mode coverage (and mode
+    collapse) is directly observable.
+    """
+    spec = DatasetSpec(
+        name="ring", channels=1, height=image_size, width=image_size,
+        num_classes=num_modes, train_size=n_train, test_size=n_test,
+    )
+    rng = np.random.default_rng(seed)
+    yy, xx = _grid(image_size, image_size)
+
+    def _make(n: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, num_modes, size=n)
+        angles = 2 * np.pi * labels / num_modes + rng.normal(0, 0.08, size=n)
+        radius = 0.55 + rng.normal(0, 0.04, size=n)
+        cy = (radius * np.sin(angles))[:, None, None]
+        cx = (radius * np.cos(angles))[:, None, None]
+        width = rng.uniform(0.18, 0.26, size=(n, 1, 1))
+        blobs = np.exp(-(((yy[None] - cy) ** 2 + (xx[None] - cx) ** 2) / (2 * width**2)))
+        images = np.clip(blobs, 0.0, 1.0)[:, None, :, :]
+        return images * 2.0 - 1.0, labels
+
+    train_x, train_y = _make(n_train)
+    test_x, test_y = _make(n_test)
+    return (
+        ImageDataset(train_x, train_y, spec, name="ring-train"),
+        ImageDataset(test_x, test_y, spec, name="ring-test"),
+    )
+
+
+#: Registry used by experiment configs to resolve dataset factories by name.
+DATASET_FACTORIES: Dict[str, Callable[..., Tuple[ImageDataset, ImageDataset]]] = {
+    "mnist": make_mnist_like,
+    "cifar10": make_cifar10_like,
+    "celeba": make_celeba_like,
+    "ring": make_gaussian_ring,
+}
+
+
+def load_dataset(
+    name: str,
+    n_train: int,
+    n_test: int,
+    image_size: Optional[int] = None,
+    seed: int = 0,
+) -> Tuple[ImageDataset, ImageDataset]:
+    """Load a dataset pair by registry name with optional size override."""
+    try:
+        factory = DATASET_FACTORIES[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"Unknown dataset {name!r}; known: {sorted(DATASET_FACTORIES)}"
+        ) from exc
+    kwargs = dict(n_train=n_train, n_test=n_test, seed=seed)
+    if image_size is not None:
+        kwargs["image_size"] = image_size
+    return factory(**kwargs)
+
+
+__all__ += ["DATASET_FACTORIES", "load_dataset"]

@@ -1,0 +1,181 @@
+"""Ablation runners for MD-GAN design choices.
+
+The paper motivates two design knobs without dedicating a figure to each:
+
+* the number of generated batches ``k`` per iteration (Section IV-B4: the
+  complexity vs data-diversity trade-off) — :func:`run_ablation_k` sweeps
+  ``k in {1, floor(log N), N}``;
+* the swap period ``E`` (Section IV-C1: discriminator overfitting) —
+  :func:`run_ablation_swap` sweeps ``E in {1, 5, infinity}``;
+* the Section VII extensions (asynchronous per-feedback updates, partial
+  worker participation) — :func:`run_ablation_extensions` compares them to
+  the synchronous full-participation baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..core import (
+    AsyncMDGANTrainer,
+    MDGANTrainer,
+    SampledMDGANTrainer,
+    TrainingConfig,
+)
+from .common import (
+    ExperimentResult,
+    ExperimentScale,
+    get_scale,
+    prepare_dataset,
+    prepare_evaluator,
+    prepare_factory,
+    prepare_shards,
+)
+
+__all__ = ["run_ablation_k", "run_ablation_swap", "run_ablation_extensions"]
+
+
+def _base_config(scale: ExperimentScale) -> TrainingConfig:
+    return TrainingConfig(
+        iterations=scale.iterations,
+        batch_size=scale.batch_size_small,
+        epochs_per_swap=1.0,
+        eval_every=scale.iterations,
+        eval_sample_size=scale.eval_sample_size,
+        seed=scale.seed,
+    )
+
+
+def run_ablation_k(
+    dataset: str = "mnist",
+    architecture: str = "mnist-mlp",
+    scale: ExperimentScale | str = "smoke",
+    k_values: Sequence[int] | None = None,
+) -> ExperimentResult:
+    """Sweep the number of generated batches ``k`` (data-diversity trade-off)."""
+    scale = get_scale(scale)
+    train, test = prepare_dataset(dataset, scale)
+    evaluator = prepare_evaluator(train, test, scale)
+    factory = prepare_factory(architecture, train, scale)
+    shards = prepare_shards(train, scale.num_workers, scale.seed)
+    if k_values is None:
+        k_log = max(
+            1,
+            int(math.floor(math.log(scale.num_workers))) if scale.num_workers > 1 else 1,
+        )
+        k_values = sorted({1, k_log, scale.num_workers})
+
+    result = ExperimentResult(
+        name="Ablation: k",
+        description=(
+            f"Final MD-GAN scores for different numbers of generated batches k "
+            f"on {dataset} / {architecture} (N={scale.num_workers}, scale={scale.name})."
+        ),
+    )
+    for k in k_values:
+        config = _base_config(scale).with_overrides(num_batches=int(k))
+        trainer = MDGANTrainer(factory, shards, config, evaluator=evaluator)
+        history = trainer.train()
+        final = history.final_evaluation
+        result.add_row(
+            k=int(k),
+            score=final.score if final else float("nan"),
+            fid=final.fid if final else float("nan"),
+            server_egress_bytes=history.traffic.get("server_egress_bytes", 0.0),
+            server_flops=history.compute.get("server_flops", 0.0),
+        )
+    result.add_note(
+        "Larger k increases the diversity of generated data across workers at "
+        "the cost of server workload (Section IV-B4)."
+    )
+    return result
+
+
+def run_ablation_swap(
+    dataset: str = "mnist",
+    architecture: str = "mnist-mlp",
+    scale: ExperimentScale | str = "smoke",
+    epochs_values: Sequence[float] = (1.0, 5.0, math.inf),
+) -> ExperimentResult:
+    """Sweep the swap period ``E`` (discriminator overfitting mitigation)."""
+    scale = get_scale(scale)
+    train, test = prepare_dataset(dataset, scale)
+    evaluator = prepare_evaluator(train, test, scale)
+    factory = prepare_factory(architecture, train, scale)
+    shards = prepare_shards(train, scale.num_workers, scale.seed)
+
+    result = ExperimentResult(
+        name="Ablation: swap period E",
+        description=(
+            f"Final MD-GAN scores for different swap periods E on {dataset} / "
+            f"{architecture} (N={scale.num_workers}, scale={scale.name}); "
+            "E=inf disables swapping."
+        ),
+    )
+    for epochs in epochs_values:
+        swap_enabled = not math.isinf(epochs)
+        config = _base_config(scale).with_overrides(
+            epochs_per_swap=epochs if swap_enabled else math.inf
+        )
+        trainer = MDGANTrainer(
+            factory, shards, config, evaluator=evaluator, swap_enabled=swap_enabled
+        )
+        history = trainer.train()
+        final = history.final_evaluation
+        result.add_row(
+            epochs_per_swap=("inf" if math.isinf(epochs) else epochs),
+            swaps=len(history.events_of_kind("swap")),
+            score=final.score if final else float("nan"),
+            fid=final.fid if final else float("nan"),
+            swap_bytes=history.traffic.get("swap_bytes", 0.0),
+        )
+    result.add_note(
+        "Swapping counters per-shard overfitting of the discriminators "
+        "(Section IV-C1); E=inf corresponds to the dotted curves of Figure 4."
+    )
+    return result
+
+
+def run_ablation_extensions(
+    dataset: str = "mnist",
+    architecture: str = "mnist-mlp",
+    scale: ExperimentScale | str = "smoke",
+    participation_fraction: float = 0.5,
+) -> ExperimentResult:
+    """Compare the Section VII extensions against the reference MD-GAN."""
+    scale = get_scale(scale)
+    train, test = prepare_dataset(dataset, scale)
+    evaluator = prepare_evaluator(train, test, scale)
+    factory = prepare_factory(architecture, train, scale)
+    shards = prepare_shards(train, scale.num_workers, scale.seed)
+    config = _base_config(scale)
+
+    result = ExperimentResult(
+        name="Ablation: Section VII extensions",
+        description=(
+            f"Reference MD-GAN vs per-feedback updates and partial participation "
+            f"on {dataset} / {architecture} (N={scale.num_workers}, scale={scale.name})."
+        ),
+    )
+    variants = {
+        "md-gan": MDGANTrainer(factory, shards, config, evaluator=evaluator),
+        "md-gan-async": AsyncMDGANTrainer(factory, shards, config, evaluator=evaluator),
+        f"md-gan-sampled-{participation_fraction}": SampledMDGANTrainer(
+            factory,
+            shards,
+            config,
+            participation_fraction=participation_fraction,
+            evaluator=evaluator,
+        ),
+    }
+    for name, trainer in variants.items():
+        history = trainer.train()
+        final = history.final_evaluation
+        result.add_row(
+            variant=name,
+            score=final.score if final else float("nan"),
+            fid=final.fid if final else float("nan"),
+            total_bytes=history.traffic.get("total_bytes", 0.0),
+        )
+    return result

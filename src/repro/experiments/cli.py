@@ -1,0 +1,131 @@
+"""Command-line interface for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments <artefact> [--scale smoke|small|paper]
+                                            [--dataset mnist|cifar10|celeba]
+                                            [--architecture mnist-mlp|...]
+                                            [--json PATH] [--csv PATH]
+                                            [--markdown PATH] [--chart]
+
+where ``<artefact>`` is one of ``table2``, ``table3``, ``table4``, ``fig2``,
+``fig3``, ``fig4``, ``fig5``, ``fig6``, ``ablation-k``, ``ablation-swap``,
+``ablation-extensions``, ``ablation-noniid``, ``traffic-check`` or ``all``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .ablations import run_ablation_extensions, run_ablation_k, run_ablation_swap
+from .celeba_experiment import run_fig6
+from .common import ExperimentResult
+from .convergence import run_fig3
+from .fault_tolerance import run_fig5
+from .noniid import run_ablation_noniid
+from .reporting import ascii_chart, save_csv, save_json, series_from_rows, to_markdown
+from .scalability import run_fig4
+from .tables import run_fig2, run_table2, run_table3, run_table4
+from .timing import run_timing_estimate
+from .traffic_check import run_traffic_check
+
+__all__ = ["main", "ARTIFACTS"]
+
+#: artefact name -> (runner, accepts dataset/architecture kwargs)
+ARTIFACTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "ablation-k": run_ablation_k,
+    "ablation-swap": run_ablation_swap,
+    "ablation-extensions": run_ablation_extensions,
+    "ablation-noniid": run_ablation_noniid,
+    "traffic-check": run_traffic_check,
+    "timing": run_timing_estimate,
+}
+
+#: artefacts whose runners take (dataset, architecture, scale) keyword arguments.
+_TRAINING_ARTIFACTS = {
+    "fig3",
+    "fig4",
+    "fig5",
+    "ablation-k",
+    "ablation-swap",
+    "ablation-extensions",
+    "ablation-noniid",
+    "traffic-check",
+}
+#: artefacts that take only a scale.
+_SCALE_ONLY_ARTIFACTS = {"fig6"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("artefact", choices=sorted(ARTIFACTS) + ["all"])
+    parser.add_argument("--scale", default="smoke", choices=("smoke", "small", "paper"))
+    parser.add_argument("--dataset", default="mnist")
+    parser.add_argument("--architecture", default="mnist-mlp")
+    parser.add_argument("--json", help="write the result rows to a JSON file")
+    parser.add_argument("--csv", help="write the result rows to a CSV file")
+    parser.add_argument("--markdown", help="write the result as a markdown table")
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render an ASCII FID-vs-iteration chart when the result has one",
+    )
+    return parser
+
+
+def _run_one(name: str, args: argparse.Namespace) -> ExperimentResult:
+    runner = ARTIFACTS[name]
+    if name in _TRAINING_ARTIFACTS:
+        return runner(
+            dataset=args.dataset, architecture=args.architecture, scale=args.scale
+        )
+    if name in _SCALE_ONLY_ARTIFACTS:
+        return runner(scale=args.scale)
+    return runner()
+
+
+def _emit(result: ExperimentResult, args: argparse.Namespace) -> None:
+    print(result.to_text())
+    if args.chart and result.rows and "iteration" in result.rows[0]:
+        series = series_from_rows(result.rows, "competitor", "iteration", "fid")
+        print()
+        print(ascii_chart(series, title=f"{result.name}: FID vs iterations", y_label="FID"))
+    if args.json:
+        print(f"wrote {save_json(result, args.json)}")
+    if args.csv:
+        print(f"wrote {save_csv(result, args.csv)}")
+    if args.markdown:
+        from pathlib import Path
+
+        path = Path(args.markdown)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(to_markdown(result))
+        print(f"wrote {path}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    names = sorted(ARTIFACTS) if args.artefact == "all" else [args.artefact]
+    for name in names:
+        result = _run_one(name, args)
+        _emit(result, args)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,157 @@
+"""Measured-vs-analytic communication cross-check.
+
+Runs a short MD-GAN and FL-GAN training on the emulated cluster and compares
+the bytes metered by the network against the closed-form Table III formulas.
+This ties the analytic model (Tables III/IV, Figure 2) to the actual
+implementation: if the algorithm ever shipped different payloads than the
+model assumes, this check would diverge.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..analysis import CommunicationInputs, table3_communication
+from ..core import FLGANTrainer, MDGANTrainer, TrainingConfig
+from ..nn.serialize import FLOAT_BYTES
+from ..simulation import MessageKind
+from .common import (
+    ExperimentResult,
+    ExperimentScale,
+    get_scale,
+    prepare_dataset,
+    prepare_factory,
+    prepare_shards,
+)
+
+__all__ = ["run_traffic_check"]
+
+
+def run_traffic_check(
+    dataset: str = "mnist",
+    architecture: str = "mnist-mlp",
+    scale: ExperimentScale | str = "smoke",
+) -> ExperimentResult:
+    """Compare measured per-iteration traffic to the analytic formulas."""
+    scale = get_scale(scale)
+    train, _ = prepare_dataset(dataset, scale)
+    factory = prepare_factory(architecture, train, scale)
+    shards = prepare_shards(train, scale.num_workers, scale.seed)
+    iterations = max(10, min(50, scale.iterations))
+    config = TrainingConfig(
+        iterations=iterations,
+        batch_size=scale.batch_size_small,
+        epochs_per_swap=1.0,
+        eval_every=0,
+        seed=scale.seed,
+    )
+
+    counts = factory.parameter_counts()
+    inputs = CommunicationInputs(
+        generator_params=counts["generator"],
+        discriminator_params=counts["discriminator"],
+        object_size=factory.object_size,
+        batch_size=config.batch_size,
+        num_workers=scale.num_workers,
+        iterations=iterations,
+        local_dataset_size=len(shards[0]),
+        epochs_per_round=1.0,
+    )
+    analytic = table3_communication(inputs)
+
+    result = ExperimentResult(
+        name="Traffic cross-check",
+        description=(
+            "Measured bytes from the emulated cluster vs the Table III analytic "
+            f"formulas ({dataset} / {architecture}, N={scale.num_workers}, "
+            f"I={iterations}, b={config.batch_size})."
+        ),
+    )
+
+    # --- MD-GAN ---------------------------------------------------------------
+    mdgan = MDGANTrainer(factory, shards, config)
+    mdgan.train()
+    meter = mdgan.cluster.meter
+    measured_c_to_w = meter.total_bytes(MessageKind.GENERATED_BATCHES)
+    measured_w_to_c = meter.total_bytes(MessageKind.ERROR_FEEDBACK)
+    measured_swap = meter.total_bytes(MessageKind.DISCRIMINATOR_SWAP)
+    expected_c_to_w = (
+        analytic["server_to_worker_at_server"]["md-gan"] * iterations * FLOAT_BYTES
+    )
+    expected_w_to_c = (
+        analytic["worker_to_server_at_server"]["md-gan"] * iterations * FLOAT_BYTES
+    )
+    swap_rounds = math.floor(iterations / max(1, mdgan.swap_period))
+    result.add_row(
+        algorithm="md-gan",
+        quantity="server->workers bytes",
+        measured=float(measured_c_to_w),
+        analytic=float(expected_c_to_w),
+        ratio=measured_c_to_w / expected_c_to_w if expected_c_to_w else float("nan"),
+    )
+    result.add_row(
+        algorithm="md-gan",
+        quantity="workers->server bytes",
+        measured=float(measured_w_to_c),
+        analytic=float(expected_w_to_c),
+        ratio=measured_w_to_c / expected_w_to_c if expected_w_to_c else float("nan"),
+    )
+    result.add_row(
+        algorithm="md-gan",
+        quantity="worker<->worker swap rounds",
+        measured=float(len(mdgan.history.events_of_kind("swap"))),
+        analytic=float(swap_rounds),
+        ratio=(
+            len(mdgan.history.events_of_kind("swap")) / swap_rounds
+            if swap_rounds
+            else float("nan")
+        ),
+    )
+    result.add_row(
+        algorithm="md-gan",
+        quantity="swap bytes upper bound",
+        measured=float(measured_swap),
+        analytic=float(
+            swap_rounds
+            * scale.num_workers
+            * counts["discriminator"]
+            * FLOAT_BYTES
+        ),
+        ratio=float("nan"),
+    )
+
+    # --- FL-GAN ---------------------------------------------------------------
+    flgan = FLGANTrainer(factory, shards, config)
+    flgan.train()
+    meter = flgan.cluster.meter
+    rounds = len(flgan.history.events_of_kind("federated_round"))
+    measured_updates = meter.total_bytes(MessageKind.MODEL_UPDATE)
+    measured_broadcast = meter.total_bytes(MessageKind.MODEL_BROADCAST)
+    expected_per_round = analytic["worker_to_server_at_server"]["fl-gan"] * FLOAT_BYTES
+    result.add_row(
+        algorithm="fl-gan",
+        quantity="workers->server bytes",
+        measured=float(measured_updates),
+        analytic=float(expected_per_round * rounds),
+        ratio=(
+            measured_updates / (expected_per_round * rounds)
+            if rounds
+            else float("nan")
+        ),
+    )
+    result.add_row(
+        algorithm="fl-gan",
+        quantity="server->workers bytes",
+        measured=float(measured_broadcast),
+        analytic=float(expected_per_round * rounds),
+        ratio=(
+            measured_broadcast / (expected_per_round * rounds)
+            if rounds
+            else float("nan")
+        ),
+    )
+    result.add_note(
+        "MD-GAN swap bytes are an upper bound because the random permutation "
+        "may map a worker to itself (no transfer for that worker that round)."
+    )
+    return result

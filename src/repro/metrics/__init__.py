@@ -1,0 +1,23 @@
+"""``repro.metrics`` — GAN evaluation metrics (dataset score, FID)."""
+
+from .classifier import ScoreClassifier, train_score_classifier
+from .evaluator import EvaluationResult, GeneratorEvaluator
+from .scores import (
+    frechet_distance,
+    frechet_distance_from_features,
+    gaussian_statistics,
+    inception_score,
+    mode_coverage,
+)
+
+__all__ = [
+    "ScoreClassifier",
+    "train_score_classifier",
+    "EvaluationResult",
+    "GeneratorEvaluator",
+    "inception_score",
+    "frechet_distance",
+    "frechet_distance_from_features",
+    "gaussian_statistics",
+    "mode_coverage",
+]

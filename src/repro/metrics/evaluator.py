@@ -1,0 +1,109 @@
+"""Periodic generator evaluation, mirroring the paper's protocol.
+
+The paper computes the MNIST score / Inception score and the FID every 1,000
+iterations from a sample of 500 generated images, with the FID using an
+equally sized batch from the test dataset.  :class:`GeneratorEvaluator`
+encapsulates that protocol: it owns the frozen score classifier, the test
+set, and the sample sizes, and scores any callable that produces generated
+images.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..datasets.base import ImageDataset
+from .classifier import ScoreClassifier, train_score_classifier
+from .scores import frechet_distance_from_features, inception_score, mode_coverage
+
+__all__ = ["EvaluationResult", "GeneratorEvaluator"]
+
+#: A sampler is a callable ``sampler(n, rng) -> images`` returning ``n``
+#: generated images in NCHW layout.
+Sampler = Callable[[int, np.random.Generator], np.ndarray]
+
+
+@dataclass
+class EvaluationResult:
+    """Scores of one evaluation round."""
+
+    iteration: int
+    score: float
+    score_std: float
+    fid: float
+    modes_covered: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "iteration": self.iteration,
+            "score": self.score,
+            "score_std": self.score_std,
+            "fid": self.fid,
+            "modes_covered": self.modes_covered,
+        }
+
+
+@dataclass
+class GeneratorEvaluator:
+    """Scores a generator sampler with the dataset score and the FID."""
+
+    classifier: ScoreClassifier
+    test_dataset: ImageDataset
+    sample_size: int = 500
+    seed: int = 4321
+    _real_features_cache: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @staticmethod
+    def from_datasets(
+        train: ImageDataset,
+        test: ImageDataset,
+        sample_size: int = 500,
+        classifier_epochs: int = 3,
+        seed: int = 4321,
+    ) -> "GeneratorEvaluator":
+        """Train the frozen score classifier and build an evaluator."""
+        classifier = train_score_classifier(
+            train, epochs=classifier_epochs, seed=seed, validation=test
+        )
+        return GeneratorEvaluator(classifier, test, sample_size=sample_size, seed=seed)
+
+    def _real_features(self, rng: np.random.Generator) -> np.ndarray:
+        if self._real_features_cache is None:
+            n = min(self.sample_size, len(self.test_dataset))
+            images, _ = self.test_dataset.sample_batch(n, rng)
+            self._real_features_cache = self.classifier.features(images)
+        return self._real_features_cache
+
+    def evaluate(self, sampler: Sampler, iteration: int = 0) -> EvaluationResult:
+        """Score a generator sampler at a given training iteration."""
+        rng = np.random.default_rng(self.seed + iteration)
+        n = min(self.sample_size, len(self.test_dataset))
+        generated = sampler(n, rng)
+        if generated.shape[0] != n:
+            raise ValueError(
+                f"Sampler returned {generated.shape[0]} images, expected {n}"
+            )
+        probs = self.classifier.probabilities(generated)
+        score, score_std = inception_score(probs)
+        gen_features = self.classifier.features(generated)
+        fid = frechet_distance_from_features(self._real_features(rng), gen_features)
+        covered, _ = mode_coverage(probs)
+        return EvaluationResult(
+            iteration=iteration,
+            score=score,
+            score_std=score_std,
+            fid=fid,
+            modes_covered=covered,
+        )
+
+    def evaluate_dataset(self, dataset: ImageDataset, iteration: int = 0) -> EvaluationResult:
+        """Score real data (useful as an upper-bound reference in reports)."""
+
+        def sampler(n: int, rng: np.random.Generator) -> np.ndarray:
+            images, _ = dataset.sample_batch(n, rng)
+            return images
+
+        return self.evaluate(sampler, iteration)

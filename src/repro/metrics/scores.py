@@ -1,0 +1,133 @@
+"""Generator quality scores: Inception-style score and Fréchet distance.
+
+Two metrics reproduce the paper's evaluation protocol:
+
+* :func:`inception_score` — the Inception Score of Salimans et al. (the
+  "MNIST score" when the classifier is the MNIST-adapted one): the
+  exponential of the average KL divergence between the per-sample class
+  posterior and the marginal class distribution of the generated samples.
+  Higher is better; it rewards samples that are confidently classified *and*
+  diverse across classes.
+* :func:`frechet_distance` — the Fréchet Inception Distance of Heusel et
+  al.: the Fréchet (2-Wasserstein) distance between Gaussians fitted to the
+  classifier features of real and generated samples.  Lower is better.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy import linalg
+
+__all__ = [
+    "inception_score",
+    "gaussian_statistics",
+    "frechet_distance",
+    "frechet_distance_from_features",
+    "mode_coverage",
+]
+
+_EPS = 1e-12
+
+
+def inception_score(
+    probabilities: np.ndarray, splits: int = 1
+) -> Tuple[float, float]:
+    """Inception/MNIST score from per-sample class probabilities.
+
+    Parameters
+    ----------
+    probabilities:
+        Array of shape ``(N, K)`` with rows summing to one.
+    splits:
+        Number of splits to average over (the original implementation uses
+        10; with the small sample sizes of the reproduction 1 is the
+        default).
+
+    Returns
+    -------
+    (mean, std):
+        Mean and standard deviation of the score across splits.
+    """
+    probs = np.asarray(probabilities, dtype=np.float64)
+    if probs.ndim != 2:
+        raise ValueError(f"probabilities must be 2-D, got shape {probs.shape}")
+    if probs.shape[0] < splits:
+        raise ValueError(
+            f"Need at least {splits} samples for {splits} splits, got {probs.shape[0]}"
+        )
+    row_sums = probs.sum(axis=1)
+    if not np.allclose(row_sums, 1.0, atol=1e-3):
+        raise ValueError("Each row of probabilities must sum to 1")
+    scores = []
+    chunks = np.array_split(probs, splits)
+    for chunk in chunks:
+        marginal = chunk.mean(axis=0, keepdims=True)
+        kl = chunk * (np.log(chunk + _EPS) - np.log(marginal + _EPS))
+        scores.append(float(np.exp(kl.sum(axis=1).mean())))
+    return float(np.mean(scores)), float(np.std(scores))
+
+
+def gaussian_statistics(features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Mean vector and covariance matrix of a feature sample."""
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError(f"features must be 2-D, got shape {features.shape}")
+    if features.shape[0] < 2:
+        raise ValueError("Need at least two samples to estimate a covariance")
+    mu = features.mean(axis=0)
+    sigma = np.cov(features, rowvar=False)
+    return mu, np.atleast_2d(sigma)
+
+
+def frechet_distance(
+    mu1: np.ndarray, sigma1: np.ndarray, mu2: np.ndarray, sigma2: np.ndarray
+) -> float:
+    """Fréchet distance between two Gaussians ``N(mu1, sigma1)`` and ``N(mu2, sigma2)``.
+
+    ``d^2 = |mu1 - mu2|^2 + Tr(sigma1 + sigma2 - 2 sqrt(sigma1 sigma2))``.
+    """
+    mu1 = np.asarray(mu1, dtype=np.float64)
+    mu2 = np.asarray(mu2, dtype=np.float64)
+    sigma1 = np.atleast_2d(np.asarray(sigma1, dtype=np.float64))
+    sigma2 = np.atleast_2d(np.asarray(sigma2, dtype=np.float64))
+    if mu1.shape != mu2.shape or sigma1.shape != sigma2.shape:
+        raise ValueError("Mean/covariance shapes of the two Gaussians must match")
+    diff = mu1 - mu2
+    # Stabilise the matrix square root with a small diagonal offset, the
+    # standard trick from the reference TensorFlow implementation.
+    offset = np.eye(sigma1.shape[0]) * 1e-6
+    covmean = linalg.sqrtm((sigma1 + offset) @ (sigma2 + offset))
+    if isinstance(covmean, tuple):  # older SciPy returns (sqrtm, error_estimate)
+        covmean = covmean[0]
+    if np.iscomplexobj(covmean):
+        covmean = covmean.real
+    fid = diff @ diff + np.trace(sigma1 + sigma2 - 2.0 * covmean)
+    return float(max(fid, 0.0))
+
+
+def frechet_distance_from_features(
+    real_features: np.ndarray, generated_features: np.ndarray
+) -> float:
+    """FID computed directly from two feature samples."""
+    mu_r, sigma_r = gaussian_statistics(real_features)
+    mu_g, sigma_g = gaussian_statistics(generated_features)
+    return frechet_distance(mu_r, sigma_r, mu_g, sigma_g)
+
+
+def mode_coverage(
+    probabilities: np.ndarray, threshold: float = 0.5
+) -> Tuple[int, np.ndarray]:
+    """Number of classes the generator covers, plus the predicted class histogram.
+
+    A class counts as covered when at least one generated sample is assigned
+    to it with probability above ``threshold``.  Used by the mode-collapse
+    ablation (not part of the paper's headline metrics).
+    """
+    probs = np.asarray(probabilities, dtype=np.float64)
+    predictions = probs.argmax(axis=1)
+    confident = probs.max(axis=1) >= threshold
+    histogram = np.bincount(predictions, minlength=probs.shape[1])
+    covered = np.unique(predictions[confident]).size
+    return int(covered), histogram

@@ -1,0 +1,22 @@
+"""``repro.models`` — GAN architecture zoo matching the paper's Section V-A-b."""
+
+from .base import GANFactory, generator_input, one_hot
+from .celeba import build_celeba_cnn_gan
+from .cifar import build_cifar10_cnn_gan
+from .mnist import build_mnist_cnn_gan, build_mnist_mlp_gan, conv_channel_schedule
+from .registry import ARCHITECTURES, build_architecture
+from .toy import build_toy_gan
+
+__all__ = [
+    "GANFactory",
+    "one_hot",
+    "generator_input",
+    "build_mnist_mlp_gan",
+    "build_mnist_cnn_gan",
+    "build_cifar10_cnn_gan",
+    "build_celeba_cnn_gan",
+    "build_toy_gan",
+    "conv_channel_schedule",
+    "ARCHITECTURES",
+    "build_architecture",
+]

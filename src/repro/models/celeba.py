@@ -1,0 +1,102 @@
+"""CelebA architecture from the paper (Section V-B-4).
+
+The CelebA generator has one fully-connected layer of 16,384 neurons
+(1,024 feature maps of 4 x 4) and two transposed convolutions of 128 and 3
+kernels (5 x 5); the discriminator is the usual six-convolution stack ending
+in a *single* output neuron — the CelebA experiment uses a plain
+(unconditional) GAN rather than ACGAN.
+
+The builder adapts to any image size divisible by 4 so that a scaled-down
+variant (default 32 x 32 instead of 128 x 128) stays tractable on CPU.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..nn import (
+    BatchNorm,
+    Conv2D,
+    Conv2DTranspose,
+    Dense,
+    Dropout,
+    Flatten,
+    LeakyReLU,
+    ReLU,
+    Reshape,
+    Tanh,
+)
+from ..nn.layers import Layer
+from .base import GANFactory
+from .mnist import conv_channel_schedule
+
+__all__ = ["build_celeba_cnn_gan"]
+
+
+def _scaled(width: int, factor: float) -> int:
+    return max(1, int(round(width * factor)))
+
+
+def build_celeba_cnn_gan(
+    image_shape: Tuple[int, int, int] = (3, 32, 32),
+    latent_dim: int = 100,
+    num_classes: int = 10,
+    conditional: bool = False,
+    width_factor: float = 1.0,
+) -> GANFactory:
+    """CNN-based GAN for CelebA-like data (unconditional by default)."""
+    c, height, width = image_shape
+    if height % 4 or width % 4:
+        raise ValueError(
+            f"CelebA CNN architecture needs image sides divisible by 4, got {image_shape}"
+        )
+    base_h, base_w = height // 4, width // 4
+    g_ch0 = _scaled(1024, width_factor)
+    g_ch1 = _scaled(128, width_factor)
+    d_channels = conv_channel_schedule(width_factor)
+
+    def gen_builder(factory: GANFactory) -> List[Layer]:
+        return [
+            Dense(g_ch0 * base_h * base_w, name="g_fc"),
+            ReLU(),
+            Reshape((g_ch0, base_h, base_w)),
+            BatchNorm(),
+            Conv2DTranspose(
+                g_ch1, 5, stride=2, padding=2, output_padding=1, name="g_deconv1"
+            ),
+            BatchNorm(),
+            ReLU(),
+            Conv2DTranspose(
+                c, 5, stride=2, padding=2, output_padding=1, name="g_deconv2"
+            ),
+            Tanh(),
+        ]
+
+    def disc_builder(factory: GANFactory) -> List[Layer]:
+        layers: List[Layer] = []
+        for i, channels in enumerate(d_channels):
+            stride = 2 if i % 2 == 0 else 1
+            layers.append(
+                Conv2D(channels, 3, stride=stride, padding=1, name=f"d_conv{i + 1}")
+            )
+            layers.append(LeakyReLU(0.2))
+            if i in (2, 4):
+                layers.append(Dropout(0.3))
+        layers.append(Flatten())
+        layers.append(Dense(factory.discriminator_output_dim, name="d_out"))
+        return layers
+
+    return GANFactory(
+        name="celeba-cnn",
+        latent_dim=latent_dim,
+        image_shape=image_shape,
+        num_classes=num_classes,
+        conditional=conditional,
+        generator_builder=gen_builder,
+        discriminator_builder=disc_builder,
+        metadata={
+            "width_factor": width_factor,
+            "generator_channels": (g_ch0, g_ch1),
+            "discriminator_channels": tuple(d_channels),
+        },
+    )

@@ -1,0 +1,113 @@
+"""CIFAR10 CNN architecture from the paper (Section V-A-b).
+
+The generator has one dense layer of 6,144 neurons (384 feature maps of
+4 x 4) followed by three stride-2 transposed convolutions of 192, 96 and 3
+kernels (5 x 5); the discriminator reuses the six-convolution schedule of the
+MNIST CNN (16..512 kernels of 3 x 3) with a minibatch-discrimination layer
+and a dense output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..nn import (
+    BatchNorm,
+    Conv2D,
+    Conv2DTranspose,
+    Dense,
+    Dropout,
+    Flatten,
+    LeakyReLU,
+    MinibatchDiscrimination,
+    ReLU,
+    Reshape,
+    Tanh,
+)
+from ..nn.layers import Layer
+from .base import GANFactory
+from .mnist import conv_channel_schedule
+
+__all__ = ["build_cifar10_cnn_gan"]
+
+
+def _scaled(width: int, factor: float) -> int:
+    return max(1, int(round(width * factor)))
+
+
+def build_cifar10_cnn_gan(
+    image_shape: Tuple[int, int, int] = (3, 32, 32),
+    latent_dim: int = 100,
+    num_classes: int = 10,
+    conditional: bool = True,
+    width_factor: float = 1.0,
+    use_minibatch_discrimination: bool = True,
+) -> GANFactory:
+    """CNN-based GAN for CIFAR10-like data.
+
+    Adapts to any image size divisible by 8 (the generator upsamples three
+    times by a factor of two from ``H/8 x W/8``).
+    """
+    c, height, width = image_shape
+    if height % 8 or width % 8:
+        raise ValueError(
+            f"CIFAR10 CNN architecture needs image sides divisible by 8, got {image_shape}"
+        )
+    base_h, base_w = height // 8, width // 8
+    g_ch0 = _scaled(384, width_factor)
+    g_ch1 = _scaled(192, width_factor)
+    g_ch2 = _scaled(96, width_factor)
+    d_channels = conv_channel_schedule(width_factor)
+
+    def gen_builder(factory: GANFactory) -> List[Layer]:
+        return [
+            Dense(g_ch0 * base_h * base_w, name="g_fc"),
+            ReLU(),
+            Reshape((g_ch0, base_h, base_w)),
+            BatchNorm(),
+            Conv2DTranspose(
+                g_ch1, 5, stride=2, padding=2, output_padding=1, name="g_deconv1"
+            ),
+            BatchNorm(),
+            ReLU(),
+            Conv2DTranspose(
+                g_ch2, 5, stride=2, padding=2, output_padding=1, name="g_deconv2"
+            ),
+            BatchNorm(),
+            ReLU(),
+            Conv2DTranspose(
+                c, 5, stride=2, padding=2, output_padding=1, name="g_deconv3"
+            ),
+            Tanh(),
+        ]
+
+    def disc_builder(factory: GANFactory) -> List[Layer]:
+        layers: List[Layer] = []
+        for i, channels in enumerate(d_channels):
+            stride = 2 if i % 2 == 0 else 1
+            layers.append(
+                Conv2D(channels, 3, stride=stride, padding=1, name=f"d_conv{i + 1}")
+            )
+            layers.append(LeakyReLU(0.2))
+            if i in (2, 4):
+                layers.append(Dropout(0.3))
+        layers.append(Flatten())
+        if use_minibatch_discrimination:
+            layers.append(MinibatchDiscrimination(num_kernels=16, kernel_dim=8))
+        layers.append(Dense(factory.discriminator_output_dim, name="d_out"))
+        return layers
+
+    return GANFactory(
+        name="cifar10-cnn",
+        latent_dim=latent_dim,
+        image_shape=image_shape,
+        num_classes=num_classes,
+        conditional=conditional,
+        generator_builder=gen_builder,
+        discriminator_builder=disc_builder,
+        metadata={
+            "width_factor": width_factor,
+            "generator_channels": (g_ch0, g_ch1, g_ch2),
+            "discriminator_channels": tuple(d_channels),
+        },
+    )

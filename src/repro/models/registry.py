@@ -1,0 +1,37 @@
+"""Architecture registry used by experiment configuration files.
+
+Maps the paper's architecture names to factory constructors so experiments
+can be declared with plain strings (``"mnist-mlp"``, ``"mnist-cnn"``,
+``"cifar10-cnn"``, ``"celeba-cnn"``, ``"toy-ring"``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .base import GANFactory
+from .celeba import build_celeba_cnn_gan
+from .cifar import build_cifar10_cnn_gan
+from .mnist import build_mnist_cnn_gan, build_mnist_mlp_gan
+from .toy import build_toy_gan
+
+__all__ = ["ARCHITECTURES", "build_architecture"]
+
+ARCHITECTURES: Dict[str, Callable[..., GANFactory]] = {
+    "mnist-mlp": build_mnist_mlp_gan,
+    "mnist-cnn": build_mnist_cnn_gan,
+    "cifar10-cnn": build_cifar10_cnn_gan,
+    "celeba-cnn": build_celeba_cnn_gan,
+    "toy-ring": build_toy_gan,
+}
+
+
+def build_architecture(name: str, **kwargs) -> GANFactory:
+    """Build a registered architecture by name, forwarding keyword overrides."""
+    try:
+        builder = ARCHITECTURES[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"Unknown architecture {name!r}; known: {sorted(ARCHITECTURES)}"
+        ) from exc
+    return builder(**kwargs)

@@ -1,0 +1,62 @@
+"""Tiny GAN architecture for fast tests and the quickstart example.
+
+Pairs with :func:`repro.datasets.make_gaussian_ring`: a few dense layers on
+8 x 8 single-channel images, small enough that end-to-end distributed
+training runs in seconds on CPU while still exhibiting the qualitative
+behaviours (mode coverage, discriminator overfitting, benefit of swapping)
+that the full architectures show at scale.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..nn import Dense, Flatten, LeakyReLU, ReLU, Reshape, Tanh
+from ..nn.layers import Layer
+from .base import GANFactory
+
+__all__ = ["build_toy_gan"]
+
+
+def build_toy_gan(
+    image_shape: Tuple[int, int, int] = (1, 8, 8),
+    latent_dim: int = 16,
+    num_classes: int = 8,
+    conditional: bool = True,
+    hidden: int = 64,
+) -> GANFactory:
+    """Small dense GAN used by tests, the quickstart and fast benchmarks."""
+    c, height, width = image_shape
+    flat = c * height * width
+
+    def gen_builder(factory: GANFactory) -> List[Layer]:
+        return [
+            Dense(hidden, name="g_fc1"),
+            ReLU(),
+            Dense(hidden, name="g_fc2"),
+            ReLU(),
+            Dense(flat, name="g_out"),
+            Tanh(),
+            Reshape(image_shape),
+        ]
+
+    def disc_builder(factory: GANFactory) -> List[Layer]:
+        return [
+            Flatten(),
+            Dense(hidden, name="d_fc1"),
+            LeakyReLU(0.2),
+            Dense(hidden, name="d_fc2"),
+            LeakyReLU(0.2),
+            Dense(factory.discriminator_output_dim, name="d_out"),
+        ]
+
+    return GANFactory(
+        name="toy-ring",
+        latent_dim=latent_dim,
+        image_shape=image_shape,
+        num_classes=num_classes,
+        conditional=conditional,
+        generator_builder=gen_builder,
+        discriminator_builder=disc_builder,
+        metadata={"hidden": hidden},
+    )

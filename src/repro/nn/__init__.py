@@ -1,0 +1,87 @@
+"""``repro.nn`` — a from-scratch, NumPy-only neural-network substrate.
+
+The package provides everything the MD-GAN reproduction needs from a deep
+learning framework: layers (dense, convolutional, transposed-convolutional,
+normalisation, minibatch discrimination), GAN losses, Adam/SGD optimizers and
+a :class:`Sequential` container whose backward pass returns input gradients —
+the mechanism MD-GAN's error feedback is built on.
+"""
+
+from . import initializers
+from .conv import AvgPool2D, Conv2D, Conv2DTranspose, MaxPool2D, same_padding
+from .layers import (
+    BatchNorm,
+    Dense,
+    Dropout,
+    Flatten,
+    GaussianNoise,
+    Layer,
+    LayerNorm,
+    LeakyReLU,
+    ReLU,
+    Reshape,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    UpSampling2D,
+)
+from .losses import (
+    ACGANLoss,
+    GANLoss,
+    bce_with_logits,
+    mse_loss,
+    sigmoid,
+    softmax_cross_entropy,
+)
+from .minibatch import MinibatchDiscrimination
+from .model import Sequential
+from .optim import SGD, Adam, Optimizer, make_optimizer
+from .serialize import (
+    FLOAT_BYTES,
+    average_parameters,
+    copy_parameters,
+    parameter_bytes,
+    vector_bytes,
+    weighted_average_parameters,
+)
+
+__all__ = [
+    "initializers",
+    "Layer",
+    "Dense",
+    "Flatten",
+    "Reshape",
+    "Dropout",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "BatchNorm",
+    "LayerNorm",
+    "UpSampling2D",
+    "GaussianNoise",
+    "Conv2D",
+    "Conv2DTranspose",
+    "MaxPool2D",
+    "AvgPool2D",
+    "same_padding",
+    "MinibatchDiscrimination",
+    "Sequential",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "make_optimizer",
+    "GANLoss",
+    "ACGANLoss",
+    "bce_with_logits",
+    "softmax_cross_entropy",
+    "mse_loss",
+    "sigmoid",
+    "FLOAT_BYTES",
+    "parameter_bytes",
+    "vector_bytes",
+    "average_parameters",
+    "weighted_average_parameters",
+    "copy_parameters",
+]

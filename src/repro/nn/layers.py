@@ -1,0 +1,450 @@
+"""Core layers of the NumPy neural-network substrate.
+
+Every layer implements the interface defined by :class:`Layer`:
+
+* ``build(input_shape, rng)`` lazily creates parameters (shapes exclude the
+  batch dimension),
+* ``forward(x, training)`` computes the output and caches whatever is needed
+  for the backward pass,
+* ``backward(grad_out)`` accumulates parameter gradients into ``self.grads``
+  and **returns the gradient with respect to the layer input**.
+
+Returning input gradients is what lets MD-GAN's workers produce the error
+feedback :math:`F_n = \\partial \\tilde B / \\partial x` without holding a
+generator, and lets the server chain that feedback through the generator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from . import initializers as init
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Flatten",
+    "Reshape",
+    "Dropout",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "BatchNorm",
+    "LayerNorm",
+    "UpSampling2D",
+    "GaussianNoise",
+]
+
+
+class Layer:
+    """Base class for all layers.
+
+    Parameters live in ``self.params`` and their gradients in ``self.grads``;
+    both are dictionaries keyed by parameter name with identically shaped
+    arrays.  Parameter arrays are never replaced after :meth:`build` — they
+    are updated in place — so optimizers may key their state on the arrays'
+    owning ``(layer, name)`` pair.
+    """
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name or self.__class__.__name__
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+        self.built = False
+        self.input_shape: Optional[Tuple[int, ...]] = None
+        self.output_shape: Optional[Tuple[int, ...]] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        """Create parameters for the given per-sample input shape."""
+        del rng
+        self.input_shape = tuple(input_shape)
+        self.output_shape = self.compute_output_shape(self.input_shape)
+        self.built = True
+
+    def compute_output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Per-sample output shape for the given per-sample input shape."""
+        return tuple(input_shape)
+
+    # -- computation -------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- utilities ---------------------------------------------------------
+    def zero_grad(self) -> None:
+        """Reset all parameter gradients to zero."""
+        for key, value in self.params.items():
+            if key not in self.grads or self.grads[key].shape != value.shape:
+                self.grads[key] = np.zeros_like(value)
+            else:
+                self.grads[key].fill(0.0)
+
+    def add_param(
+        self,
+        name: str,
+        shape: Tuple[int, ...],
+        rng: np.random.Generator,
+        initializer=init.glorot_uniform,
+    ) -> np.ndarray:
+        """Create and register a parameter plus its gradient buffer."""
+        initializer = init.get_initializer(initializer)
+        value = np.asarray(initializer(shape, rng), dtype=np.float64)
+        self.params[name] = value
+        self.grads[name] = np.zeros_like(value)
+        return value
+
+    @property
+    def num_params(self) -> int:
+        """Total number of scalar parameters in this layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.__class__.__name__}(name={self.name!r}, params={self.num_params})"
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b``."""
+
+    def __init__(
+        self,
+        units: int,
+        use_bias: bool = True,
+        kernel_initializer=init.glorot_uniform,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name)
+        if units <= 0:
+            raise ValueError(f"units must be positive, got {units}")
+        self.units = int(units)
+        self.use_bias = bool(use_bias)
+        self.kernel_initializer = kernel_initializer
+        self._x: Optional[np.ndarray] = None
+
+    def compute_output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if len(input_shape) != 1:
+            raise ValueError(
+                f"Dense expects flat inputs, got per-sample shape {input_shape}"
+            )
+        return (self.units,)
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        fan_in = int(input_shape[0])
+        self.add_param("W", (fan_in, self.units), rng, self.kernel_initializer)
+        if self.use_bias:
+            self.add_param("b", (self.units,), rng, init.zeros)
+        super().build(input_shape, rng)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        del training
+        self._x = x
+        out = x @ self.params["W"]
+        if self.use_bias:
+            out = out + self.params["b"]
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.grads["W"] += self._x.T @ grad_out
+        if self.use_bias:
+            self.grads["b"] += grad_out.sum(axis=0)
+        return grad_out @ self.params["W"].T
+
+
+class Flatten(Layer):
+    """Flatten every per-sample tensor to a vector."""
+
+    def compute_output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (int(np.prod(input_shape)),)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        del training
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out.reshape(self._shape)
+
+
+class Reshape(Layer):
+    """Reshape per-sample tensors to ``target_shape`` (batch axis preserved)."""
+
+    def __init__(self, target_shape: Tuple[int, ...], name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self.target_shape = tuple(int(s) for s in target_shape)
+
+    def compute_output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if int(np.prod(input_shape)) != int(np.prod(self.target_shape)):
+            raise ValueError(
+                f"Cannot reshape per-sample shape {input_shape} "
+                f"({int(np.prod(input_shape))} values) to {self.target_shape}"
+            )
+        return self.target_shape
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        del training
+        self._shape = x.shape
+        return x.reshape((x.shape[0],) + self.target_shape)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out.reshape(self._shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at evaluation time."""
+
+    def __init__(self, rate: float, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"Dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self._mask: Optional[np.ndarray] = None
+        self._rng = np.random.default_rng(0)
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        # Keep a dedicated stream so dropout masks do not perturb the
+        # initialisation stream shared with other layers.
+        self._rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
+        super().build(input_shape, rng)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        del training
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._mask
+
+
+class LeakyReLU(Layer):
+    """Leaky rectified linear unit with negative slope ``alpha``."""
+
+    def __init__(self, alpha: float = 0.2, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self.alpha = float(alpha)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        del training
+        self._mask = x > 0
+        return np.where(self._mask, x, self.alpha * x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return np.where(self._mask, grad_out, self.alpha * grad_out)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid activation."""
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        del training
+        out = np.empty_like(x, dtype=np.float64)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        self._out = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._out * (1.0 - self._out)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation (generator output nonlinearity)."""
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        del training
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * (1.0 - self._out**2)
+
+
+class Softmax(Layer):
+    """Softmax over the last axis."""
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        del training
+        shifted = x - x.max(axis=-1, keepdims=True)
+        ex = np.exp(shifted)
+        self._out = ex / ex.sum(axis=-1, keepdims=True)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        s = self._out
+        dot = (grad_out * s).sum(axis=-1, keepdims=True)
+        return s * (grad_out - dot)
+
+
+class BatchNorm(Layer):
+    """Batch normalisation over all axes except the channel axis.
+
+    Works on ``(N, C)`` dense activations and ``(N, C, H, W)`` images.  Uses
+    exponential moving averages of mean/variance at evaluation time, as in
+    Keras.
+    """
+
+    def __init__(
+        self,
+        momentum: float = 0.9,
+        eps: float = 1e-5,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.running_mean: Optional[np.ndarray] = None
+        self.running_var: Optional[np.ndarray] = None
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        channels = int(input_shape[0])
+        self.add_param("gamma", (channels,), rng, init.ones)
+        self.add_param("beta", (channels,), rng, init.zeros)
+        self.running_mean = np.zeros(channels, dtype=np.float64)
+        self.running_var = np.ones(channels, dtype=np.float64)
+        super().build(input_shape, rng)
+
+    def _reduce_axes(self, ndim: int) -> Tuple[int, ...]:
+        return (0,) + tuple(range(2, ndim))
+
+    def _bshape(self, ndim: int) -> Tuple[int, ...]:
+        return (1, -1) + (1,) * (ndim - 2)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        axes = self._reduce_axes(x.ndim)
+        bshape = self._bshape(x.ndim)
+        if training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = (
+                self.momentum * self.running_mean + (1.0 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1.0 - self.momentum) * var
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        self._std = np.sqrt(var + self.eps).reshape(bshape)
+        self._xhat = (x - mean.reshape(bshape)) / self._std
+        self._m = x.size // x.shape[1]
+        self._training = training
+        return self.params["gamma"].reshape(bshape) * self._xhat + self.params[
+            "beta"
+        ].reshape(bshape)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        axes = self._reduce_axes(grad_out.ndim)
+        bshape = self._bshape(grad_out.ndim)
+        self.grads["gamma"] += (grad_out * self._xhat).sum(axis=axes)
+        self.grads["beta"] += grad_out.sum(axis=axes)
+        gamma = self.params["gamma"].reshape(bshape)
+        dxhat = grad_out * gamma
+        if not self._training:
+            return dxhat / self._std
+        m = float(self._m)
+        sum_dxhat = dxhat.sum(axis=axes).reshape(bshape)
+        sum_dxhat_xhat = (dxhat * self._xhat).sum(axis=axes).reshape(bshape)
+        return (dxhat - sum_dxhat / m - self._xhat * sum_dxhat_xhat / m) / self._std
+
+
+class LayerNorm(Layer):
+    """Layer normalisation over all per-sample axes."""
+
+    def __init__(self, eps: float = 1e-5, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self.eps = float(eps)
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        self.add_param("gamma", tuple(input_shape), rng, init.ones)
+        self.add_param("beta", tuple(input_shape), rng, init.zeros)
+        super().build(input_shape, rng)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        del training
+        axes = tuple(range(1, x.ndim))
+        mean = x.mean(axis=axes, keepdims=True)
+        var = x.var(axis=axes, keepdims=True)
+        self._std = np.sqrt(var + self.eps)
+        self._xhat = (x - mean) / self._std
+        self._m = x[0].size
+        return self.params["gamma"] * self._xhat + self.params["beta"]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        axes = tuple(range(1, grad_out.ndim))
+        self.grads["gamma"] += (grad_out * self._xhat).sum(axis=0)
+        self.grads["beta"] += grad_out.sum(axis=0)
+        dxhat = grad_out * self.params["gamma"]
+        m = float(self._m)
+        sum_dxhat = dxhat.sum(axis=axes, keepdims=True)
+        sum_dxhat_xhat = (dxhat * self._xhat).sum(axis=axes, keepdims=True)
+        return (dxhat - sum_dxhat / m - self._xhat * sum_dxhat_xhat / m) / self._std
+
+
+class UpSampling2D(Layer):
+    """Nearest-neighbour spatial upsampling by an integer factor."""
+
+    def __init__(self, factor: int = 2, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        self.factor = int(factor)
+
+    def compute_output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        return (c, h * self.factor, w * self.factor)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        del training
+        return x.repeat(self.factor, axis=2).repeat(self.factor, axis=3)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n, c, h, w = grad_out.shape
+        f = self.factor
+        return grad_out.reshape(n, c, h // f, f, w // f, f).sum(axis=(3, 5))
+
+
+class GaussianNoise(Layer):
+    """Additive Gaussian noise, applied only at training time."""
+
+    def __init__(self, stddev: float = 0.1, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self.stddev = float(stddev)
+        self._rng = np.random.default_rng(0)
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        self._rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
+        super().build(input_shape, rng)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if not training or self.stddev == 0.0:
+            return x
+        return x + self._rng.normal(0.0, self.stddev, size=x.shape)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out

@@ -1,0 +1,100 @@
+"""Minibatch discrimination layer (Salimans et al., 2016).
+
+The paper's CNN discriminators include a minibatch-discrimination layer to
+mitigate mode collapse: each sample's features are compared to every other
+sample in the batch and a per-sample "closeness" statistic is appended to the
+feature vector, letting the discriminator detect generators that produce
+near-identical samples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import initializers as init
+from .layers import Layer
+
+__all__ = ["MinibatchDiscrimination"]
+
+
+class MinibatchDiscrimination(Layer):
+    """Append cross-batch similarity statistics to flat feature vectors.
+
+    Parameters
+    ----------
+    num_kernels:
+        Number of discrimination kernels ``B``; the layer appends ``B`` extra
+        features per sample.
+    kernel_dim:
+        Dimensionality ``C`` of each kernel's projection space.
+    """
+
+    def __init__(
+        self,
+        num_kernels: int = 16,
+        kernel_dim: int = 8,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name)
+        if num_kernels <= 0 or kernel_dim <= 0:
+            raise ValueError("num_kernels and kernel_dim must be positive")
+        self.num_kernels = int(num_kernels)
+        self.kernel_dim = int(kernel_dim)
+
+    def compute_output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if len(input_shape) != 1:
+            raise ValueError(
+                "MinibatchDiscrimination expects flat inputs, got "
+                f"per-sample shape {input_shape}"
+            )
+        return (input_shape[0] + self.num_kernels,)
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        features = int(input_shape[0])
+        self.add_param(
+            "T",
+            (features, self.num_kernels * self.kernel_dim),
+            rng,
+            init.normal(stddev=0.05),
+        )
+        super().build(input_shape, rng)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        del training
+        n = x.shape[0]
+        b, c = self.num_kernels, self.kernel_dim
+        self._x = x
+        m = (x @ self.params["T"]).reshape(n, b, c)
+        self._m = m
+        # diffs[i, j, b, c] = M_i - M_j
+        diffs = m[:, None, :, :] - m[None, :, :, :]
+        self._sign = np.sign(diffs)
+        l1 = np.abs(diffs).sum(axis=-1)
+        self._k = np.exp(-l1)
+        # o_i[b] = sum_{j != i} exp(-||M_i - M_j||_1); the j = i term is
+        # exp(0) = 1 and is removed.
+        o = self._k.sum(axis=1) - 1.0
+        return np.concatenate([x, o], axis=1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n = grad_out.shape[0]
+        features = self._x.shape[1]
+        dx_direct = grad_out[:, :features]
+        do = grad_out[:, features:]
+
+        # dK[i, j, b]: o_i[b] sums K[i, j, b] over j (excluding j = i).
+        dk = np.repeat(do[:, None, :], n, axis=1)
+        idx = np.arange(n)
+        dk[idx, idx, :] = 0.0
+
+        dl1 = -self._k * dk
+        ddiffs = self._sign * dl1[..., None]
+        # M_i appears positively in diffs[i, :, ...] and negatively in
+        # diffs[:, i, ...].
+        dm = ddiffs.sum(axis=1) - ddiffs.sum(axis=0)
+
+        dm_flat = dm.reshape(n, -1)
+        self.grads["T"] += self._x.T @ dm_flat
+        return dx_direct + dm_flat @ self.params["T"].T

@@ -1,0 +1,207 @@
+"""Sequential model container with flat parameter (de)serialisation.
+
+The container provides the three capabilities the distributed algorithms rely
+on:
+
+* ``forward`` / ``backward`` where the backward pass **returns the gradient
+  with respect to the model input** (MD-GAN's error feedback, and the chain
+  through the generator on the server);
+* in-place flat parameter get/set (``get_parameters`` / ``set_parameters``)
+  used by FL-GAN's federated averaging and by MD-GAN's discriminator swaps —
+  these model exactly what travels over the network;
+* parameter-count reporting used by the analytic complexity models.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .layers import Layer
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """A feed-forward stack of layers."""
+
+    def __init__(
+        self,
+        layers: Sequence[Layer],
+        input_shape: Optional[Tuple[int, ...]] = None,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "model",
+    ) -> None:
+        self.layers: List[Layer] = list(layers)
+        self.name = name
+        self.built = False
+        self.input_shape: Optional[Tuple[int, ...]] = None
+        self.output_shape: Optional[Tuple[int, ...]] = None
+        if input_shape is not None:
+            self.build(input_shape, rng or np.random.default_rng(0))
+
+    # -- lifecycle ---------------------------------------------------------
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        """Build every layer for a per-sample ``input_shape``."""
+        shape = tuple(int(s) for s in input_shape)
+        self.input_shape = shape
+        for layer in self.layers:
+            layer.build(shape, rng)
+            shape = layer.output_shape
+        self.output_shape = shape
+        self.built = True
+
+    def _require_built(self) -> None:
+        if not self.built:
+            raise RuntimeError(
+                f"Model {self.name!r} must be built before use; call build()"
+            )
+
+    # -- computation -------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        """Run the forward pass, caching intermediates for backward."""
+        self._require_built()
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def __call__(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass in evaluation mode (no dropout, running BN stats)."""
+        return self.forward(x, training=False)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad_output`` and return the input gradient.
+
+        Parameter gradients are *accumulated* into each layer's ``grads``;
+        call :meth:`zero_grad` before starting a fresh accumulation.
+        """
+        self._require_built()
+        grad = np.asarray(grad_output, dtype=np.float64)
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def zero_grad(self) -> None:
+        """Reset gradients of every layer."""
+        for layer in self.layers:
+            layer.zero_grad()
+
+    # -- parameter access ---------------------------------------------------
+    def named_parameters(self) -> Iterator[Tuple[str, np.ndarray]]:
+        """Yield ``(key, parameter_array)`` pairs in a deterministic order."""
+        for idx, layer in enumerate(self.layers):
+            for pname in sorted(layer.params):
+                yield f"{idx}.{layer.name}.{pname}", layer.params[pname]
+
+    def named_parameters_and_grads(
+        self,
+    ) -> Iterator[Tuple[str, np.ndarray, np.ndarray]]:
+        """Yield ``(key, parameter, gradient)`` triples."""
+        for idx, layer in enumerate(self.layers):
+            for pname in sorted(layer.params):
+                yield (
+                    f"{idx}.{layer.name}.{pname}",
+                    layer.params[pname],
+                    layer.grads[pname],
+                )
+
+    @property
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return int(sum(p.size for _, p in self.named_parameters()))
+
+    def get_parameters(self) -> np.ndarray:
+        """Return all parameters concatenated into one flat float64 vector."""
+        self._require_built()
+        parts = [p.ravel() for _, p in self.named_parameters()]
+        if not parts:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate(parts).astype(np.float64, copy=True)
+
+    def set_parameters(self, flat: np.ndarray) -> None:
+        """Load parameters from a flat vector, writing arrays in place."""
+        self._require_built()
+        flat = np.asarray(flat, dtype=np.float64).ravel()
+        expected = self.num_parameters
+        if flat.size != expected:
+            raise ValueError(
+                f"Parameter vector has {flat.size} values; model "
+                f"{self.name!r} expects {expected}"
+            )
+        offset = 0
+        for _, param in self.named_parameters():
+            size = param.size
+            param[...] = flat[offset : offset + size].reshape(param.shape)
+            offset += size
+
+    def get_gradients(self) -> np.ndarray:
+        """Return all gradients concatenated into one flat vector."""
+        self._require_built()
+        parts = [g.ravel() for _, _, g in self.named_parameters_and_grads()]
+        if not parts:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate(parts).astype(np.float64, copy=True)
+
+    def set_gradients(self, flat: np.ndarray) -> None:
+        """Load gradients from a flat vector (used by gradient aggregation)."""
+        self._require_built()
+        flat = np.asarray(flat, dtype=np.float64).ravel()
+        if flat.size != self.num_parameters:
+            raise ValueError(
+                f"Gradient vector has {flat.size} values; model expects "
+                f"{self.num_parameters}"
+            )
+        offset = 0
+        for _, _, grad in self.named_parameters_and_grads():
+            size = grad.size
+            grad[...] = flat[offset : offset + size].reshape(grad.shape)
+            offset += size
+
+    # -- structural helpers --------------------------------------------------
+    def clone_architecture(self) -> "Sequential":
+        """Return an *unbuilt* copy sharing no state with this model.
+
+        Layers are re-created through a shallow pickle-free copy: each layer
+        class is re-instantiated from its constructor arguments captured in
+        ``__dict__`` minus runtime state.  For simplicity (and because all
+        repo layers follow it) the convention is that constructor arguments
+        are stored verbatim as attributes.
+        """
+        import copy
+
+        new_layers = []
+        for layer in self.layers:
+            clone = copy.copy(layer)
+            clone.params = {}
+            clone.grads = {}
+            clone.built = False
+            clone.input_shape = None
+            clone.output_shape = None
+            new_layers.append(clone)
+        return Sequential(new_layers, name=f"{self.name}_clone")
+
+    def summary(self) -> str:
+        """Human-readable layer/parameter summary (like ``keras.summary``)."""
+        self._require_built()
+        lines = [f"Model: {self.name}"]
+        lines.append(f"{'layer':<28}{'output shape':<20}{'params':>12}")
+        lines.append("-" * 60)
+        for layer in self.layers:
+            lines.append(
+                f"{layer.name:<28}{str(layer.output_shape):<20}{layer.num_params:>12,}"
+            )
+        lines.append("-" * 60)
+        lines.append(f"Total parameters: {self.num_parameters:,}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        status = "built" if self.built else "unbuilt"
+        return (
+            f"Sequential(name={self.name!r}, layers={len(self.layers)}, "
+            f"{status}, params={self.num_parameters if self.built else '?'})"
+        )

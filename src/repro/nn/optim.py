@@ -1,0 +1,142 @@
+"""Gradient-descent optimizers operating on :class:`~repro.nn.model.Sequential`.
+
+Optimizer state (momenta, Adam moments) is keyed by the parameter's
+``"layer_index.param_name"`` identifier, which stays valid across parameter
+serialisation because models update their parameter arrays in place.
+
+The MD-GAN server additionally needs to apply Adam to a *gradient it did not
+compute through its own loss* (the gradient assembled from worker error
+feedbacks); ``step`` therefore simply consumes whatever is currently stored
+in the model's gradient buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .model import Sequential
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer.  Subclasses implement :meth:`_update`."""
+
+    def __init__(self, learning_rate: float = 0.001) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = float(learning_rate)
+        self.iterations = 0
+
+    def step(self, model: Sequential) -> None:
+        """Apply one update using the gradients currently stored in ``model``."""
+        self.iterations += 1
+        for key, param, grad in model.named_parameters_and_grads():
+            self._update(key, param, grad)
+
+    def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, object]:
+        """Snapshot of the optimizer hyper-parameters and internal state."""
+        return {"learning_rate": self.learning_rate, "iterations": self.iterations}
+
+    def reset(self) -> None:
+        """Clear all accumulated state."""
+        self.iterations = 0
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        if self.momentum > 0.0:
+            vel = self._velocity.get(key)
+            if vel is None or vel.shape != grad.shape:
+                vel = np.zeros_like(grad)
+            vel = self.momentum * vel - self.learning_rate * grad
+            self._velocity[key] = vel
+            param += vel
+        else:
+            param -= self.learning_rate * grad
+
+    def reset(self) -> None:
+        super().reset()
+        self._velocity.clear()
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["momentum"] = self.momentum
+        return state
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015) — the optimizer used by the paper.
+
+    The defaults ``beta1=0.5`` follow common GAN practice (DCGAN); the CelebA
+    experiment in the paper overrides the betas per competitor, which the
+    trainers expose through their configuration objects.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.0002,
+        beta1: float = 0.5,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("beta1 and beta2 must be in [0, 1)")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+
+    def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        m = self._m.get(key)
+        v = self._v.get(key)
+        if m is None or m.shape != grad.shape:
+            m = np.zeros_like(grad)
+            v = np.zeros_like(grad)
+        m = self.beta1 * m + (1.0 - self.beta1) * grad
+        v = self.beta2 * v + (1.0 - self.beta2) * grad**2
+        self._m[key] = m
+        self._v[key] = v
+        t = self.iterations
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset(self) -> None:
+        super().reset()
+        self._m.clear()
+        self._v.clear()
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state.update(beta1=self.beta1, beta2=self.beta2, eps=self.eps)
+        return state
+
+
+def make_optimizer(name: str, **kwargs) -> Optimizer:
+    """Factory used by experiment configuration files."""
+    name = name.lower()
+    if name == "adam":
+        return Adam(**kwargs)
+    if name == "sgd":
+        return SGD(**kwargs)
+    raise ValueError(f"Unknown optimizer {name!r}; expected 'adam' or 'sgd'")
+
+
+__all__.append("make_optimizer")

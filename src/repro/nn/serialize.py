@@ -1,0 +1,75 @@
+"""Parameter-vector helpers shared by the distributed trainers.
+
+The distributed algorithms ship model parameters (FL-GAN rounds, MD-GAN
+discriminator swaps) as flat float vectors.  These helpers centralise the
+byte-size accounting used by the traffic meters and provide simple averaging
+utilities for federated aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .model import Sequential
+
+__all__ = [
+    "FLOAT_BYTES",
+    "parameter_bytes",
+    "vector_bytes",
+    "average_parameters",
+    "weighted_average_parameters",
+    "copy_parameters",
+]
+
+#: Size in bytes of one transmitted scalar.  The paper counts parameters and
+#: data features in 32-bit floats; all byte figures in the analytic model and
+#: the traffic meters use this constant.
+FLOAT_BYTES = 4
+
+
+def parameter_bytes(model: Sequential) -> int:
+    """Number of bytes required to ship every parameter of ``model``."""
+    return model.num_parameters * FLOAT_BYTES
+
+
+def vector_bytes(array: np.ndarray) -> int:
+    """Number of bytes required to ship ``array`` as 32-bit floats."""
+    return int(np.asarray(array).size) * FLOAT_BYTES
+
+
+def average_parameters(vectors: Sequence[np.ndarray]) -> np.ndarray:
+    """Uniform average of flat parameter vectors (FedAvg aggregation)."""
+    if not vectors:
+        raise ValueError("Cannot average an empty collection of parameter vectors")
+    flat = [np.asarray(v, dtype=np.float64).ravel() for v in vectors]
+    sizes = {v.size for v in flat}
+    if len(sizes) != 1:
+        raise ValueError(f"Parameter vectors have inconsistent sizes: {sizes}")
+    return np.stack(flat).mean(axis=0)
+
+
+def weighted_average_parameters(
+    vectors: Sequence[np.ndarray], weights: Iterable[float]
+) -> np.ndarray:
+    """Weighted average of flat parameter vectors.
+
+    Weights are normalised to sum to one; they typically carry the local
+    dataset sizes, matching the FedAvg formulation for unbalanced shards.
+    """
+    weights = np.asarray(list(weights), dtype=np.float64)
+    if len(vectors) != weights.size:
+        raise ValueError(
+            f"Got {len(vectors)} vectors but {weights.size} weights"
+        )
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise ValueError("Weights must be non-negative and sum to a positive value")
+    weights = weights / weights.sum()
+    stacked = np.stack([np.asarray(v, dtype=np.float64).ravel() for v in vectors])
+    return (weights[:, None] * stacked).sum(axis=0)
+
+
+def copy_parameters(source: Sequential, destination: Sequential) -> None:
+    """Copy parameters from one model into another of identical architecture."""
+    destination.set_parameters(source.get_parameters())

@@ -1,0 +1,178 @@
+"""Low-level vectorised tensor operations used by the convolution layers.
+
+All image tensors use the NCHW layout: ``(batch, channels, height, width)``.
+Convolutions are implemented with the classic im2col / col2im lowering so that
+the inner loops run as a handful of large GEMMs instead of Python loops.  The
+three primitives below (forward, input-gradient, weight-gradient) are shared
+between :class:`~repro.nn.conv.Conv2D` and
+:class:`~repro.nn.conv.Conv2DTranspose`, since a transposed convolution is
+exactly the input-gradient of a convolution.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "conv_output_size",
+    "conv_transpose_output_size",
+    "im2col",
+    "col2im",
+    "conv2d_forward",
+    "conv2d_input_grad",
+    "conv2d_weight_grad",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"Invalid convolution geometry: size={size}, kernel={kernel}, "
+            f"stride={stride}, pad={pad} gives non-positive output {out}"
+        )
+    return out
+
+
+def conv_transpose_output_size(
+    size: int, kernel: int, stride: int, pad: int, output_padding: int = 0
+) -> int:
+    """Spatial output size of a transposed convolution along one axis."""
+    out = (size - 1) * stride - 2 * pad + kernel + output_padding
+    if out <= 0:
+        raise ValueError(
+            f"Invalid transposed-convolution geometry: size={size}, "
+            f"kernel={kernel}, stride={stride}, pad={pad}, "
+            f"output_padding={output_padding} gives non-positive output {out}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int = 1, pad: int = 0
+) -> np.ndarray:
+    """Lower image patches into a matrix.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kh, kw:
+        Kernel height and width.
+    stride, pad:
+        Stride and symmetric zero padding.
+
+    Returns
+    -------
+    np.ndarray
+        Array of shape ``(N, C, kh, kw, out_h, out_w)``.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kh, stride, pad)
+    out_w = conv_output_size(w, kw, stride, pad)
+    if pad > 0:
+        img = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    else:
+        img = x
+    col = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            col[:, :, i, j, :, :] = img[:, :, i:i_max:stride, j:j_max:stride]
+    return col
+
+
+def col2im(
+    col: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Scatter-add column patches back into an image (adjoint of :func:`im2col`)."""
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kh, stride, pad)
+    out_w = conv_output_size(w, kw, stride, pad)
+    img = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=col.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            img[:, :, i:i_max:stride, j:j_max:stride] += col[:, :, i, j, :, :]
+    if pad > 0:
+        return img[:, :, pad : pad + h, pad : pad + w]
+    return img
+
+
+def conv2d_forward(
+    x: np.ndarray, weight: np.ndarray, stride: int = 1, pad: int = 0
+) -> np.ndarray:
+    """Cross-correlation of ``x`` with ``weight``.
+
+    ``x`` has shape ``(N, C_in, H, W)``; ``weight`` has shape
+    ``(C_out, C_in, kh, kw)``.  Returns ``(N, C_out, out_h, out_w)``.
+    """
+    n = x.shape[0]
+    c_out, c_in, kh, kw = weight.shape
+    if x.shape[1] != c_in:
+        raise ValueError(
+            f"Channel mismatch: input has {x.shape[1]} channels, "
+            f"weight expects {c_in}"
+        )
+    out_h = conv_output_size(x.shape[2], kh, stride, pad)
+    out_w = conv_output_size(x.shape[3], kw, stride, pad)
+    col = im2col(x, kh, kw, stride, pad).reshape(n, c_in * kh * kw, out_h * out_w)
+    w_mat = weight.reshape(c_out, c_in * kh * kw)
+    out = np.einsum("fk,nkp->nfp", w_mat, col, optimize=True)
+    return out.reshape(n, c_out, out_h, out_w)
+
+
+def conv2d_input_grad(
+    grad_out: np.ndarray,
+    weight: np.ndarray,
+    input_hw: Tuple[int, int],
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Gradient of a convolution w.r.t. its input (a.k.a. transposed conv).
+
+    ``grad_out`` has shape ``(N, C_out, out_h, out_w)``; the result has shape
+    ``(N, C_in, *input_hw)``.
+    """
+    n, c_out, out_h, out_w = grad_out.shape
+    c_out_w, c_in, kh, kw = weight.shape
+    if c_out != c_out_w:
+        raise ValueError(
+            f"Channel mismatch: grad has {c_out} channels, weight has {c_out_w}"
+        )
+    h, w = input_hw
+    w_mat = weight.reshape(c_out, c_in * kh * kw)
+    grad_mat = grad_out.reshape(n, c_out, out_h * out_w)
+    col = np.einsum("fk,nfp->nkp", w_mat, grad_mat, optimize=True)
+    col = col.reshape(n, c_in, kh, kw, out_h, out_w)
+    return col2im(col, (n, c_in, h, w), kh, kw, stride, pad)
+
+
+def conv2d_weight_grad(
+    x: np.ndarray,
+    grad_out: np.ndarray,
+    kernel_hw: Tuple[int, int],
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Gradient of a convolution w.r.t. its weight.
+
+    Returns an array of shape ``(C_out, C_in, kh, kw)``.
+    """
+    n, c_in, _, _ = x.shape
+    _, c_out, out_h, out_w = grad_out.shape
+    kh, kw = kernel_hw
+    col = im2col(x, kh, kw, stride, pad).reshape(n, c_in * kh * kw, out_h * out_w)
+    grad_mat = grad_out.reshape(n, c_out, out_h * out_w)
+    dw = np.einsum("nfp,nkp->fk", grad_mat, col, optimize=True)
+    return dw.reshape(c_out, c_in, kh, kw)

@@ -1,0 +1,36 @@
+"""``repro.simulation`` — emulated distributed-system substrate.
+
+Provides the message-passing fabric, traffic accounting, node/cluster
+abstractions and fail-stop crash injection that the MD-GAN / FL-GAN trainers
+run on.  The emulation preserves the interaction ordering of the paper's
+Algorithm 1 while measuring every byte that crosses a link.
+"""
+
+from .cluster import SERVER_NAME, Cluster, ClusterEvent, worker_name
+from .failures import CrashSchedule
+from .messages import Message, MessageKind, payload_nbytes
+from .network import LinkModel, NodeDisconnected, SimulatedNetwork
+from .node import ComputeLedger, Node
+from .timeline import HardwareProfile, IterationTimeline, estimate_iteration_time
+from .traffic import LinkStats, TrafficMeter
+
+__all__ = [
+    "SERVER_NAME",
+    "worker_name",
+    "Cluster",
+    "ClusterEvent",
+    "CrashSchedule",
+    "Message",
+    "MessageKind",
+    "payload_nbytes",
+    "LinkModel",
+    "NodeDisconnected",
+    "SimulatedNetwork",
+    "Node",
+    "ComputeLedger",
+    "TrafficMeter",
+    "LinkStats",
+    "HardwareProfile",
+    "IterationTimeline",
+    "estimate_iteration_time",
+]

@@ -1,0 +1,88 @@
+"""Fail-stop crash injection.
+
+The Figure 5 experiment crashes one worker every ``I / N`` iterations; when a
+worker crashes its local data shard disappears from the system.  A
+:class:`CrashSchedule` captures an arbitrary iteration -> workers-to-crash
+mapping, with constructors for the paper's uniform schedule and for random
+schedules used in the extended fault-tolerance ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["CrashSchedule"]
+
+
+@dataclass
+class CrashSchedule:
+    """Maps global iteration indices to the worker names crashing there."""
+
+    crashes: Dict[int, List[str]] = field(default_factory=dict)
+
+    @staticmethod
+    def none() -> "CrashSchedule":
+        """A schedule with no crashes."""
+        return CrashSchedule({})
+
+    @staticmethod
+    def uniform(
+        worker_names: Sequence[str], total_iterations: int
+    ) -> "CrashSchedule":
+        """The paper's Figure 5 schedule: one crash every ``I / N`` iterations.
+
+        Workers crash in order; by iteration ``I`` every worker has crashed.
+        The first crash happens at iteration ``I / N`` (not at 0), matching
+        the description "we trigger a worker to crash every I/N iterations".
+        """
+        n = len(worker_names)
+        if n == 0:
+            return CrashSchedule({})
+        if total_iterations <= 0:
+            raise ValueError("total_iterations must be positive")
+        step = total_iterations / n
+        crashes: Dict[int, List[str]] = {}
+        for idx, name in enumerate(worker_names):
+            iteration = int(round((idx + 1) * step))
+            iteration = min(iteration, total_iterations)
+            crashes.setdefault(iteration, []).append(name)
+        return CrashSchedule(crashes)
+
+    @staticmethod
+    def random(
+        worker_names: Sequence[str],
+        total_iterations: int,
+        crash_fraction: float,
+        rng: np.random.Generator,
+    ) -> "CrashSchedule":
+        """Crash a random ``crash_fraction`` of workers at random iterations."""
+        if not 0.0 <= crash_fraction <= 1.0:
+            raise ValueError("crash_fraction must be in [0, 1]")
+        n_crash = int(round(crash_fraction * len(worker_names)))
+        if n_crash == 0:
+            return CrashSchedule({})
+        victims = rng.choice(len(worker_names), size=n_crash, replace=False)
+        crashes: Dict[int, List[str]] = {}
+        for v in victims:
+            iteration = int(rng.integers(1, max(2, total_iterations)))
+            crashes.setdefault(iteration, []).append(worker_names[int(v)])
+        return CrashSchedule(crashes)
+
+    def crashes_at(self, iteration: int) -> List[str]:
+        """Worker names scheduled to crash at ``iteration``."""
+        return list(self.crashes.get(iteration, []))
+
+    @property
+    def total_crashes(self) -> int:
+        """Total number of scheduled crash events."""
+        return sum(len(v) for v in self.crashes.values())
+
+    def all_victims(self) -> List[str]:
+        """All worker names that will crash, in schedule order."""
+        out: List[str] = []
+        for iteration in sorted(self.crashes):
+            out.extend(self.crashes[iteration])
+        return out

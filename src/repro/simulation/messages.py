@@ -1,0 +1,89 @@
+"""Typed messages exchanged in the emulated distributed system.
+
+Every communication of the three training algorithms is represented as a
+:class:`Message` with an explicit payload and byte size, so the traffic
+accounting that feeds Tables III/IV and Figure 2 is *measured* from the same
+code paths that implement the algorithms (rather than only derived from the
+analytic formulas).
+
+Byte sizes follow the paper's conventions: one transmitted scalar (model
+parameter, image feature, or error-feedback feature) is a 32-bit float.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..nn.serialize import FLOAT_BYTES
+
+__all__ = ["MessageKind", "Message", "payload_nbytes"]
+
+_message_counter = itertools.count()
+
+
+class MessageKind(enum.Enum):
+    """Classification of messages, matching the rows of Table III."""
+
+    #: Server -> worker: generated batches X^(d), X^(g)   (MD-GAN)
+    GENERATED_BATCHES = "generated_batches"
+    #: Worker -> server: error feedback F_n                (MD-GAN)
+    ERROR_FEEDBACK = "error_feedback"
+    #: Worker -> worker: discriminator parameters swap     (MD-GAN)
+    DISCRIMINATOR_SWAP = "discriminator_swap"
+    #: Server -> worker: global model parameters           (FL-GAN)
+    MODEL_BROADCAST = "model_broadcast"
+    #: Worker -> server: locally updated model parameters  (FL-GAN)
+    MODEL_UPDATE = "model_update"
+    #: Control-plane messages (join/leave/crash notifications); their size is
+    #: negligible and excluded from the paper's accounting.
+    CONTROL = "control"
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Number of bytes needed to transmit ``payload`` as 32-bit floats.
+
+    Arrays count ``4 * size`` bytes; containers are summed recursively;
+    non-array scalars count one float.  ``None`` counts zero.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.size) * FLOAT_BYTES
+    if isinstance(payload, (list, tuple, set)):
+        return sum(payload_nbytes(p) for p in payload)
+    if isinstance(payload, dict):
+        return sum(payload_nbytes(v) for v in payload.values())
+    if isinstance(payload, (int, float, np.integer, np.floating, bool)):
+        return FLOAT_BYTES
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    raise TypeError(f"Cannot size payload of type {type(payload)!r}")
+
+
+@dataclass
+class Message:
+    """A single directed communication between two nodes."""
+
+    sender: str
+    recipient: str
+    kind: MessageKind
+    payload: Any = None
+    iteration: Optional[int] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_message_counter))
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, MessageKind):
+            self.kind = MessageKind(self.kind)
+        self.nbytes = payload_nbytes(self.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Message(#{self.msg_id} {self.sender}->{self.recipient} "
+            f"{self.kind.value} {self.nbytes}B iter={self.iteration})"
+        )

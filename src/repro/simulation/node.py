@@ -1,0 +1,99 @@
+"""Node abstractions for the emulated cluster.
+
+A :class:`Node` is a named participant bound to a :class:`SimulatedNetwork`.
+The concrete server / worker behaviours of the three training algorithms live
+in ``repro.core``; this module only provides the communication plumbing and
+liveness state shared by all of them, plus a tiny compute-cost ledger used by
+the workload analyses (Table II's computation columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .messages import Message, MessageKind
+from .network import SimulatedNetwork
+
+__all__ = ["ComputeLedger", "Node"]
+
+
+@dataclass
+class ComputeLedger:
+    """Accumulates abstract floating-point-operation and memory estimates.
+
+    The trainers charge costs to this ledger using the paper's own cost
+    model: generating one object costs ``O(|w|)`` operations, one
+    discriminator feed-forward costs ``D_op`` operations, etc.  The measured
+    totals are compared against Table II's asymptotic expressions in the
+    benchmark harness.
+    """
+
+    flops: float = 0.0
+    peak_memory_floats: float = 0.0
+    by_category: Dict[str, float] = field(default_factory=dict)
+
+    def charge(self, category: str, flops: float) -> None:
+        """Add ``flops`` operations under ``category``."""
+        if flops < 0:
+            raise ValueError(f"flops must be non-negative, got {flops}")
+        self.flops += flops
+        self.by_category[category] = self.by_category.get(category, 0.0) + flops
+
+    def observe_memory(self, floats: float) -> None:
+        """Record a transient memory requirement (keeps the running peak)."""
+        self.peak_memory_floats = max(self.peak_memory_floats, float(floats))
+
+    def reset(self) -> None:
+        self.flops = 0.0
+        self.peak_memory_floats = 0.0
+        self.by_category.clear()
+
+
+class Node:
+    """A named participant of the emulated cluster."""
+
+    def __init__(self, name: str, network: SimulatedNetwork) -> None:
+        self.name = name
+        self.network = network
+        self.compute = ComputeLedger()
+        network.register(name)
+
+    # -- liveness ------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Whether this node is still connected to the network."""
+        return self.network.is_connected(self.name)
+
+    def crash(self) -> None:
+        """Fail-stop crash: disconnect from the network permanently."""
+        if self.alive:
+            self.network.disconnect(self.name)
+
+    # -- messaging -----------------------------------------------------------
+    def send(
+        self,
+        recipient: str,
+        kind: MessageKind,
+        payload: Any = None,
+        iteration: Optional[int] = None,
+        **metadata: Any,
+    ) -> bool:
+        """Send a message to ``recipient``; returns ``True`` if delivered."""
+        message = Message(
+            sender=self.name,
+            recipient=recipient,
+            kind=kind,
+            payload=payload,
+            iteration=iteration,
+            metadata=dict(metadata),
+        )
+        return self.network.send(message)
+
+    def receive(self, kind: Optional[MessageKind] = None) -> List[Message]:
+        """Drain pending messages addressed to this node."""
+        return self.network.receive(self.name, kind=kind)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "alive" if self.alive else "crashed"
+        return f"{self.__class__.__name__}(name={self.name!r}, {state})"

@@ -1,0 +1,142 @@
+"""Traffic accounting for the emulated network.
+
+``TrafficMeter`` aggregates the bytes and message counts carried by every
+(sender, recipient, message-kind) combination.  The experiment harness uses
+it to regenerate the measured counterparts of Table III (communication
+complexities), Table IV (CIFAR10 example costs) and Figure 2 (maximum ingress
+traffic per iteration).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .messages import Message, MessageKind
+
+__all__ = ["LinkStats", "TrafficMeter"]
+
+
+@dataclass
+class LinkStats:
+    """Accumulated statistics for one directed (sender, recipient, kind) link."""
+
+    messages: int = 0
+    bytes: int = 0
+
+    def record(self, nbytes: int) -> None:
+        self.messages += 1
+        self.bytes += int(nbytes)
+
+
+@dataclass
+class TrafficMeter:
+    """Aggregate per-link, per-endpoint and per-kind traffic statistics."""
+
+    links: Dict[Tuple[str, str, MessageKind], LinkStats] = field(
+        default_factory=lambda: defaultdict(LinkStats)
+    )
+    ingress: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    egress: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: Per-iteration ingress bytes, used for "per communication" figures:
+    #: iteration -> node -> bytes.
+    ingress_by_iteration: Dict[int, Dict[str, int]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(int))
+    )
+
+    def record(self, message: Message) -> None:
+        """Account for one delivered message."""
+        key = (message.sender, message.recipient, message.kind)
+        self.links[key].record(message.nbytes)
+        self.ingress[message.recipient] += message.nbytes
+        self.egress[message.sender] += message.nbytes
+        if message.iteration is not None:
+            self.ingress_by_iteration[message.iteration][message.recipient] += (
+                message.nbytes
+            )
+
+    # -- queries -------------------------------------------------------------
+    def total_bytes(self, kind: Optional[MessageKind] = None) -> int:
+        """Total bytes carried, optionally restricted to one message kind."""
+        return sum(
+            stats.bytes
+            for (_, _, k), stats in self.links.items()
+            if kind is None or k == kind
+        )
+
+    def total_messages(self, kind: Optional[MessageKind] = None) -> int:
+        """Total number of messages, optionally restricted to one kind."""
+        return sum(
+            stats.messages
+            for (_, _, k), stats in self.links.items()
+            if kind is None or k == kind
+        )
+
+    def bytes_by_kind(self) -> Dict[MessageKind, int]:
+        """Total bytes per message kind."""
+        out: Dict[MessageKind, int] = defaultdict(int)
+        for (_, _, kind), stats in self.links.items():
+            out[kind] += stats.bytes
+        return dict(out)
+
+    def messages_by_kind(self) -> Dict[MessageKind, int]:
+        """Message counts per message kind."""
+        out: Dict[MessageKind, int] = defaultdict(int)
+        for (_, _, kind), stats in self.links.items():
+            out[kind] += stats.messages
+        return dict(out)
+
+    def node_ingress(self, node: str, kind: Optional[MessageKind] = None) -> int:
+        """Bytes received by ``node``, optionally restricted to one kind."""
+        if kind is None:
+            return self.ingress.get(node, 0)
+        return sum(
+            stats.bytes
+            for (_, recipient, k), stats in self.links.items()
+            if recipient == node and k == kind
+        )
+
+    def node_egress(self, node: str, kind: Optional[MessageKind] = None) -> int:
+        """Bytes sent by ``node``, optionally restricted to one kind."""
+        if kind is None:
+            return self.egress.get(node, 0)
+        return sum(
+            stats.bytes
+            for (sender, _, k), stats in self.links.items()
+            if sender == node and k == kind
+        )
+
+    def max_ingress_per_iteration(self, nodes: Iterable[str]) -> int:
+        """Maximum per-iteration ingress over the given nodes (Figure 2)."""
+        nodes = set(nodes)
+        best = 0
+        for per_node in self.ingress_by_iteration.values():
+            for node, nbytes in per_node.items():
+                if node in nodes:
+                    best = max(best, nbytes)
+        return best
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """Flat per-link rows suitable for report tables."""
+        rows = []
+        for (sender, recipient, kind), stats in sorted(
+            self.links.items(), key=lambda item: (item[0][2].value, item[0][0], item[0][1])
+        ):
+            rows.append(
+                {
+                    "sender": sender,
+                    "recipient": recipient,
+                    "kind": kind.value,
+                    "messages": stats.messages,
+                    "bytes": stats.bytes,
+                }
+            )
+        return rows
+
+    def reset(self) -> None:
+        """Clear all accumulated statistics."""
+        self.links.clear()
+        self.ingress.clear()
+        self.egress.clear()
+        self.ingress_by_iteration.clear()

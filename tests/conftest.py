@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite.
+
+Heavier artefacts (datasets, trained score classifier) are session-scoped so
+the suite stays fast while still exercising realistic objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import OptimizerConfig, TrainingConfig
+from repro.datasets import make_gaussian_ring, make_mnist_like, partition_iid
+from repro.metrics import GeneratorEvaluator
+from repro.models import build_toy_gan
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator for each test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def ring_dataset():
+    """Small ring dataset pair (train, test) used by fast end-to-end tests."""
+    return make_gaussian_ring(n_train=800, n_test=200, image_size=8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def mnist_small():
+    """Small MNIST-like dataset pair at 16x16 resolution."""
+    return make_mnist_like(n_train=400, n_test=120, image_size=16, seed=7)
+
+
+@pytest.fixture(scope="session")
+def toy_factory(ring_dataset):
+    """Toy GAN factory matched to the ring dataset."""
+    train, _ = ring_dataset
+    return build_toy_gan(
+        image_shape=train.spec.shape,
+        num_classes=train.num_classes,
+        latent_dim=12,
+        hidden=48,
+    )
+
+
+@pytest.fixture(scope="session")
+def ring_shards(ring_dataset):
+    """The ring training set split i.i.d. over 4 workers."""
+    train, _ = ring_dataset
+    return partition_iid(train, 4, np.random.default_rng(3))
+
+
+@pytest.fixture(scope="session")
+def ring_evaluator(ring_dataset):
+    """Evaluator with a frozen score classifier trained on the ring dataset."""
+    train, test = ring_dataset
+    return GeneratorEvaluator.from_datasets(
+        train, test, sample_size=120, classifier_epochs=5, seed=5
+    )
+
+
+@pytest.fixture()
+def tiny_config() -> TrainingConfig:
+    """Very small training configuration for end-to-end smoke tests."""
+    return TrainingConfig(
+        iterations=12,
+        batch_size=8,
+        disc_steps=1,
+        epochs_per_swap=1.0,
+        eval_every=0,
+        seed=11,
+        generator_opt=OptimizerConfig(learning_rate=1e-3),
+        discriminator_opt=OptimizerConfig(learning_rate=1e-3),
+    )

@@ -1,0 +1,61 @@
+"""Tests for the Section VII extensions (async updates, worker sampling)."""
+
+import numpy as np
+
+from repro.core import AsyncMDGANTrainer, SampledMDGANTrainer, TrainingConfig
+from repro.simulation import MessageKind
+
+
+def test_async_trainer_applies_per_feedback_updates(ring_shards, toy_factory, tiny_config):
+    trainer = AsyncMDGANTrainer(toy_factory, ring_shards, tiny_config)
+    assert trainer.per_feedback_updates
+    history = trainer.train()
+    assert history.algorithm == "md-gan-async"
+    # One Adam step per worker feedback per iteration (vs one per iteration
+    # for the synchronous variant).
+    assert trainer._gen_opt.iterations == tiny_config.iterations * len(ring_shards)
+
+
+def test_sync_trainer_applies_one_update_per_iteration(ring_shards, toy_factory, tiny_config):
+    from repro.core import MDGANTrainer
+
+    trainer = MDGANTrainer(toy_factory, ring_shards, tiny_config)
+    trainer.train()
+    assert trainer._gen_opt.iterations == tiny_config.iterations
+
+
+def test_async_and_sync_produce_different_generators(ring_shards, toy_factory, tiny_config):
+    from repro.core import MDGANTrainer
+
+    sync = MDGANTrainer(toy_factory, ring_shards, tiny_config)
+    sync.train()
+    async_trainer = AsyncMDGANTrainer(toy_factory, ring_shards, tiny_config)
+    async_trainer.train()
+    assert not np.allclose(
+        sync.generator.get_parameters(), async_trainer.generator.get_parameters()
+    )
+
+
+def test_sampled_trainer_limits_participants(ring_shards, toy_factory):
+    config = TrainingConfig(iterations=8, batch_size=8, seed=5)
+    trainer = SampledMDGANTrainer(
+        toy_factory, ring_shards, config, participation_fraction=0.5
+    )
+    history = trainer.train()
+    assert history.algorithm == "md-gan-sampled"
+    assert trainer.config.participation_fraction == 0.5
+    # With 4 workers and fraction 0.5, each iteration ships batches to 2 workers.
+    per_iteration_messages = (
+        trainer.cluster.meter.total_messages(MessageKind.GENERATED_BATCHES) / 8
+    )
+    assert per_iteration_messages == 2
+
+
+def test_sampled_trainer_still_trains_generator(ring_shards, toy_factory):
+    config = TrainingConfig(iterations=5, batch_size=8, seed=5)
+    trainer = SampledMDGANTrainer(
+        toy_factory, ring_shards, config, participation_fraction=0.5
+    )
+    before = trainer.generator.get_parameters()
+    trainer.train()
+    assert not np.array_equal(before, trainer.generator.get_parameters())

@@ -1,0 +1,87 @@
+"""Tests for the FL-GAN (federated averaging) trainer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import FLGANTrainer, TrainingConfig
+from repro.simulation import MessageKind, SERVER_NAME
+
+
+def test_requires_at_least_one_shard(toy_factory, tiny_config):
+    with pytest.raises(ValueError):
+        FLGANTrainer(toy_factory, [], tiny_config)
+
+
+def test_workers_start_from_identical_models(ring_shards, toy_factory, tiny_config):
+    trainer = FLGANTrainer(toy_factory, ring_shards, tiny_config)
+    reference_g = trainer.server_generator.get_parameters()
+    reference_d = trainer.server_discriminator.get_parameters()
+    for worker in trainer.workers:
+        np.testing.assert_array_equal(worker.generator.get_parameters(), reference_g)
+        np.testing.assert_array_equal(worker.discriminator.get_parameters(), reference_d)
+
+
+def test_round_length_follows_e_m_over_b(ring_shards, toy_factory):
+    config = TrainingConfig(iterations=10, batch_size=10, epochs_per_swap=2.0)
+    trainer = FLGANTrainer(toy_factory, ring_shards, config)
+    m = min(len(s) for s in ring_shards)
+    assert trainer.iterations_per_round == round(2.0 * m / 10)
+
+
+def test_federated_round_averages_and_synchronises(ring_shards, toy_factory):
+    # Choose iteration count = one round so exactly one aggregation happens.
+    m = min(len(s) for s in ring_shards)
+    batch = 10
+    iterations = max(1, int(round(m / batch)))
+    config = TrainingConfig(iterations=iterations, batch_size=batch, epochs_per_swap=1.0, seed=4)
+    trainer = FLGANTrainer(toy_factory, ring_shards, config)
+    history = trainer.train()
+    rounds = history.events_of_kind("federated_round")
+    assert len(rounds) == 1
+    # After the round every worker holds the server's averaged parameters.
+    server_params = trainer.server_generator.get_parameters()
+    for worker in trainer.workers:
+        np.testing.assert_allclose(worker.generator.get_parameters(), server_params)
+
+
+def test_traffic_counts_model_transfers(ring_shards, toy_factory):
+    m = min(len(s) for s in ring_shards)
+    batch = 10
+    iterations = int(round(m / batch)) * 2  # exactly two rounds
+    config = TrainingConfig(iterations=iterations, batch_size=batch, seed=4)
+    trainer = FLGANTrainer(toy_factory, ring_shards, config)
+    trainer.train()
+    meter = trainer.cluster.meter
+    model_floats = (
+        trainer.server_generator.num_parameters
+        + trainer.server_discriminator.num_parameters
+    )
+    expected_per_round = len(ring_shards) * model_floats * 4
+    assert meter.total_bytes(MessageKind.MODEL_UPDATE) == 2 * expected_per_round
+    assert meter.total_bytes(MessageKind.MODEL_BROADCAST) == 2 * expected_per_round
+    assert meter.node_ingress(SERVER_NAME) == 2 * expected_per_round
+
+
+def test_no_round_when_epochs_infinite(ring_shards, toy_factory):
+    config = TrainingConfig(iterations=8, batch_size=8, epochs_per_swap=math.inf)
+    trainer = FLGANTrainer(toy_factory, ring_shards, config)
+    history = trainer.train()
+    assert history.events_of_kind("federated_round") == []
+    assert trainer.cluster.meter.total_messages() == 0
+
+
+def test_evaluation_uses_server_generator(ring_shards, toy_factory, ring_evaluator):
+    config = TrainingConfig(iterations=6, batch_size=8, eval_every=3, seed=1)
+    trainer = FLGANTrainer(toy_factory, ring_shards, config, evaluator=ring_evaluator)
+    history = trainer.train()
+    assert len(history.evaluations) == 2
+    assert history.traffic["rounds"] >= 0
+
+
+def test_losses_recorded_every_iteration(ring_shards, toy_factory, tiny_config):
+    trainer = FLGANTrainer(toy_factory, ring_shards, tiny_config)
+    history = trainer.train()
+    assert len(history.iterations) == tiny_config.iterations
+    assert all(np.isfinite(history.generator_loss))

@@ -1,0 +1,197 @@
+"""Unit tests for the shared GAN training steps.
+
+The critical property tested here is the *split-update equivalence*: chaining
+a worker's error feedback through the server's generator must produce exactly
+the same generator gradients as backpropagating end-to-end through
+discriminator-then-generator on one machine.  This is the mathematical core
+of MD-GAN (Section IV-B2).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GANObjective,
+    GeneratedBatch,
+    apply_feedback_to_generator,
+    discriminator_update,
+    generator_feedback,
+    sample_generator_images,
+)
+from repro.models import build_toy_gan
+from repro.models.base import generator_input
+from repro.nn import Adam
+
+
+@pytest.fixture()
+def setup(rng):
+    factory = build_toy_gan(latent_dim=10, num_classes=4, hidden=32)
+    generator = factory.make_generator(rng)
+    discriminator = factory.make_discriminator(rng)
+    objective = GANObjective(factory)
+    return factory, generator, discriminator, objective
+
+
+class TestSampling:
+    def test_sample_generator_images_shapes(self, setup, rng):
+        factory, generator, _, _ = setup
+        batch = sample_generator_images(generator, factory, 6, rng)
+        assert batch.images.shape == (6,) + factory.image_shape
+        assert batch.noise.shape == (6, factory.latent_dim)
+        assert batch.labels.shape == (6,)
+
+    def test_unconditional_sampling_has_no_labels(self, rng):
+        factory = build_toy_gan(conditional=False)
+        generator = factory.make_generator(rng)
+        batch = sample_generator_images(generator, factory, 4, rng)
+        assert batch.labels is None
+
+
+class TestObjective:
+    def test_real_and_fake_terms_sum_to_joint_loss(self, setup, rng):
+        factory, generator, discriminator, objective = setup
+        batch = sample_generator_images(generator, factory, 8, rng)
+        real_images = rng.uniform(-1, 1, size=(8,) + factory.image_shape)
+        real_labels = rng.integers(0, factory.num_classes, size=8)
+        real_out = discriminator.forward(real_images, training=False)
+        fake_out = discriminator.forward(batch.images, training=False)
+        joint, _, _ = objective.discriminator_loss(
+            real_out, real_labels, fake_out, batch.labels
+        )
+        loss_r, _ = objective.discriminator_real_term(real_out, real_labels)
+        loss_f, _ = objective.discriminator_fake_term(fake_out, batch.labels)
+        assert joint == pytest.approx(loss_r + loss_f, rel=1e-10)
+
+    def test_unconditional_objective_paths(self, rng):
+        factory = build_toy_gan(conditional=False)
+        objective = GANObjective(factory)
+        outputs = rng.normal(size=(5, 1))
+        loss, grad = objective.generator_loss(outputs, None)
+        assert np.isfinite(loss) and grad.shape == outputs.shape
+
+
+class TestDiscriminatorUpdate:
+    def test_loss_decreases_on_fixed_batches(self, setup, rng):
+        factory, generator, discriminator, objective = setup
+        optimizer = Adam(learning_rate=5e-3)
+        real_images = rng.uniform(-1, 1, size=(16,) + factory.image_shape)
+        real_labels = rng.integers(0, factory.num_classes, size=16)
+        batch = sample_generator_images(generator, factory, 16, rng)
+        losses = []
+        for _ in range(30):
+            losses.append(
+                discriminator_update(
+                    discriminator,
+                    objective,
+                    optimizer,
+                    real_images,
+                    real_labels,
+                    batch.images,
+                    batch.labels,
+                )
+            )
+        assert losses[-1] < losses[0]
+
+    def test_gradients_are_consumed_not_leaked(self, setup, rng):
+        factory, generator, discriminator, objective = setup
+        optimizer = Adam(learning_rate=1e-3)
+        real_images = rng.uniform(-1, 1, size=(4,) + factory.image_shape)
+        real_labels = rng.integers(0, factory.num_classes, size=4)
+        batch = sample_generator_images(generator, factory, 4, rng)
+        before = discriminator.get_parameters()
+        discriminator_update(
+            discriminator, objective, optimizer, real_images, real_labels,
+            batch.images, batch.labels,
+        )
+        after = discriminator.get_parameters()
+        assert not np.array_equal(before, after)
+
+
+class TestFeedback:
+    def test_feedback_matches_numeric_image_gradient(self, setup, rng):
+        factory, generator, discriminator, objective = setup
+        batch = sample_generator_images(generator, factory, 3, rng)
+        loss, feedback = generator_feedback(discriminator, objective, batch)
+        assert feedback.shape == batch.images.shape
+
+        def loss_of_images(images):
+            out = discriminator.forward(images, training=True)
+            value, _ = objective.generator_loss(out, batch.labels)
+            return value
+
+        eps = 1e-6
+        flat = batch.images.copy()
+        for idx in [(0, 0, 1, 1), (1, 0, 3, 2), (2, 0, 5, 7)]:
+            up = flat.copy()
+            up[idx] += eps
+            down = flat.copy()
+            down[idx] -= eps
+            numeric = (loss_of_images(up) - loss_of_images(down)) / (2 * eps)
+            assert feedback[idx] == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+    def test_feedback_does_not_touch_discriminator_parameters(self, setup, rng):
+        factory, generator, discriminator, objective = setup
+        batch = sample_generator_images(generator, factory, 4, rng)
+        before = discriminator.get_parameters()
+        generator_feedback(discriminator, objective, batch)
+        np.testing.assert_array_equal(before, discriminator.get_parameters())
+        np.testing.assert_array_equal(discriminator.get_gradients(), 0.0)
+
+
+class TestSplitUpdateEquivalence:
+    def test_single_worker_feedback_equals_direct_backprop(self, setup, rng):
+        """Server-side chaining of F_n reproduces end-to-end generator gradients."""
+        factory, generator, discriminator, objective = setup
+        batch = sample_generator_images(generator, factory, 6, rng)
+
+        # Split update: worker computes feedback, server replays and chains.
+        _, feedback = generator_feedback(discriminator, objective, batch)
+        generator.zero_grad()
+        apply_feedback_to_generator(generator, factory, [batch], [feedback])
+        split_grads = generator.get_gradients()
+
+        # Direct update: backprop through D then G in one pass.
+        g_input = generator_input(batch.noise, batch.labels, factory.num_classes)
+        images = generator.forward(g_input, training=True)
+        outputs = discriminator.forward(images, training=True)
+        _, grad_outputs = objective.generator_loss(outputs, batch.labels)
+        discriminator.zero_grad()
+        grad_images = discriminator.backward(grad_outputs)
+        generator.zero_grad()
+        generator.backward(grad_images)
+        direct_grads = generator.get_gradients()
+
+        np.testing.assert_allclose(split_grads, direct_grads, rtol=1e-9, atol=1e-12)
+
+    def test_multiple_feedbacks_are_averaged(self, setup, rng):
+        factory, generator, discriminator, objective = setup
+        batch = sample_generator_images(generator, factory, 5, rng)
+        _, feedback = generator_feedback(discriminator, objective, batch)
+
+        generator.zero_grad()
+        apply_feedback_to_generator(generator, factory, [batch], [feedback])
+        single = generator.get_gradients()
+
+        generator.zero_grad()
+        apply_feedback_to_generator(
+            generator, factory, [batch, batch], [feedback, feedback]
+        )
+        doubled_then_averaged = generator.get_gradients()
+        np.testing.assert_allclose(single, doubled_then_averaged, rtol=1e-9)
+
+    def test_validation_errors(self, setup, rng):
+        factory, generator, discriminator, objective = setup
+        batch = sample_generator_images(generator, factory, 4, rng)
+        _, feedback = generator_feedback(discriminator, objective, batch)
+        with pytest.raises(ValueError, match="batches but"):
+            apply_feedback_to_generator(generator, factory, [batch], [])
+        with pytest.raises(ValueError, match="weights"):
+            apply_feedback_to_generator(
+                generator, factory, [batch], [feedback], weights=[1.0, 2.0]
+            )
+        with pytest.raises(ValueError, match="Feedback shape"):
+            apply_feedback_to_generator(
+                generator, factory, [batch], [feedback[:, :, :2, :2]]
+            )
+        # Empty call is a no-op.
+        apply_feedback_to_generator(generator, factory, [], [])

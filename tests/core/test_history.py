@@ -1,0 +1,68 @@
+"""Unit tests for the training history container."""
+
+import numpy as np
+
+from repro.core import TrainingHistory
+from repro.metrics import EvaluationResult
+
+
+def make_history():
+    history = TrainingHistory(algorithm="md-gan", config={"batch_size": 10})
+    for i in range(1, 6):
+        history.record_losses(i, gen_loss=1.0 / i, disc_loss=2.0 / i)
+    history.record_evaluation(EvaluationResult(2, score=1.5, score_std=0.1, fid=30.0, modes_covered=3))
+    history.record_evaluation(EvaluationResult(4, score=2.5, score_std=0.1, fid=20.0, modes_covered=5))
+    history.record_event(3, "swap", exchanged=4)
+    history.record_event(4, "crash", worker="worker-1")
+    return history
+
+
+def test_loss_series_lengths():
+    history = make_history()
+    assert len(history.iterations) == 5
+    assert history.generator_loss[0] == 1.0
+    assert history.discriminator_loss[-1] == 2.0 / 5
+
+
+def test_score_series_and_final_evaluation():
+    history = make_history()
+    series = history.score_series
+    assert series["iteration"] == [2, 4]
+    assert series["fid"] == [30.0, 20.0]
+    assert history.final_evaluation.iteration == 4
+
+
+def test_best_score_and_fid():
+    history = make_history()
+    assert history.best_score() == 2.5
+    assert history.best_fid() == 20.0
+
+
+def test_best_scores_empty_history():
+    history = TrainingHistory(algorithm="x")
+    assert np.isnan(history.best_score())
+    assert np.isnan(history.best_fid())
+    assert history.final_evaluation is None
+
+
+def test_mean_generator_loss_window():
+    history = make_history()
+    assert history.mean_generator_loss(last=1) == 1.0 / 5
+    assert history.mean_generator_loss() > history.mean_generator_loss(last=1)
+
+
+def test_events_of_kind():
+    history = make_history()
+    assert len(history.events_of_kind("swap")) == 1
+    assert history.events_of_kind("crash")[0]["worker"] == "worker-1"
+
+
+def test_as_dict_is_json_like():
+    import json
+
+    history = make_history()
+    history.traffic = {"total_bytes": 100.0}
+    payload = history.as_dict()
+    text = json.dumps(payload)
+    assert "md-gan" in text
+    assert payload["evaluations"][0]["fid"] == 30.0

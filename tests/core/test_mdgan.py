@@ -1,0 +1,196 @@
+"""Tests for the MD-GAN trainer (Algorithm 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import MDGANTrainer, TrainingConfig
+from repro.nn.serialize import FLOAT_BYTES
+from repro.simulation import CrashSchedule, MessageKind, SERVER_NAME, worker_name
+
+
+def make_trainer(factory, shards, **overrides):
+    defaults = dict(iterations=10, batch_size=8, epochs_per_swap=1.0, seed=21)
+    defaults.update(overrides)
+    config = TrainingConfig(**defaults)
+    return MDGANTrainer(factory, shards, config)
+
+
+class TestSetup:
+    def test_requires_shards(self, toy_factory, tiny_config):
+        with pytest.raises(ValueError):
+            MDGANTrainer(toy_factory, [], tiny_config)
+
+    def test_one_discriminator_per_worker_and_single_generator(
+        self, ring_shards, toy_factory
+    ):
+        trainer = make_trainer(toy_factory, ring_shards)
+        assert len(trainer.workers) == len(ring_shards)
+        # Discriminators are independently initialised objects.
+        ids = {id(w.discriminator) for w in trainer.workers}
+        assert len(ids) == len(ring_shards)
+
+    def test_k_defaults_to_floor_log_n(self, ring_shards, toy_factory):
+        trainer = make_trainer(toy_factory, ring_shards, num_batches=None)
+        assert trainer.num_batches == max(1, int(math.floor(math.log(len(ring_shards)))))
+
+    def test_swap_period_is_m_e_over_b(self, ring_shards, toy_factory):
+        trainer = make_trainer(toy_factory, ring_shards, batch_size=10, epochs_per_swap=2.0)
+        m = min(len(s) for s in ring_shards)
+        assert trainer.swap_period == round(m * 2.0 / 10)
+
+    def test_swap_disabled_gives_zero_period(self, ring_shards, toy_factory):
+        config = TrainingConfig(iterations=5, batch_size=8, epochs_per_swap=math.inf)
+        trainer = MDGANTrainer(toy_factory, ring_shards, config)
+        assert trainer.swap_period == 0
+
+
+class TestTrainingLoop:
+    def test_history_and_losses(self, ring_shards, toy_factory):
+        trainer = make_trainer(toy_factory, ring_shards, iterations=8)
+        history = trainer.train()
+        assert history.algorithm == "md-gan"
+        assert len(history.iterations) == 8
+        assert all(np.isfinite(history.generator_loss))
+        assert history.config["num_workers"] == len(ring_shards)
+
+    def test_generator_parameters_update_each_iteration(self, ring_shards, toy_factory):
+        trainer = make_trainer(toy_factory, ring_shards, iterations=1)
+        before = trainer.generator.get_parameters()
+        trainer.train()
+        assert not np.array_equal(before, trainer.generator.get_parameters())
+
+    def test_deterministic_given_seed(self, ring_shards, toy_factory):
+        a = make_trainer(toy_factory, ring_shards, iterations=5).train()
+        b = make_trainer(toy_factory, ring_shards, iterations=5).train()
+        np.testing.assert_allclose(a.generator_loss, b.generator_loss)
+
+    def test_evaluation_hook(self, ring_shards, toy_factory, ring_evaluator):
+        config = TrainingConfig(iterations=6, batch_size=8, eval_every=3, seed=2)
+        trainer = MDGANTrainer(toy_factory, ring_shards, config, evaluator=ring_evaluator)
+        history = trainer.train()
+        assert [e.iteration for e in history.evaluations] == [3, 6]
+
+    def test_sample_images(self, ring_shards, toy_factory, rng):
+        trainer = make_trainer(toy_factory, ring_shards)
+        images = trainer.sample_images(5, rng)
+        assert images.shape == (5,) + toy_factory.image_shape
+
+
+class TestCommunicationPattern:
+    def test_each_worker_receives_two_batches_per_iteration(
+        self, ring_shards, toy_factory
+    ):
+        trainer = make_trainer(toy_factory, ring_shards, iterations=3, batch_size=8)
+        trainer.train()
+        meter = trainer.cluster.meter
+        d = toy_factory.object_size
+        expected = 3 * len(ring_shards) * 2 * 8 * d * FLOAT_BYTES
+        assert meter.total_bytes(MessageKind.GENERATED_BATCHES) == expected
+
+    def test_feedback_bytes_match_bd_per_worker(self, ring_shards, toy_factory):
+        trainer = make_trainer(toy_factory, ring_shards, iterations=3, batch_size=8)
+        trainer.train()
+        meter = trainer.cluster.meter
+        d = toy_factory.object_size
+        expected = 3 * len(ring_shards) * 8 * d * FLOAT_BYTES
+        assert meter.total_bytes(MessageKind.ERROR_FEEDBACK) == expected
+        assert meter.node_ingress(SERVER_NAME, MessageKind.ERROR_FEEDBACK) == expected
+
+    def test_k_controls_distinct_batches(self, ring_shards, toy_factory):
+        trainer = make_trainer(toy_factory, ring_shards, num_batches=1, iterations=1)
+        batches = trainer._generate_batches(trainer.num_batches)
+        assert len(batches) == 1
+        trainer2 = make_trainer(toy_factory, ring_shards, num_batches=4, iterations=1)
+        batches2 = trainer2._generate_batches(trainer2.num_batches)
+        assert len(batches2) == 4
+
+    def test_assignment_uses_round_robin(self, ring_shards, toy_factory):
+        trainer = make_trainer(toy_factory, ring_shards, num_batches=2, iterations=1)
+        batches = trainer._generate_batches(2)
+        assignment = trainer._distribute_batches(1, batches, trainer.workers)
+        for order, worker in enumerate(trainer.workers):
+            assert assignment[worker.index]["g"] == order % 2
+            assert assignment[worker.index]["d"] == (order + 1) % 2
+
+
+class TestSwap:
+    def test_swap_preserves_parameter_multiset(self, ring_shards, toy_factory):
+        trainer = make_trainer(toy_factory, ring_shards, iterations=1)
+        before = sorted(
+            float(w.discriminator.get_parameters().sum()) for w in trainer.workers
+        )
+        trainer._swap_discriminators(iteration=1)
+        after = sorted(
+            float(w.discriminator.get_parameters().sum()) for w in trainer.workers
+        )
+        np.testing.assert_allclose(before, after)
+
+    def test_swap_events_logged_at_expected_period(self, ring_shards, toy_factory):
+        trainer = make_trainer(toy_factory, ring_shards, iterations=10, batch_size=50)
+        # swap period = m / b; with shards of ~200 samples and b=50 -> every 4.
+        history = trainer.train()
+        period = trainer.swap_period
+        expected_swaps = 10 // period
+        swap_messages = trainer.cluster.meter.total_messages(
+            MessageKind.DISCRIMINATOR_SWAP
+        )
+        # Each swap event exchanges at most N discriminators.
+        assert swap_messages <= expected_swaps * len(ring_shards)
+        assert len(history.events_of_kind("swap")) <= expected_swaps
+
+    def test_no_swaps_when_disabled(self, ring_shards, toy_factory):
+        config = TrainingConfig(iterations=10, batch_size=50, epochs_per_swap=1.0)
+        trainer = MDGANTrainer(toy_factory, ring_shards, config, swap_enabled=False)
+        trainer.train()
+        assert trainer.cluster.meter.total_messages(MessageKind.DISCRIMINATOR_SWAP) == 0
+
+
+class TestCrashes:
+    def test_crashed_workers_stop_participating(self, ring_shards, toy_factory):
+        schedule = CrashSchedule({2: [worker_name(0)], 4: [worker_name(1)]})
+        config = TrainingConfig(iterations=6, batch_size=8, seed=3)
+        trainer = MDGANTrainer(
+            toy_factory, ring_shards, config, crash_schedule=schedule
+        )
+        history = trainer.train()
+        assert len(trainer._alive_workers()) == len(ring_shards) - 2
+        assert len(history.events_of_kind("crash")) == 2
+        # Training continued to the end despite the crashes.
+        assert history.iterations[-1] == 6
+
+    def test_all_workers_crashing_stops_training(self, ring_shards, toy_factory):
+        schedule = CrashSchedule({1: [worker_name(i) for i in range(len(ring_shards))]})
+        config = TrainingConfig(iterations=10, batch_size=8, seed=3)
+        trainer = MDGANTrainer(
+            toy_factory, ring_shards, config, crash_schedule=schedule
+        )
+        history = trainer.train()
+        assert len(history.iterations) < 10
+        assert history.events_of_kind("all_workers_crashed")
+
+    def test_k_shrinks_with_alive_workers(self, ring_shards, toy_factory):
+        schedule = CrashSchedule({1: [worker_name(0), worker_name(1), worker_name(2)]})
+        config = TrainingConfig(iterations=3, batch_size=8, num_batches=4, seed=3)
+        trainer = MDGANTrainer(
+            toy_factory, ring_shards, config, crash_schedule=schedule
+        )
+        history = trainer.train()
+        # Only one worker remains; training still records losses.
+        assert len(history.iterations) == 3
+
+
+class TestParticipation:
+    def test_partial_participation_reduces_traffic(self, ring_shards, toy_factory):
+        full = make_trainer(toy_factory, ring_shards, iterations=6)
+        full.train()
+        partial_config = TrainingConfig(
+            iterations=6, batch_size=8, participation_fraction=0.5, seed=21
+        )
+        partial = MDGANTrainer(toy_factory, ring_shards, partial_config)
+        partial.train()
+        assert (
+            partial.cluster.meter.total_bytes(MessageKind.GENERATED_BATCHES)
+            < full.cluster.meter.total_bytes(MessageKind.GENERATED_BATCHES)
+        )

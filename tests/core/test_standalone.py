@@ -1,0 +1,60 @@
+"""Tests for the standalone (single-server) GAN trainer."""
+
+import numpy as np
+
+from repro.core import StandaloneGANTrainer, TrainingConfig
+
+
+def test_history_records_every_iteration(ring_dataset, toy_factory, tiny_config):
+    train, _ = ring_dataset
+    trainer = StandaloneGANTrainer(toy_factory, train, tiny_config)
+    history = trainer.train()
+    assert history.algorithm == "standalone"
+    assert history.iterations == list(range(1, tiny_config.iterations + 1))
+    assert all(np.isfinite(history.generator_loss))
+    assert all(np.isfinite(history.discriminator_loss))
+
+
+def test_parameters_change_during_training(ring_dataset, toy_factory, tiny_config):
+    train, _ = ring_dataset
+    trainer = StandaloneGANTrainer(toy_factory, train, tiny_config)
+    g_before = trainer.generator.get_parameters()
+    d_before = trainer.discriminator.get_parameters()
+    trainer.train()
+    assert not np.array_equal(g_before, trainer.generator.get_parameters())
+    assert not np.array_equal(d_before, trainer.discriminator.get_parameters())
+
+
+def test_sample_images_shape_and_range(ring_dataset, toy_factory, tiny_config, rng):
+    train, _ = ring_dataset
+    trainer = StandaloneGANTrainer(toy_factory, train, tiny_config)
+    images = trainer.sample_images(9, rng)
+    assert images.shape == (9,) + toy_factory.image_shape
+    assert images.min() >= -1.0 and images.max() <= 1.0
+
+
+def test_evaluation_hook_called(ring_dataset, toy_factory, ring_evaluator):
+    train, _ = ring_dataset
+    config = TrainingConfig(iterations=10, batch_size=8, eval_every=5, seed=2)
+    trainer = StandaloneGANTrainer(toy_factory, train, config, evaluator=ring_evaluator)
+    history = trainer.train()
+    assert [e.iteration for e in history.evaluations] == [5, 10]
+
+
+def test_disc_steps_multiplies_discriminator_updates(ring_dataset, toy_factory):
+    train, _ = ring_dataset
+    config = TrainingConfig(iterations=4, batch_size=8, disc_steps=3, seed=2)
+    trainer = StandaloneGANTrainer(toy_factory, train, config)
+    history = trainer.train()
+    # Each iteration draws disc_steps real batches of size b.
+    assert trainer._sampler.samples_drawn == 4 * 3 * 8
+    assert len(history.iterations) == 4
+
+
+def test_deterministic_given_seed(ring_dataset, toy_factory):
+    train, _ = ring_dataset
+    config = TrainingConfig(iterations=6, batch_size=8, seed=123)
+    a = StandaloneGANTrainer(toy_factory, train, config).train()
+    b = StandaloneGANTrainer(toy_factory, train, config).train()
+    np.testing.assert_allclose(a.generator_loss, b.generator_loss)
+    np.testing.assert_allclose(a.discriminator_loss, b.discriminator_loss)

@@ -1,0 +1,92 @@
+"""Unit tests for the dataset container and spec."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DatasetSpec, ImageDataset
+
+
+@pytest.fixture()
+def spec():
+    return DatasetSpec(
+        name="tiny", channels=1, height=4, width=4, num_classes=3,
+        train_size=100, test_size=20,
+    )
+
+
+@pytest.fixture()
+def dataset(spec, rng):
+    images = rng.uniform(-1, 1, size=(30, 1, 4, 4))
+    labels = rng.integers(0, 3, size=30)
+    return ImageDataset(images, labels, spec)
+
+
+class TestSpec:
+    def test_shape_and_object_size(self, spec):
+        assert spec.shape == (1, 4, 4)
+        assert spec.object_size == 16
+
+
+class TestValidation:
+    def test_rejects_wrong_rank(self, spec):
+        with pytest.raises(ValueError, match="4-D"):
+            ImageDataset(np.zeros((5, 16)), np.zeros(5), spec)
+
+    def test_rejects_length_mismatch(self, spec):
+        with pytest.raises(ValueError, match="disagree"):
+            ImageDataset(np.zeros((5, 1, 4, 4)), np.zeros(4), spec)
+
+    def test_rejects_geometry_mismatch(self, spec):
+        with pytest.raises(ValueError, match="per-sample shape"):
+            ImageDataset(np.zeros((5, 1, 8, 8)), np.zeros(5), spec)
+
+
+class TestAccess:
+    def test_len_and_properties(self, dataset):
+        assert len(dataset) == 30
+        assert dataset.num_classes == 3
+        assert dataset.object_size == 16
+
+    def test_subset(self, dataset):
+        sub = dataset.subset(np.array([0, 2, 4]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.images[1], dataset.images[2])
+
+    def test_subset_out_of_range(self, dataset):
+        with pytest.raises(IndexError):
+            dataset.subset(np.array([100]))
+
+    def test_subset_copies_data(self, dataset):
+        sub = dataset.subset(np.array([0]))
+        sub.images[0] = 99.0
+        assert dataset.images[0, 0, 0, 0] != 99.0
+
+    def test_sample_batch_shapes(self, dataset, rng):
+        x, y = dataset.sample_batch(7, rng)
+        assert x.shape == (7, 1, 4, 4)
+        assert y.shape == (7,)
+
+    def test_sample_batch_empty_dataset(self, spec, rng):
+        empty = ImageDataset(np.zeros((0, 1, 4, 4)), np.zeros(0), spec)
+        with pytest.raises(ValueError):
+            empty.sample_batch(2, rng)
+
+    def test_iter_batches_covers_everything(self, dataset):
+        seen = 0
+        for x, y in dataset.iter_batches(8):
+            seen += x.shape[0]
+        assert seen == len(dataset)
+
+    def test_iter_batches_drop_last(self, dataset):
+        sizes = [x.shape[0] for x, _ in dataset.iter_batches(8, drop_last=True)]
+        assert all(s == 8 for s in sizes)
+
+    def test_iter_batches_shuffles_with_rng(self, dataset, rng):
+        first = next(iter(dataset.iter_batches(30)))[1]
+        shuffled = next(iter(dataset.iter_batches(30, rng=rng)))[1]
+        assert not np.array_equal(first, shuffled)
+
+    def test_class_counts(self, dataset):
+        counts = dataset.class_counts()
+        assert counts.sum() == len(dataset)
+        assert counts.shape == (3,)

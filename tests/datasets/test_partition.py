@@ -1,0 +1,102 @@
+"""Unit tests for dataset partitioning across workers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    make_mnist_like,
+    merge_shards,
+    partition_by_label,
+    partition_dirichlet,
+    partition_iid,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    train, _ = make_mnist_like(n_train=300, n_test=10, image_size=16, seed=5)
+    return train
+
+
+class TestIID:
+    def test_shards_cover_dataset_exactly(self, dataset, rng):
+        shards = partition_iid(dataset, 7, rng)
+        assert sum(len(s) for s in shards) == len(dataset)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shards_are_disjoint(self, dataset, rng):
+        shards = partition_iid(dataset, 5, rng)
+        # Re-identify samples by hashing their pixel content.
+        seen = set()
+        for shard in shards:
+            for img in shard.images:
+                key = img.tobytes()
+                assert key not in seen
+                seen.add(key)
+
+    def test_shards_follow_global_distribution(self, dataset, rng):
+        shards = partition_iid(dataset, 3, rng)
+        global_fraction = dataset.class_counts() / len(dataset)
+        for shard in shards:
+            shard_fraction = shard.class_counts() / len(shard)
+            assert np.abs(shard_fraction - global_fraction).max() < 0.15
+
+    def test_invalid_inputs(self, dataset, rng):
+        with pytest.raises(ValueError):
+            partition_iid(dataset, 0, rng)
+        with pytest.raises(ValueError):
+            partition_iid(dataset, len(dataset) + 1, rng)
+
+
+class TestLabelSkew:
+    def test_each_worker_sees_limited_classes(self, dataset, rng):
+        shards = partition_by_label(dataset, 5, classes_per_worker=2, rng=rng)
+        for shard in shards:
+            present = int((shard.class_counts() > 0).sum())
+            assert present <= 2
+
+    def test_union_covers_all_samples(self, dataset, rng):
+        shards = partition_by_label(dataset, 5, classes_per_worker=2, rng=rng)
+        assert sum(len(s) for s in shards) == len(dataset)
+
+    def test_invalid_classes_per_worker(self, dataset, rng):
+        with pytest.raises(ValueError):
+            partition_by_label(dataset, 5, classes_per_worker=0, rng=rng)
+
+
+class TestDirichlet:
+    def test_total_preserved(self, dataset, rng):
+        shards = partition_dirichlet(dataset, 6, alpha=0.5, rng=rng)
+        assert sum(len(s) for s in shards) == len(dataset)
+
+    def test_small_alpha_is_more_skewed_than_large(self, dataset):
+        def skew(alpha, seed):
+            shards = partition_dirichlet(
+                dataset, 5, alpha=alpha, rng=np.random.default_rng(seed)
+            )
+            # Mean per-shard entropy of the label distribution.
+            entropies = []
+            for shard in shards:
+                p = shard.class_counts() / max(1, len(shard))
+                p = p[p > 0]
+                entropies.append(-(p * np.log(p)).sum())
+            return float(np.mean(entropies))
+
+        assert skew(0.05, 1) < skew(100.0, 1)
+
+    def test_invalid_alpha(self, dataset, rng):
+        with pytest.raises(ValueError):
+            partition_dirichlet(dataset, 4, alpha=0.0, rng=rng)
+
+
+class TestMerge:
+    def test_merge_restores_size(self, dataset, rng):
+        shards = partition_iid(dataset, 4, rng)
+        merged = merge_shards(shards)
+        assert len(merged) == len(dataset)
+        assert merged.spec.shape == dataset.spec.shape
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_shards([])

@@ -1,0 +1,82 @@
+"""Property-based tests for dataset partitioning and sampling invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import (
+    EpochSampler,
+    make_gaussian_ring,
+    merge_shards,
+    partition_dirichlet,
+    partition_iid,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_samples=st.integers(20, 120),
+    num_workers=st.integers(1, 8),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_iid_partition_preserves_and_balances(n_samples, num_workers, seed):
+    """Sharding never loses samples and keeps sizes within one of each other."""
+    train, _ = make_gaussian_ring(n_train=n_samples, n_test=4, seed=seed % 1000)
+    num_workers = min(num_workers, len(train))
+    shards = partition_iid(train, num_workers, np.random.default_rng(seed))
+    sizes = [len(s) for s in shards]
+    assert sum(sizes) == len(train)
+    assert max(sizes) - min(sizes) <= 1
+    merged = merge_shards(shards)
+    assert len(merged) == len(train)
+    # Label multiset is preserved exactly.
+    np.testing.assert_array_equal(
+        np.sort(merged.labels), np.sort(train.labels)
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_workers=st.integers(2, 6),
+    alpha=st.floats(0.05, 50.0, allow_nan=False),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_dirichlet_partition_preserves_samples(num_workers, alpha, seed):
+    train, _ = make_gaussian_ring(n_train=80, n_test=4, seed=11)
+    shards = partition_dirichlet(train, num_workers, alpha, np.random.default_rng(seed))
+    assert sum(len(s) for s in shards) == len(train)
+    merged = merge_shards(shards)
+    np.testing.assert_array_equal(np.sort(merged.labels), np.sort(train.labels))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    batch_size=st.integers(1, 20),
+    draws=st.integers(1, 30),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_epoch_sampler_accounting(batch_size, draws, seed):
+    """samples_drawn and epochs_completed stay consistent for any batch size."""
+    train, _ = make_gaussian_ring(n_train=37, n_test=4, seed=5)
+    sampler = EpochSampler(train, batch_size, np.random.default_rng(seed))
+    for _ in range(draws):
+        x, y = sampler.next_batch()
+        assert x.shape[0] == batch_size
+        assert y.shape[0] == batch_size
+    assert sampler.samples_drawn == batch_size * draws
+    assert sampler.epochs_completed == (batch_size * draws) // len(train)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_train=st.integers(30, 90),
+    image_size=st.sampled_from([8, 12, 16]),
+    seed=st.integers(0, 1000),
+)
+def test_ring_dataset_value_range_and_shapes(n_train, image_size, seed):
+    train, test = make_gaussian_ring(
+        n_train=n_train, n_test=10, image_size=image_size, seed=seed
+    )
+    assert train.images.shape == (n_train, 1, image_size, image_size)
+    assert train.images.min() >= -1.0 - 1e-9
+    assert train.images.max() <= 1.0 + 1e-9
+    assert test.spec.shape == train.spec.shape

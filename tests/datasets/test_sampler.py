@@ -1,0 +1,82 @@
+"""Unit tests for the epoch sampler and noise/label helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import EpochSampler, make_gaussian_ring, noise_batch, sample_labels
+
+
+@pytest.fixture()
+def small_dataset():
+    train, _ = make_gaussian_ring(n_train=50, n_test=10, seed=2)
+    return train
+
+
+class TestEpochSampler:
+    def test_batch_shapes(self, small_dataset, rng):
+        sampler = EpochSampler(small_dataset, 8, rng)
+        x, y = sampler.next_batch()
+        assert x.shape == (8, 1, 8, 8)
+        assert y.shape == (8,)
+
+    def test_epoch_counting(self, small_dataset, rng):
+        sampler = EpochSampler(small_dataset, 10, rng)
+        for _ in range(5):  # 5 x 10 = 50 samples = exactly one epoch
+            sampler.next_batch()
+        assert sampler.epochs_completed == 1
+        assert sampler.samples_drawn == 50
+
+    def test_each_epoch_visits_every_sample(self, rng):
+        train, _ = make_gaussian_ring(n_train=24, n_test=4, seed=3)
+        sampler = EpochSampler(train, 6, rng)
+        seen = set()
+        for _ in range(4):  # exactly one epoch
+            x, _ = sampler.next_batch()
+            for img in x:
+                seen.add(img.tobytes())
+        assert len(seen) == 24
+
+    def test_batches_per_epoch(self, small_dataset, rng):
+        sampler = EpochSampler(small_dataset, 8, rng)
+        assert sampler.batches_per_epoch == 50 // 8
+
+    def test_wraps_partial_batches(self, rng):
+        train, _ = make_gaussian_ring(n_train=10, n_test=4, seed=3)
+        sampler = EpochSampler(train, 7, rng)
+        for _ in range(5):
+            x, _ = sampler.next_batch()
+            assert x.shape[0] == 7
+
+    def test_replace_dataset(self, small_dataset, rng):
+        sampler = EpochSampler(small_dataset, 8, rng)
+        other, _ = make_gaussian_ring(n_train=20, n_test=4, seed=9)
+        sampler.replace_dataset(other)
+        x, _ = sampler.next_batch()
+        assert x.shape[0] == 8
+        assert len(sampler.dataset) == 20
+
+    def test_invalid_inputs(self, small_dataset, rng):
+        with pytest.raises(ValueError):
+            EpochSampler(small_dataset, 0, rng)
+
+
+class TestNoiseAndLabels:
+    def test_noise_batch_statistics(self, rng):
+        z = noise_batch(2000, 8, rng)
+        assert z.shape == (2000, 8)
+        assert abs(z.mean()) < 0.05
+        assert abs(z.std() - 1.0) < 0.05
+
+    def test_noise_batch_validation(self, rng):
+        with pytest.raises(ValueError):
+            noise_batch(0, 8, rng)
+
+    def test_sample_labels_range(self, rng):
+        labels = sample_labels(500, 7, rng)
+        assert labels.min() >= 0 and labels.max() < 7
+        # Roughly uniform coverage.
+        assert len(np.unique(labels)) == 7
+
+    def test_sample_labels_validation(self, rng):
+        with pytest.raises(ValueError):
+            sample_labels(10, 0, rng)

@@ -1,0 +1,103 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    load_dataset,
+    make_celeba_like,
+    make_cifar10_like,
+    make_gaussian_ring,
+    make_mnist_like,
+)
+
+
+class TestMNISTLike:
+    def test_shapes_and_range(self):
+        train, test = make_mnist_like(n_train=100, n_test=30, image_size=16, seed=1)
+        assert train.images.shape == (100, 1, 16, 16)
+        assert test.images.shape == (30, 1, 16, 16)
+        assert train.images.min() >= -1.0 and train.images.max() <= 1.0
+        assert train.num_classes == 10
+
+    def test_default_matches_mnist_geometry(self):
+        train, _ = make_mnist_like(n_train=20, n_test=5)
+        assert train.spec.shape == (1, 28, 28)
+        assert train.object_size == 784
+
+    def test_all_ten_classes_have_distinct_prototypes(self):
+        # Average images of different classes should differ substantially.
+        train, _ = make_mnist_like(n_train=500, n_test=10, image_size=16, seed=0, noise=0.0)
+        means = np.stack(
+            [train.images[train.labels == c].mean(axis=0) for c in range(10)]
+        )
+        for a in range(10):
+            for b in range(a + 1, 10):
+                assert np.abs(means[a] - means[b]).mean() > 0.02
+
+    def test_determinism_per_seed(self):
+        a, _ = make_mnist_like(50, 10, image_size=16, seed=3)
+        b, _ = make_mnist_like(50, 10, image_size=16, seed=3)
+        np.testing.assert_array_equal(a.images, b.images)
+        c, _ = make_mnist_like(50, 10, image_size=16, seed=4)
+        assert not np.array_equal(a.images, c.images)
+
+
+class TestCIFARLike:
+    def test_shapes_and_channels(self):
+        train, test = make_cifar10_like(n_train=60, n_test=20, image_size=16, seed=1)
+        assert train.images.shape == (60, 3, 16, 16)
+        assert train.num_classes == 10
+
+    def test_default_geometry(self):
+        train, _ = make_cifar10_like(n_train=10, n_test=5)
+        assert train.spec.shape == (3, 32, 32)
+        assert train.object_size == 3072
+
+    def test_classes_have_distinct_colours(self):
+        train, _ = make_cifar10_like(n_train=400, n_test=10, image_size=16, seed=0, noise=0.0)
+        class_means = np.stack(
+            [train.images[train.labels == c].mean(axis=(0, 2, 3)) for c in range(10)]
+        )
+        # Mean RGB per class must not all collapse to one colour.
+        assert np.std(class_means, axis=0).max() > 0.05
+
+
+class TestCelebALike:
+    def test_shapes(self):
+        train, test = make_celeba_like(n_train=40, n_test=10, image_size=16, seed=1)
+        assert train.images.shape == (40, 3, 16, 16)
+        assert len(test) == 10
+
+    def test_label_range(self):
+        train, _ = make_celeba_like(n_train=60, n_test=10, image_size=16, seed=2)
+        assert train.labels.min() >= 0
+        assert train.labels.max() < train.num_classes
+
+
+class TestRing:
+    def test_modes_match_labels(self):
+        train, _ = make_gaussian_ring(n_train=200, n_test=20, num_modes=6, seed=0)
+        assert train.num_classes == 6
+        assert set(np.unique(train.labels)) <= set(range(6))
+
+    def test_blob_positions_depend_on_label(self):
+        train, _ = make_gaussian_ring(n_train=400, n_test=20, num_modes=4, seed=0)
+        # The brightest pixel location should cluster per class.
+        for c in range(4):
+            imgs = train.images[train.labels == c][:, 0]
+            positions = np.array(
+                [np.unravel_index(np.argmax(img), img.shape) for img in imgs]
+            )
+            assert positions.std(axis=0).max() < 2.0
+
+
+class TestRegistry:
+    def test_load_dataset_by_name(self):
+        train, test = load_dataset("mnist", n_train=30, n_test=10, image_size=16)
+        assert train.spec.name == "mnist"
+        assert len(train) == 30 and len(test) == 10
+
+    def test_load_dataset_unknown(self):
+        with pytest.raises(ValueError, match="Unknown dataset"):
+            load_dataset("imagenet", n_train=10, n_test=2)

@@ -1,0 +1,139 @@
+"""Tests for result reporting, the non-i.i.d. ablation and the CLI."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    ExperimentScale,
+    ascii_chart,
+    run_ablation_noniid,
+    save_csv,
+    save_json,
+    series_from_rows,
+    to_markdown,
+)
+from repro.experiments.cli import ARTIFACTS, build_parser, main
+
+MICRO = ExperimentScale(
+    name="micro",
+    n_train=120,
+    n_test=60,
+    image_size=16,
+    iterations=5,
+    eval_every=5,
+    num_workers=3,
+    batch_size_small=4,
+    batch_size_large=8,
+    width_factor=0.1,
+    classifier_epochs=1,
+    eval_sample_size=32,
+)
+
+
+@pytest.fixture()
+def sample_result():
+    result = ExperimentResult(name="Demo", description="demo result")
+    result.add_row(competitor="a", iteration=1, fid=10.0, score=1.0)
+    result.add_row(competitor="a", iteration=2, fid=8.0, score=1.2)
+    result.add_row(competitor="b", iteration=1, fid=12.0, score=0.9)
+    result.add_note("a note")
+    return result
+
+
+class TestReporting:
+    def test_save_json_roundtrip(self, sample_result, tmp_path):
+        path = save_json(sample_result, tmp_path / "out" / "demo.json")
+        payload = json.loads(Path(path).read_text())
+        assert payload["name"] == "Demo"
+        assert len(payload["rows"]) == 3
+        assert payload["notes"] == ["a note"]
+
+    def test_save_csv_contains_all_columns(self, sample_result, tmp_path):
+        path = save_csv(sample_result, tmp_path / "demo.csv")
+        text = Path(path).read_text()
+        header = text.splitlines()[0]
+        assert header.split(",") == ["competitor", "iteration", "fid", "score"]
+        assert len(text.splitlines()) == 4
+
+    def test_save_csv_empty_result(self, tmp_path):
+        empty = ExperimentResult(name="Empty", description="")
+        path = save_csv(empty, tmp_path / "empty.csv")
+        assert Path(path).read_text() == ""
+
+    def test_to_markdown_table(self, sample_result):
+        md = to_markdown(sample_result)
+        assert md.startswith("### Demo")
+        assert "| competitor | iteration | fid | score |" in md
+        assert "> a note" in md
+
+    def test_to_markdown_row_limit(self, sample_result):
+        md = to_markdown(sample_result, max_rows=1)
+        assert "more rows omitted" in md
+
+    def test_series_from_rows_groups_and_sorts(self, sample_result):
+        series = series_from_rows(sample_result.rows, "competitor", "iteration", "fid")
+        assert set(series) == {"a", "b"}
+        assert series["a"] == [(1.0, 10.0), (2.0, 8.0)]
+
+    def test_ascii_chart_renders_markers_and_legend(self, sample_result):
+        series = series_from_rows(sample_result.rows, "competitor", "iteration", "fid")
+        chart = ascii_chart(series, width=30, height=8, title="demo chart")
+        assert "demo chart" in chart
+        assert "o = a" in chart and "x = b" in chart
+        assert "o" in chart.splitlines()[4]
+
+    def test_ascii_chart_empty(self):
+        assert ascii_chart({}) == "(no data)"
+
+
+class TestNonIIDAblation:
+    def test_runs_all_schemes(self):
+        result = run_ablation_noniid(scale=MICRO, schemes=("iid", "label-skew"))
+        schemes = {row["scheme"] for row in result.rows}
+        assert schemes == {"iid", "label-skew"}
+        algorithms = {row["algorithm"] for row in result.rows}
+        assert algorithms == {"md-gan", "fl-gan"}
+        assert all(np.isfinite(row["fid"]) for row in result.rows)
+        # The per-label scheme really does concentrate classes on workers.
+        skew_rows = [r for r in result.rows if r["scheme"] == "label-skew"]
+        iid_rows = [r for r in result.rows if r["scheme"] == "iid"]
+        assert skew_rows[0]["min_classes_per_shard"] < iid_rows[0]["min_classes_per_shard"]
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="Unknown partitioning scheme"):
+            run_ablation_noniid(scale=MICRO, schemes=("striped",))
+
+
+class TestCLI:
+    def test_parser_knows_all_artifacts(self):
+        parser = build_parser()
+        args = parser.parse_args(["table2"])
+        assert args.artefact == "table2"
+        assert set(ARTIFACTS) >= {"table2", "fig3", "fig6", "ablation-noniid"}
+
+    def test_main_runs_analytic_artifact_and_writes_outputs(self, tmp_path, capsys):
+        code = main(
+            [
+                "table4",
+                "--json",
+                str(tmp_path / "t4.json"),
+                "--csv",
+                str(tmp_path / "t4.csv"),
+                "--markdown",
+                str(tmp_path / "t4.md"),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "Table IV" in captured
+        assert (tmp_path / "t4.json").exists()
+        assert (tmp_path / "t4.csv").exists()
+        assert (tmp_path / "t4.md").read_text().startswith("### Table IV")
+
+    def test_main_rejects_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,42 @@
+"""Tests for the deployment timing-estimate experiment."""
+
+import pytest
+
+from repro.experiments import run_timing_estimate
+
+
+def test_rows_cover_grid():
+    result = run_timing_estimate()
+    assert len(result.rows) == 2 * 3 * 2  # architectures x scenarios x algorithms
+    assert all(row["total_s"] > 0 for row in result.rows)
+    assert all(
+        row["total_s"] == pytest.approx(row["compute_s"] + row["communication_s"])
+        for row in result.rows
+    )
+
+
+def test_edge_links_make_mdgan_communication_bound():
+    result = run_timing_estimate(architectures=("cifar10-cnn",), scenarios=("edge",))
+    mdgan = next(r for r in result.rows if r["algorithm"] == "md-gan")
+    assert mdgan["bottleneck"] == "communication"
+
+
+def test_datacenter_iterations_are_fastest():
+    result = run_timing_estimate(architectures=("mnist-mlp",))
+    totals = {r["scenario"]: r["total_s"] for r in result.rows if r["algorithm"] == "md-gan"}
+    assert totals["datacenter"] < totals["wan"] < totals["edge"]
+
+
+def test_unknown_inputs_rejected():
+    with pytest.raises(ValueError, match="Unknown scenarios"):
+        run_timing_estimate(scenarios=("moonbase",))
+    with pytest.raises(ValueError, match="Unknown architecture"):
+        run_timing_estimate(architectures=("resnet",))
+
+
+def test_cli_exposes_timing(capsys):
+    from repro.experiments.cli import main
+
+    assert main(["timing"]) == 0
+    out = capsys.readouterr().out
+    assert "Timing estimate" in out

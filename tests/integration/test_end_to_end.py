@@ -1,0 +1,159 @@
+"""End-to-end integration tests on the ring dataset.
+
+These tests train for a few hundred iterations (seconds on CPU) and assert
+the *qualitative* properties the paper relies on: GAN training improves the
+generated distribution, MD-GAN matches the single-machine mathematics, and
+the system survives crashes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FLGANTrainer,
+    MDGANTrainer,
+    StandaloneGANTrainer,
+    TrainingConfig,
+)
+from repro.simulation import CrashSchedule, worker_name
+
+
+@pytest.fixture(scope="module")
+def training_config():
+    return TrainingConfig(
+        iterations=250,
+        batch_size=16,
+        disc_steps=1,
+        epochs_per_swap=1.0,
+        eval_every=250,
+        eval_sample_size=120,
+        seed=17,
+    )
+
+
+def initial_fid(evaluator, trainer):
+    """FID of the untrained generator."""
+    return evaluator.evaluate(trainer.sample_images, iteration=0).fid
+
+
+@pytest.mark.slow
+class TestLearningImprovesGeneration:
+    def test_standalone_improves_fid(self, ring_dataset, toy_factory, ring_evaluator, training_config):
+        train, _ = ring_dataset
+        trainer = StandaloneGANTrainer(
+            toy_factory, train, training_config, evaluator=ring_evaluator
+        )
+        before = initial_fid(ring_evaluator, trainer)
+        history = trainer.train()
+        assert history.final_evaluation.fid < before
+
+    def test_mdgan_improves_fid(self, ring_dataset, ring_shards, toy_factory, ring_evaluator, training_config):
+        trainer = MDGANTrainer(
+            toy_factory, ring_shards, training_config, evaluator=ring_evaluator
+        )
+        before = initial_fid(ring_evaluator, trainer)
+        history = trainer.train()
+        assert history.final_evaluation.fid < before
+
+    def test_flgan_improves_fid(self, ring_dataset, ring_shards, toy_factory, ring_evaluator, training_config):
+        trainer = FLGANTrainer(
+            toy_factory, ring_shards, training_config, evaluator=ring_evaluator
+        )
+        before = initial_fid(ring_evaluator, trainer)
+        history = trainer.train()
+        assert history.final_evaluation.fid < before
+
+
+@pytest.mark.slow
+class TestMDGANSystemProperties:
+    def test_single_worker_mdgan_tracks_standalone_closely(
+        self, ring_dataset, toy_factory, ring_evaluator
+    ):
+        """With N=1, k=1 and no swaps, MD-GAN is algorithmically a standalone GAN.
+
+        The runs are not bit-identical (different RNG consumption order), but
+        both must land in a similar FID range after the same number of
+        iterations.
+        """
+        train, _ = ring_dataset
+        config = TrainingConfig(
+            iterations=200, batch_size=16, eval_every=200, eval_sample_size=120, seed=3
+        )
+        standalone = StandaloneGANTrainer(
+            toy_factory, train, config, evaluator=ring_evaluator
+        )
+        h_standalone = standalone.train()
+        mdgan = MDGANTrainer(
+            toy_factory, [train], config.with_overrides(num_batches=1),
+            evaluator=ring_evaluator,
+        )
+        h_mdgan = mdgan.train()
+        fid_a = h_standalone.final_evaluation.fid
+        fid_b = h_mdgan.final_evaluation.fid
+        assert fid_b < 3.0 * fid_a + 10.0
+
+    def test_crash_run_completes_and_degrades_gracefully(
+        self, ring_dataset, ring_shards, toy_factory, ring_evaluator
+    ):
+        config = TrainingConfig(
+            iterations=200, batch_size=16, eval_every=100, eval_sample_size=120, seed=9
+        )
+        schedule = CrashSchedule.uniform(
+            [worker_name(i) for i in range(len(ring_shards))], 200
+        )
+        trainer = MDGANTrainer(
+            toy_factory,
+            ring_shards,
+            config,
+            evaluator=ring_evaluator,
+            crash_schedule=schedule,
+        )
+        before = initial_fid(ring_evaluator, trainer)
+        history = trainer.train()
+        # All workers eventually crash; training must have kept going until
+        # the last one disappeared and still improved over the untrained state.
+        assert len(history.events_of_kind("crash")) == len(ring_shards)
+        assert history.final_evaluation.fid < before
+
+    def test_swap_changes_discriminator_assignment_but_not_count(
+        self, ring_shards, toy_factory
+    ):
+        config = TrainingConfig(iterations=60, batch_size=32, epochs_per_swap=1.0, seed=5)
+        trainer = MDGANTrainer(toy_factory, ring_shards, config)
+        initial_params = [w.discriminator.get_parameters() for w in trainer.workers]
+        trainer.train()
+        assert len(trainer.workers) == len(ring_shards)
+        assert len(trainer.history.events_of_kind("swap")) >= 1
+        # At least one worker ended up with a different discriminator history
+        # than it started with (parameters evolved and moved around).
+        final_params = [w.discriminator.get_parameters() for w in trainer.workers]
+        assert any(
+            not np.array_equal(a, b) for a, b in zip(initial_params, final_params)
+        )
+
+
+@pytest.mark.slow
+class TestTrafficConsistency:
+    def test_mdgan_traffic_scales_linearly_with_iterations(
+        self, ring_shards, toy_factory
+    ):
+        def run(iterations):
+            config = TrainingConfig(iterations=iterations, batch_size=8, seed=2)
+            trainer = MDGANTrainer(toy_factory, ring_shards, config)
+            trainer.train()
+            return trainer.cluster.meter.total_bytes()
+
+        short, long = run(10), run(20)
+        assert long == pytest.approx(2 * short, rel=0.2)
+
+    def test_flgan_traffic_independent_of_batch_size(self, ring_shards, toy_factory):
+        def run(batch_size):
+            # Keep the number of rounds identical: iterations = 2 rounds.
+            m = min(len(s) for s in ring_shards)
+            iterations = 2 * max(1, int(round(m / batch_size)))
+            config = TrainingConfig(iterations=iterations, batch_size=batch_size, seed=2)
+            trainer = FLGANTrainer(toy_factory, ring_shards, config)
+            trainer.train()
+            return trainer.cluster.meter.total_bytes()
+
+        assert run(8) == run(16)

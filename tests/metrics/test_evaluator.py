@@ -1,0 +1,74 @@
+"""Tests for the score classifier and the generator evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import GeneratorEvaluator, train_score_classifier
+
+
+class TestScoreClassifier:
+    def test_learns_ring_dataset(self, ring_dataset):
+        train, test = ring_dataset
+        clf = train_score_classifier(train, epochs=5, seed=0)
+        assert clf.accuracy(test) > 0.8
+
+    def test_features_and_probabilities_shapes(self, ring_dataset):
+        train, test = ring_dataset
+        clf = train_score_classifier(train, epochs=1, seed=0)
+        images = test.images[:16]
+        features = clf.features(images)
+        probs = clf.probabilities(images)
+        assert features.shape == (16, clf.feature_dim)
+        assert probs.shape == (16, train.num_classes)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_mlp_fallback_for_tiny_images(self, ring_dataset):
+        train, _ = ring_dataset
+        clf = train_score_classifier(train, epochs=1, convolutional=False, seed=0)
+        assert clf.feature_dim > 0
+
+
+class TestGeneratorEvaluator:
+    def test_real_data_beats_noise(self, ring_dataset, ring_evaluator):
+        _, test = ring_dataset
+        real_result = ring_evaluator.evaluate_dataset(test)
+
+        def noise_sampler(n, rng):
+            return rng.uniform(-1, 1, size=(n,) + test.spec.shape)
+
+        noise_result = ring_evaluator.evaluate(noise_sampler, iteration=1)
+        assert real_result.score > noise_result.score
+        assert real_result.fid < noise_result.fid
+
+    def test_result_dict_round_trip(self, ring_dataset, ring_evaluator):
+        _, test = ring_dataset
+        result = ring_evaluator.evaluate_dataset(test, iteration=7)
+        as_dict = result.as_dict()
+        assert as_dict["iteration"] == 7
+        assert set(as_dict) == {"iteration", "score", "score_std", "fid", "modes_covered"}
+
+    def test_sampler_size_enforced(self, ring_dataset, ring_evaluator):
+        _, test = ring_dataset
+
+        def bad_sampler(n, rng):
+            return rng.uniform(-1, 1, size=(n - 1,) + test.spec.shape)
+
+        with pytest.raises(ValueError, match="Sampler returned"):
+            ring_evaluator.evaluate(bad_sampler)
+
+    def test_deterministic_for_same_iteration(self, ring_dataset, ring_evaluator):
+        _, test = ring_dataset
+
+        def sampler(n, rng):
+            return rng.uniform(-1, 1, size=(n,) + test.spec.shape)
+
+        a = ring_evaluator.evaluate(sampler, iteration=3)
+        b = ring_evaluator.evaluate(sampler, iteration=3)
+        assert a.score == b.score and a.fid == b.fid
+
+    def test_real_features_cached(self, ring_dataset, ring_evaluator):
+        _, test = ring_dataset
+        ring_evaluator.evaluate_dataset(test)
+        cached = ring_evaluator._real_features_cache
+        ring_evaluator.evaluate_dataset(test)
+        assert ring_evaluator._real_features_cache is cached

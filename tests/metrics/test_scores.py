@@ -1,0 +1,113 @@
+"""Unit tests for the Inception-style score and Fréchet distance."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    frechet_distance,
+    frechet_distance_from_features,
+    gaussian_statistics,
+    inception_score,
+    mode_coverage,
+)
+
+
+class TestInceptionScore:
+    def test_uniform_predictions_score_one(self):
+        probs = np.full((100, 10), 0.1)
+        score, std = inception_score(probs)
+        assert score == pytest.approx(1.0)
+        assert std == 0.0
+
+    def test_confident_diverse_predictions_score_num_classes(self):
+        # Perfectly confident and perfectly diverse: the score reaches K.
+        probs = np.eye(10)[np.arange(100) % 10]
+        score, _ = inception_score(probs)
+        assert score == pytest.approx(10.0)
+
+    def test_mode_collapse_scores_one(self):
+        # Confident but all on the same class: KL(p(y|x) || p(y)) = 0.
+        probs = np.zeros((50, 10))
+        probs[:, 3] = 1.0
+        score, _ = inception_score(probs)
+        assert score == pytest.approx(1.0)
+
+    def test_score_between_one_and_num_classes(self, rng):
+        raw = rng.random((200, 10))
+        probs = raw / raw.sum(axis=1, keepdims=True)
+        score, _ = inception_score(probs)
+        assert 1.0 <= score <= 10.0
+
+    def test_splits(self):
+        # 48 samples over 4 classes: each of the 4 splits holds 12 samples with
+        # perfectly balanced classes, so every split scores exactly 4.
+        probs = np.eye(4)[np.arange(48) % 4]
+        score, std = inception_score(probs, splits=4)
+        assert score == pytest.approx(4.0)
+        assert std == pytest.approx(0.0, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            inception_score(np.full((10, 3), 0.5))  # rows don't sum to 1
+        with pytest.raises(ValueError):
+            inception_score(np.full(10, 0.1))  # not 2-D
+
+
+class TestFrechetDistance:
+    def test_identical_gaussians_give_zero(self, rng):
+        mu = rng.normal(size=5)
+        a = rng.normal(size=(10, 5))
+        sigma = a.T @ a / 10 + np.eye(5)
+        assert frechet_distance(mu, sigma, mu, sigma) == pytest.approx(0.0, abs=1e-6)
+
+    def test_mean_shift_dominates_for_equal_covariances(self):
+        sigma = np.eye(3)
+        mu1 = np.zeros(3)
+        mu2 = np.array([2.0, 0.0, 0.0])
+        # abs tolerance accounts for the 1e-6 diagonal stabilisation offset.
+        assert frechet_distance(mu1, sigma, mu2, sigma) == pytest.approx(4.0, abs=1e-4)
+
+    def test_known_1d_value(self):
+        # For 1-D Gaussians: (mu1-mu2)^2 + (s1 - s2)^2 with s the std devs.
+        d = frechet_distance(
+            np.array([0.0]), np.array([[4.0]]), np.array([1.0]), np.array([[1.0]])
+        )
+        assert d == pytest.approx(1.0 + (2.0 - 1.0) ** 2, abs=1e-4)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            frechet_distance(np.zeros(2), np.eye(2), np.zeros(3), np.eye(3))
+
+    def test_from_features_separates_distributions(self, rng):
+        real = rng.normal(size=(300, 8))
+        close = rng.normal(size=(300, 8)) * 1.05
+        far = rng.normal(loc=5.0, size=(300, 8))
+        assert frechet_distance_from_features(real, close) < frechet_distance_from_features(
+            real, far
+        )
+
+    def test_gaussian_statistics_validation(self, rng):
+        with pytest.raises(ValueError):
+            gaussian_statistics(rng.normal(size=(1, 4)))
+        with pytest.raises(ValueError):
+            gaussian_statistics(rng.normal(size=8))
+
+
+class TestModeCoverage:
+    def test_full_coverage(self):
+        probs = np.eye(5)[np.arange(25) % 5]
+        covered, histogram = mode_coverage(probs)
+        assert covered == 5
+        np.testing.assert_array_equal(histogram, [5, 5, 5, 5, 5])
+
+    def test_collapse_detected(self):
+        probs = np.zeros((20, 5))
+        probs[:, 2] = 1.0
+        covered, histogram = mode_coverage(probs)
+        assert covered == 1
+        assert histogram[2] == 20
+
+    def test_unconfident_predictions_do_not_count(self):
+        probs = np.full((10, 4), 0.25)
+        covered, _ = mode_coverage(probs, threshold=0.5)
+        assert covered == 0

@@ -1,0 +1,207 @@
+"""Unit tests for convolution layers and the im2col primitives."""
+
+import numpy as np
+import pytest
+
+from repro.nn import AvgPool2D, Conv2D, Conv2DTranspose, MaxPool2D
+from repro.nn.tensor_ops import (
+    col2im,
+    conv2d_forward,
+    conv2d_input_grad,
+    conv2d_weight_grad,
+    conv_output_size,
+    conv_transpose_output_size,
+    im2col,
+)
+
+
+class TestGeometry:
+    def test_conv_output_size(self):
+        assert conv_output_size(28, 3, 1, 1) == 28
+        assert conv_output_size(28, 3, 2, 1) == 14
+        assert conv_output_size(32, 5, 2, 2) == 16
+
+    def test_conv_output_size_invalid(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+    def test_transpose_output_size_inverts_conv(self):
+        # 28 -> (stride 2, k 5, pad 2) -> 14 -> transpose with output_padding 1 -> 28
+        assert conv_output_size(28, 5, 2, 2) == 14
+        assert conv_transpose_output_size(14, 5, 2, 2, 1) == 28
+
+    def test_transpose_output_size_invalid(self):
+        with pytest.raises(ValueError):
+            conv_transpose_output_size(1, 1, 1, 3, 0)
+
+
+class TestIm2Col:
+    def test_roundtrip_adjoint_property(self, rng):
+        # <im2col(x), c> == <x, col2im(c)> for all c: check on random vectors.
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols = im2col(x, 3, 3, stride=2, pad=1)
+        c = rng.normal(size=cols.shape)
+        lhs = float((cols * c).sum())
+        rhs = float((x * col2im(c, x.shape, 3, 3, stride=2, pad=1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_identity_kernel_convolution(self, rng):
+        # Convolving with a 1x1 identity kernel reproduces the input channel.
+        x = rng.normal(size=(2, 1, 5, 5))
+        w = np.ones((1, 1, 1, 1))
+        np.testing.assert_allclose(conv2d_forward(x, w), x)
+
+    def test_known_small_convolution(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        w = np.zeros((1, 1, 2, 2))
+        w[0, 0, 0, 0] = 1.0  # picks the top-left value of each window
+        out = conv2d_forward(x, w, stride=1, pad=0)
+        np.testing.assert_array_equal(out[0, 0], [[0, 1, 2], [4, 5, 6], [8, 9, 10]])
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="Channel mismatch"):
+            conv2d_forward(rng.normal(size=(1, 2, 4, 4)), np.zeros((3, 1, 3, 3)))
+
+
+class TestConvGradientsNumerically:
+    def _numeric_grad(self, f, x, eps=1e-6):
+        grad = np.zeros_like(x)
+        flat = x.ravel()
+        gflat = grad.ravel()
+        for i in range(flat.size):
+            old = flat[i]
+            flat[i] = old + eps
+            up = f()
+            flat[i] = old - eps
+            down = f()
+            flat[i] = old
+            gflat[i] = (up - down) / (2 * eps)
+        return grad
+
+    def test_input_grad_matches_numeric(self, rng):
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        target = rng.normal(size=conv2d_forward(x, w, 2, 1).shape)
+
+        def loss():
+            return 0.5 * float(np.sum((conv2d_forward(x, w, 2, 1) - target) ** 2))
+
+        grad_out = conv2d_forward(x, w, 2, 1) - target
+        analytic = conv2d_input_grad(grad_out, w, (5, 5), 2, 1)
+        numeric = self._numeric_grad(loss, x)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_weight_grad_matches_numeric(self, rng):
+        x = rng.normal(size=(2, 2, 4, 4))
+        w = rng.normal(size=(2, 2, 3, 3))
+        target = rng.normal(size=conv2d_forward(x, w, 1, 1).shape)
+
+        def loss():
+            return 0.5 * float(np.sum((conv2d_forward(x, w, 1, 1) - target) ** 2))
+
+        grad_out = conv2d_forward(x, w, 1, 1) - target
+        analytic = conv2d_weight_grad(x, grad_out, (3, 3), 1, 1)
+        numeric = self._numeric_grad(loss, w)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+
+class TestConv2DLayer:
+    def test_output_shape_same_padding(self, rng):
+        layer = Conv2D(8, 3, stride=1, padding="same")
+        layer.build((3, 10, 10), rng)
+        assert layer.output_shape == (8, 10, 10)
+
+    def test_strided_shape(self, rng):
+        layer = Conv2D(4, 3, stride=2, padding=1)
+        layer.build((1, 16, 16), rng)
+        assert layer.output_shape == (4, 8, 8)
+
+    def test_forward_backward_shapes(self, rng):
+        layer = Conv2D(4, 3, stride=2, padding=1)
+        layer.build((2, 8, 8), rng)
+        x = rng.normal(size=(5, 2, 8, 8))
+        out = layer.forward(x)
+        assert out.shape == (5, 4, 4, 4)
+        grad_in = layer.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+        assert layer.grads["W"].shape == layer.params["W"].shape
+
+    def test_bias_added_per_channel(self, rng):
+        layer = Conv2D(2, 1, use_bias=True)
+        layer.build((1, 3, 3), rng)
+        layer.params["W"][...] = 0.0
+        layer.params["b"][...] = np.array([1.0, -2.0])
+        out = layer.forward(np.zeros((1, 1, 3, 3)))
+        np.testing.assert_allclose(out[0, 0], 1.0)
+        np.testing.assert_allclose(out[0, 1], -2.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Conv2D(0, 3)
+        with pytest.raises(ValueError, match="odd kernel"):
+            Conv2D(4, 2, padding="same")
+
+
+class TestConv2DTransposeLayer:
+    def test_upsamples_spatially(self, rng):
+        layer = Conv2DTranspose(3, 5, stride=2, padding=2, output_padding=1)
+        layer.build((8, 7, 7), rng)
+        assert layer.output_shape == (3, 14, 14)
+
+    def test_forward_backward_shapes(self, rng):
+        layer = Conv2DTranspose(2, 5, stride=2, padding=2, output_padding=1)
+        layer.build((4, 4, 4), rng)
+        x = rng.normal(size=(3, 4, 4, 4))
+        out = layer.forward(x)
+        assert out.shape == (3, 2, 8, 8)
+        grad_in = layer.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+
+    def test_adjoint_of_conv2d(self, rng):
+        # conv_transpose(x; W) is the adjoint of conv(x; W):
+        # <conv(a), b> == <a, conv_transpose(b)> when biases are zero.
+        conv = Conv2D(3, 3, stride=2, padding=1, use_bias=False)
+        conv.build((2, 8, 8), rng)
+        tconv = Conv2DTranspose(2, 3, stride=2, padding=1, output_padding=1, use_bias=False)
+        tconv.build((3, 4, 4), rng)
+        tconv.params["W"][...] = conv.params["W"]
+        a = rng.normal(size=(1, 2, 8, 8))
+        b = rng.normal(size=(1, 3, 4, 4))
+        lhs = float((conv.forward(a) * b).sum())
+        rhs = float((a * tconv.forward(b)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_output_padding_validation(self):
+        with pytest.raises(ValueError, match="output_padding"):
+            Conv2DTranspose(2, 3, stride=2, output_padding=2)
+
+
+class TestPooling:
+    def test_maxpool_picks_maximum(self, rng):
+        layer = MaxPool2D(2)
+        layer.build((1, 4, 4), rng)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_backward_routes_to_max(self, rng):
+        layer = MaxPool2D(2)
+        layer.build((1, 2, 2), rng)
+        x = np.array([[[[1.0, 5.0], [2.0, 3.0]]]])
+        layer.forward(x)
+        grad = layer.backward(np.array([[[[1.0]]]]))
+        np.testing.assert_array_equal(grad, [[[[0.0, 1.0], [0.0, 0.0]]]])
+
+    def test_avgpool_values_and_grad(self, rng):
+        layer = AvgPool2D(2)
+        layer.build((1, 2, 2), rng)
+        x = np.array([[[[1.0, 3.0], [5.0, 7.0]]]])
+        out = layer.forward(x)
+        np.testing.assert_allclose(out, [[[[4.0]]]])
+        grad = layer.backward(np.array([[[[8.0]]]]))
+        np.testing.assert_allclose(grad, 2.0)
+
+    def test_pooling_requires_divisible_dims(self, rng):
+        layer = MaxPool2D(3)
+        with pytest.raises(ValueError):
+            layer.build((1, 4, 4), rng)

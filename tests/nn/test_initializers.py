@@ -1,0 +1,81 @@
+"""Unit tests for parameter initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import initializers as init
+
+
+def test_compute_fans_dense():
+    assert init.compute_fans((20, 30)) == (20, 30)
+
+
+def test_compute_fans_conv():
+    # (c_out, c_in, kh, kw): receptive field multiplies both fans.
+    assert init.compute_fans((16, 8, 3, 3)) == (8 * 9, 16 * 9)
+
+
+def test_compute_fans_bias_and_scalar():
+    assert init.compute_fans((7,)) == (7, 7)
+    assert init.compute_fans(()) == (1, 1)
+
+
+def test_zeros_and_ones(rng):
+    z = init.zeros((3, 4), rng)
+    o = init.ones((5,), rng)
+    assert np.all(z == 0) and z.shape == (3, 4)
+    assert np.all(o == 1) and o.shape == (5,)
+
+
+def test_constant(rng):
+    c = init.constant(2.5)((2, 2), rng)
+    assert np.all(c == 2.5)
+
+
+def test_normal_statistics(rng):
+    values = init.normal(stddev=0.02)((200, 200), rng)
+    assert abs(values.mean()) < 0.005
+    assert abs(values.std() - 0.02) < 0.005
+
+
+def test_uniform_bounds(rng):
+    values = init.uniform(limit=0.1)((1000,), rng)
+    assert values.min() >= -0.1 and values.max() <= 0.1
+
+
+def test_glorot_uniform_bounds(rng):
+    shape = (100, 50)
+    limit = np.sqrt(6.0 / (100 + 50))
+    values = init.glorot_uniform(shape, rng)
+    assert values.min() >= -limit and values.max() <= limit
+
+
+def test_glorot_normal_std(rng):
+    shape = (300, 300)
+    values = init.glorot_normal(shape, rng)
+    expected = np.sqrt(2.0 / 600)
+    assert abs(values.std() - expected) / expected < 0.1
+
+
+def test_he_initializers_scale_with_fan_in(rng):
+    small = init.he_normal((10, 10), rng).std()
+    large = init.he_normal((1000, 10), rng).std()
+    assert small > large
+
+
+def test_get_initializer_by_name_and_callable():
+    fn = init.get_initializer("glorot_uniform")
+    assert fn is init.glorot_uniform
+    custom = init.constant(1.0)
+    assert init.get_initializer(custom) is custom
+
+
+def test_get_initializer_unknown_raises():
+    with pytest.raises(ValueError, match="Unknown initializer"):
+        init.get_initializer("does-not-exist")
+
+
+def test_initializers_are_deterministic_per_seed():
+    a = init.glorot_uniform((4, 4), np.random.default_rng(0))
+    b = init.glorot_uniform((4, 4), np.random.default_rng(0))
+    np.testing.assert_array_equal(a, b)

@@ -1,0 +1,169 @@
+"""Unit tests for loss functions and GAN objectives."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    ACGANLoss,
+    GANLoss,
+    bce_with_logits,
+    mse_loss,
+    sigmoid,
+    softmax_cross_entropy,
+)
+
+
+class TestBCE:
+    def test_known_value_at_zero_logit(self):
+        loss, grad = bce_with_logits(np.zeros((4, 1)), np.ones((4, 1)))
+        assert loss == pytest.approx(np.log(2.0))
+        np.testing.assert_allclose(grad, (0.5 - 1.0) / 4)
+
+    def test_extreme_logits_are_stable(self):
+        loss, grad = bce_with_logits(
+            np.array([[1000.0], [-1000.0]]), np.array([[1.0], [0.0]])
+        )
+        assert np.isfinite(loss)
+        assert np.isfinite(grad).all()
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradient_matches_numeric(self, rng):
+        logits = rng.normal(size=(5, 1))
+        targets = rng.integers(0, 2, size=(5, 1)).astype(float)
+        _, grad = bce_with_logits(logits, targets)
+        eps = 1e-6
+        for i in range(5):
+            up = logits.copy()
+            up[i] += eps
+            down = logits.copy()
+            down[i] -= eps
+            numeric = (bce_with_logits(up, targets)[0] - bce_with_logits(down, targets)[0]) / (
+                2 * eps
+            )
+            assert grad[i, 0] == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            bce_with_logits(np.zeros((3, 1)), np.zeros((4, 1)))
+
+
+class TestSoftmaxCE:
+    def test_uniform_logits(self):
+        loss, grad = softmax_cross_entropy(np.zeros((2, 4)), np.array([0, 3]))
+        assert loss == pytest.approx(np.log(4.0))
+        assert grad.shape == (2, 4)
+
+    def test_perfect_prediction_has_small_loss(self):
+        logits = np.array([[100.0, 0.0, 0.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0]))
+        assert loss < 1e-6
+
+    def test_gradient_sums_to_zero_per_row(self, rng):
+        logits = rng.normal(size=(6, 5))
+        labels = rng.integers(0, 5, size=6)
+        _, grad = softmax_cross_entropy(logits, labels)
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_gradient_matches_numeric(self, rng):
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([1, 0, 3])
+        _, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        i, j = 1, 2
+        up = logits.copy()
+        up[i, j] += eps
+        down = logits.copy()
+        down[i, j] -= eps
+        numeric = (
+            softmax_cross_entropy(up, labels)[0] - softmax_cross_entropy(down, labels)[0]
+        ) / (2 * eps)
+        assert grad[i, j] == pytest.approx(numeric, rel=1e-5, abs=1e-9)
+
+
+class TestMSE:
+    def test_zero_loss_for_equal_inputs(self, rng):
+        x = rng.normal(size=(4, 3))
+        loss, grad = mse_loss(x, x)
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_known_value(self):
+        loss, grad = mse_loss(np.array([[2.0]]), np.array([[0.0]]))
+        assert loss == pytest.approx(4.0)
+        assert grad[0, 0] == pytest.approx(4.0)
+
+
+class TestSigmoid:
+    def test_extremes(self):
+        out = sigmoid(np.array([-1e4, 0.0, 1e4]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-12)
+
+
+class TestGANLoss:
+    def test_discriminator_prefers_correct_classification(self):
+        loss = GANLoss()
+        confident_correct, _, _ = loss.discriminator_loss(
+            real_logits=np.full((8, 1), 5.0), fake_logits=np.full((8, 1), -5.0)
+        )
+        confident_wrong, _, _ = loss.discriminator_loss(
+            real_logits=np.full((8, 1), -5.0), fake_logits=np.full((8, 1), 5.0)
+        )
+        assert confident_correct < confident_wrong
+
+    def test_generator_nonsaturating_gradient_sign(self):
+        # For the non-saturating loss the generator wants D's logits on fake
+        # data to increase, so the gradient w.r.t. the logits is negative.
+        loss = GANLoss(non_saturating=True)
+        _, grad = loss.generator_loss(np.zeros((4, 1)))
+        assert np.all(grad < 0)
+
+    def test_generator_saturating_matches_paper_objective(self):
+        # Saturating form: J_gen = mean log(1 - D(G(z))); at logit 0 this is log(1/2).
+        loss = GANLoss(non_saturating=False)
+        value, grad = loss.generator_loss(np.zeros((4, 1)))
+        assert value == pytest.approx(-np.log(2.0))
+        assert np.all(grad < 0)
+
+    def test_label_smoothing_changes_real_target(self):
+        smooth = GANLoss(label_smoothing=0.9)
+        hard = GANLoss(label_smoothing=1.0)
+        loss_smooth, _, _ = smooth.discriminator_loss(
+            np.full((4, 1), 10.0), np.full((4, 1), -10.0)
+        )
+        loss_hard, _, _ = hard.discriminator_loss(
+            np.full((4, 1), 10.0), np.full((4, 1), -10.0)
+        )
+        assert loss_smooth > loss_hard
+
+
+class TestACGANLoss:
+    def test_output_split_shapes(self):
+        loss = ACGANLoss(num_classes=10)
+        adv, cls = loss.split(np.zeros((4, 11)))
+        assert adv.shape == (4, 1) and cls.shape == (4, 10)
+
+    def test_split_validates_width(self):
+        loss = ACGANLoss(num_classes=10)
+        with pytest.raises(ValueError):
+            loss.split(np.zeros((4, 10)))
+
+    def test_discriminator_loss_includes_classification(self, rng):
+        loss = ACGANLoss(num_classes=3, aux_weight=1.0)
+        real = rng.normal(size=(6, 4))
+        fake = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 3, size=6)
+        total, grad_real, grad_fake = loss.discriminator_loss(real, labels, fake, labels)
+        assert grad_real.shape == real.shape
+        assert grad_fake.shape == fake.shape
+        # With aux_weight = 0 the classification part vanishes.
+        adv_only = ACGANLoss(num_classes=3, aux_weight=0.0)
+        total_adv, _, _ = adv_only.discriminator_loss(real, labels, fake, labels)
+        assert total > total_adv
+
+    def test_generator_loss_gradient_shape(self, rng):
+        loss = ACGANLoss(num_classes=5)
+        outputs = rng.normal(size=(7, 6))
+        labels = rng.integers(0, 5, size=7)
+        value, grad = loss.generator_loss(outputs, labels)
+        assert np.isfinite(value)
+        assert grad.shape == outputs.shape

@@ -1,0 +1,98 @@
+"""Unit tests for the minibatch-discrimination layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MinibatchDiscrimination
+
+
+def build_layer(rng, features=6, num_kernels=4, kernel_dim=3):
+    layer = MinibatchDiscrimination(num_kernels=num_kernels, kernel_dim=kernel_dim)
+    layer.build((features,), rng)
+    return layer
+
+
+def test_output_shape_appends_kernels(rng):
+    layer = build_layer(rng)
+    x = rng.normal(size=(5, 6))
+    out = layer.forward(x)
+    assert out.shape == (5, 6 + 4)
+    # The original features pass through unchanged.
+    np.testing.assert_array_equal(out[:, :6], x)
+
+
+def test_identical_samples_maximise_similarity(rng):
+    layer = build_layer(rng)
+    identical = np.tile(rng.normal(size=(1, 6)), (4, 1))
+    diverse = rng.normal(size=(4, 6)) * 5.0
+    out_identical = layer.forward(identical)[:, 6:]
+    out_diverse = layer.forward(diverse)[:, 6:]
+    # For identical samples the L1 distances are 0, so each similarity term is
+    # exp(0) summed over the other batch members: exactly batch_size - 1.
+    np.testing.assert_allclose(out_identical, 3.0, atol=1e-10)
+    assert out_diverse.mean() < out_identical.mean()
+
+
+def test_single_sample_batch_has_zero_statistic(rng):
+    layer = build_layer(rng)
+    out = layer.forward(rng.normal(size=(1, 6)))
+    np.testing.assert_allclose(out[:, 6:], 0.0, atol=1e-12)
+
+
+def test_backward_shapes(rng):
+    layer = build_layer(rng)
+    x = rng.normal(size=(5, 6))
+    out = layer.forward(x)
+    layer.zero_grad()
+    grad_in = layer.backward(np.ones_like(out))
+    assert grad_in.shape == x.shape
+    assert layer.grads["T"].shape == layer.params["T"].shape
+
+
+def test_gradients_match_numeric(rng):
+    layer = build_layer(rng, features=4, num_kernels=2, kernel_dim=2)
+    x = rng.normal(size=(3, 4))
+    target = rng.normal(size=(3, 6))
+
+    def loss_value():
+        return 0.5 * float(np.sum((layer.forward(x) - target) ** 2))
+
+    out = layer.forward(x)
+    layer.zero_grad()
+    grad_in = layer.backward(out - target)
+
+    # Parameter gradient check on a few coordinates.
+    eps = 1e-6
+    t = layer.params["T"]
+    for idx in [(0, 0), (1, 2), (3, 3)]:
+        old = t[idx]
+        t[idx] = old + eps
+        up = loss_value()
+        t[idx] = old - eps
+        down = loss_value()
+        t[idx] = old
+        numeric = (up - down) / (2 * eps)
+        assert layer.grads["T"][idx] == pytest.approx(numeric, rel=1e-4, abs=1e-7)
+
+    # Input gradient check.
+    for idx in [(0, 1), (2, 3)]:
+        xp = x.copy()
+        xp[idx] += eps
+        xm = x.copy()
+        xm[idx] -= eps
+        numeric = (
+            0.5 * np.sum((layer.forward(xp) - target) ** 2)
+            - 0.5 * np.sum((layer.forward(xm) - target) ** 2)
+        ) / (2 * eps)
+        assert grad_in[idx] == pytest.approx(numeric, rel=1e-4, abs=1e-7)
+
+
+def test_rejects_image_inputs(rng):
+    layer = MinibatchDiscrimination(4, 3)
+    with pytest.raises(ValueError, match="flat inputs"):
+        layer.build((3, 8, 8), rng)
+
+
+def test_rejects_invalid_sizes():
+    with pytest.raises(ValueError):
+        MinibatchDiscrimination(0, 3)

@@ -1,0 +1,209 @@
+"""Unit tests for the Sequential container and parameter serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    Flatten,
+    LeakyReLU,
+    ReLU,
+    Reshape,
+    Sequential,
+    Tanh,
+    average_parameters,
+    copy_parameters,
+    parameter_bytes,
+    vector_bytes,
+    weighted_average_parameters,
+)
+
+
+def small_model(rng, out=3):
+    return Sequential(
+        [Dense(8), ReLU(), Dense(out)], input_shape=(5,), rng=rng, name="small"
+    )
+
+
+class TestBuildAndShapes:
+    def test_shapes_propagate(self, rng):
+        model = Sequential(
+            [Dense(12), ReLU(), Reshape((3, 2, 2)), Flatten(), Dense(4)],
+            input_shape=(6,),
+            rng=rng,
+        )
+        assert model.output_shape == (4,)
+        assert model.forward(rng.normal(size=(7, 6))).shape == (7, 4)
+
+    def test_unbuilt_model_raises(self):
+        model = Sequential([Dense(3)])
+        with pytest.raises(RuntimeError, match="must be built"):
+            model.forward(np.zeros((1, 2)))
+
+    def test_num_parameters(self, rng):
+        model = small_model(rng)
+        assert model.num_parameters == (5 * 8 + 8) + (8 * 3 + 3)
+
+
+class TestParameterVector:
+    def test_get_set_roundtrip(self, rng):
+        model = small_model(rng)
+        flat = model.get_parameters()
+        model.set_parameters(np.zeros_like(flat))
+        assert np.all(model.get_parameters() == 0)
+        model.set_parameters(flat)
+        np.testing.assert_array_equal(model.get_parameters(), flat)
+
+    def test_set_parameters_is_in_place(self, rng):
+        model = small_model(rng)
+        before_ids = [id(p) for _, p in model.named_parameters()]
+        model.set_parameters(model.get_parameters() * 2)
+        after_ids = [id(p) for _, p in model.named_parameters()]
+        assert before_ids == after_ids
+
+    def test_set_parameters_wrong_size(self, rng):
+        model = small_model(rng)
+        with pytest.raises(ValueError, match="expects"):
+            model.set_parameters(np.zeros(3))
+
+    def test_parameters_affect_output(self, rng):
+        model = small_model(rng)
+        x = rng.normal(size=(4, 5))
+        out1 = model.forward(x)
+        model.set_parameters(model.get_parameters() * 0.0)
+        out2 = model.forward(x)
+        assert not np.allclose(out1, out2)
+        np.testing.assert_allclose(out2, 0.0)
+
+    def test_gradients_roundtrip(self, rng):
+        model = small_model(rng)
+        x = rng.normal(size=(4, 5))
+        model.zero_grad()
+        model.forward(x)
+        model.backward(np.ones((4, 3)))
+        grads = model.get_gradients()
+        assert grads.shape == (model.num_parameters,)
+        model.set_gradients(np.ones_like(grads))
+        np.testing.assert_array_equal(model.get_gradients(), 1.0)
+
+    def test_identical_seeds_identical_parameters(self):
+        a = small_model(np.random.default_rng(42))
+        b = small_model(np.random.default_rng(42))
+        np.testing.assert_array_equal(a.get_parameters(), b.get_parameters())
+
+
+class TestBackward:
+    def test_backward_returns_input_gradient(self, rng):
+        model = small_model(rng, out=1)
+        x = rng.normal(size=(6, 5))
+        out = model.forward(x)
+        model.zero_grad()
+        grad_in = model.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+        # Numeric check on one input coordinate.
+        eps = 1e-6
+        i, j = 2, 3
+        xp = x.copy()
+        xp[i, j] += eps
+        xm = x.copy()
+        xm[i, j] -= eps
+        numeric = (model.forward(xp).sum() - model.forward(xm).sum()) / (2 * eps)
+        assert grad_in[i, j] == pytest.approx(numeric, rel=1e-5, abs=1e-8)
+
+    def test_zero_grad_resets(self, rng):
+        model = small_model(rng)
+        x = rng.normal(size=(4, 5))
+        model.zero_grad()
+        model.forward(x)
+        model.backward(np.ones((4, 3)))
+        assert np.any(model.get_gradients() != 0)
+        model.zero_grad()
+        np.testing.assert_array_equal(model.get_gradients(), 0.0)
+
+    def test_predict_uses_eval_mode(self, rng):
+        from repro.nn import Dropout
+
+        model = Sequential(
+            [Dense(16), Dropout(0.9), Dense(2)], input_shape=(4,), rng=rng
+        )
+        x = rng.normal(size=(3, 4))
+        # Evaluation mode is deterministic.
+        np.testing.assert_array_equal(model.predict(x), model.predict(x))
+
+
+class TestCloneAndSummary:
+    def test_clone_architecture_is_independent(self, rng):
+        model = small_model(rng)
+        clone = model.clone_architecture()
+        clone.build((5,), np.random.default_rng(99))
+        assert clone.num_parameters == model.num_parameters
+        clone.set_parameters(np.zeros(clone.num_parameters))
+        assert np.any(model.get_parameters() != 0)
+
+    def test_summary_mentions_all_layers(self, rng):
+        model = Sequential(
+            [Dense(4, name="first"), Tanh(name="act"), Dense(2, name="second")],
+            input_shape=(3,),
+            rng=rng,
+        )
+        text = model.summary()
+        assert "first" in text and "second" in text
+        assert "Total parameters" in text
+
+
+class TestSerializeHelpers:
+    def test_parameter_and_vector_bytes(self, rng):
+        model = small_model(rng)
+        assert parameter_bytes(model) == 4 * model.num_parameters
+        assert vector_bytes(np.zeros((10, 3))) == 120
+
+    def test_average_parameters(self):
+        avg = average_parameters([np.zeros(4), np.ones(4) * 2])
+        np.testing.assert_allclose(avg, 1.0)
+
+    def test_average_parameters_validation(self):
+        with pytest.raises(ValueError):
+            average_parameters([])
+        with pytest.raises(ValueError, match="inconsistent"):
+            average_parameters([np.zeros(3), np.zeros(4)])
+
+    def test_weighted_average(self):
+        avg = weighted_average_parameters([np.zeros(2), np.ones(2)], [1.0, 3.0])
+        np.testing.assert_allclose(avg, 0.75)
+        with pytest.raises(ValueError):
+            weighted_average_parameters([np.zeros(2)], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_average_parameters([np.zeros(2), np.ones(2)], [0.0, 0.0])
+
+    def test_copy_parameters(self, rng):
+        a = small_model(rng)
+        b = small_model(np.random.default_rng(77))
+        copy_parameters(a, b)
+        np.testing.assert_array_equal(a.get_parameters(), b.get_parameters())
+
+
+class TestLeakyArchitectureIntegration:
+    def test_deep_stack_trains_one_step(self, rng):
+        from repro.nn import Adam
+
+        model = Sequential(
+            [Dense(32), LeakyReLU(0.2), Dense(32), LeakyReLU(0.2), Dense(1)],
+            input_shape=(10,),
+            rng=rng,
+        )
+        opt = Adam(learning_rate=1e-3)
+        x = rng.normal(size=(16, 10))
+        y = rng.normal(size=(16, 1))
+
+        def loss():
+            pred = model.forward(x)
+            return 0.5 * float(np.sum((pred - y) ** 2)), pred
+
+        first, pred = loss()
+        for _ in range(50):
+            value, pred = loss()
+            model.zero_grad()
+            model.backward(pred - y)
+            opt.step(model)
+        final, _ = loss()
+        assert final < first

@@ -1,0 +1,124 @@
+"""Unit tests for the SGD and Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Dense, SGD, Sequential, make_optimizer
+
+
+def quadratic_model(rng, dim=4):
+    """One-layer linear model used as an optimisation test bed."""
+    model = Sequential([Dense(1, use_bias=False)], input_shape=(dim,), rng=rng)
+    return model
+
+
+def quadratic_step(model, x, y):
+    """Set gradients of 0.5 * ||x w - y||^2 on the model."""
+    pred = model.forward(x)
+    model.zero_grad()
+    model.backward(pred - y)
+    return float(0.5 * np.sum((pred - y) ** 2))
+
+
+class TestSGD:
+    def test_plain_sgd_descends(self, rng):
+        model = quadratic_model(rng)
+        x = rng.normal(size=(32, 4))
+        y = x @ rng.normal(size=(4, 1))
+        opt = SGD(learning_rate=0.01)
+        losses = [quadratic_step(model, x, y)]
+        for _ in range(200):
+            quadratic_step(model, x, y)
+            opt.step(model)
+        losses.append(quadratic_step(model, x, y))
+        assert losses[-1] < 0.05 * losses[0]
+
+    def test_momentum_accelerates_with_small_learning_rate(self, rng):
+        # With a deliberately small learning rate, momentum's ~1/(1-mu)
+        # effective step size reaches a lower loss in the same number of steps.
+        x = rng.normal(size=(32, 4))
+        y = x @ rng.normal(size=(4, 1))
+
+        def run(momentum):
+            model = quadratic_model(np.random.default_rng(0))
+            opt = SGD(learning_rate=5e-4, momentum=momentum)
+            for _ in range(40):
+                quadratic_step(model, x, y)
+                opt.step(model)
+            return quadratic_step(model, x, y)
+
+        assert run(0.9) < run(0.0)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=-1)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.5)
+
+    def test_reset_clears_velocity(self, rng):
+        model = quadratic_model(rng)
+        x = rng.normal(size=(8, 4))
+        y = rng.normal(size=(8, 1))
+        opt = SGD(learning_rate=0.01, momentum=0.9)
+        quadratic_step(model, x, y)
+        opt.step(model)
+        assert opt._velocity
+        opt.reset()
+        assert not opt._velocity and opt.iterations == 0
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self, rng):
+        model = quadratic_model(rng)
+        x = rng.normal(size=(64, 4))
+        y = x @ rng.normal(size=(4, 1))
+        opt = Adam(learning_rate=0.05)
+        initial = quadratic_step(model, x, y)
+        for _ in range(300):
+            quadratic_step(model, x, y)
+            opt.step(model)
+        assert quadratic_step(model, x, y) < 0.01 * initial
+
+    def test_first_step_size_close_to_learning_rate(self, rng):
+        # Bias correction makes the first Adam step approximately lr * sign(grad).
+        model = quadratic_model(rng, dim=2)
+        model.set_parameters(np.array([1.0, 1.0]))
+        x = np.eye(2)
+        y = np.zeros((2, 1))
+        opt = Adam(learning_rate=0.1)
+        quadratic_step(model, x, y)
+        before = model.get_parameters()
+        opt.step(model)
+        after = model.get_parameters()
+        np.testing.assert_allclose(np.abs(after - before), 0.1, rtol=1e-5)
+
+    def test_state_tracks_parameters_across_set_parameters(self, rng):
+        # set_parameters writes in place, so Adam's per-key state stays valid.
+        model = quadratic_model(rng)
+        x = rng.normal(size=(16, 4))
+        y = rng.normal(size=(16, 1))
+        opt = Adam(learning_rate=0.01)
+        quadratic_step(model, x, y)
+        opt.step(model)
+        model.set_parameters(model.get_parameters() * 0.5)
+        quadratic_step(model, x, y)
+        opt.step(model)  # must not raise and must keep one state per key
+        assert len(opt._m) == 1
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+
+    def test_state_dict_contents(self):
+        opt = Adam(learning_rate=0.002, beta1=0.4)
+        state = opt.state_dict()
+        assert state["learning_rate"] == 0.002
+        assert state["beta1"] == 0.4
+
+
+class TestFactory:
+    def test_make_optimizer(self):
+        assert isinstance(make_optimizer("adam"), Adam)
+        assert isinstance(make_optimizer("sgd", learning_rate=0.1), SGD)
+        with pytest.raises(ValueError):
+            make_optimizer("lbfgs")

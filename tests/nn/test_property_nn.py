@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) for the neural-network substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import (
+    Dense,
+    LeakyReLU,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    average_parameters,
+    bce_with_logits,
+    sigmoid,
+    softmax_cross_entropy,
+)
+
+finite_floats = st.floats(
+    min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+)
+
+
+def arrays(shape_strategy, elements=finite_floats):
+    return shape_strategy.flatmap(
+        lambda shape: st.lists(
+            elements, min_size=int(np.prod(shape)), max_size=int(np.prod(shape))
+        ).map(lambda vals: np.array(vals, dtype=np.float64).reshape(shape))
+    )
+
+
+batch_matrix = arrays(st.tuples(st.integers(1, 6), st.integers(1, 8)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(batch_matrix)
+def test_sigmoid_bounded_and_monotone(x):
+    out = sigmoid(x)
+    assert np.all((out >= 0) & (out <= 1))
+    # Monotonicity along any coordinate.
+    shifted = sigmoid(x + 1.0)
+    assert np.all(shifted >= out - 1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(batch_matrix)
+def test_bce_non_negative_and_finite(logits):
+    targets = (logits > 0).astype(float)
+    loss, grad = bce_with_logits(logits, targets)
+    assert loss >= 0.0
+    assert np.isfinite(loss)
+    assert np.isfinite(grad).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(st.tuples(st.integers(2, 6), st.integers(2, 6))),
+    st.integers(0, 5),
+)
+def test_softmax_ce_invariant_to_logit_shift(logits, shift_seed):
+    labels = np.arange(logits.shape[0]) % logits.shape[1]
+    base, _ = softmax_cross_entropy(logits, labels)
+    shifted, _ = softmax_cross_entropy(logits + float(shift_seed), labels)
+    assert abs(base - shifted) < 1e-8
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch_matrix, st.sampled_from([ReLU, LeakyReLU, Tanh, Sigmoid, Softmax]))
+def test_activation_output_and_gradient_shapes(x, activation_cls):
+    layer = activation_cls()
+    layer.build((x.shape[1],), np.random.default_rng(0))
+    out = layer.forward(x)
+    assert out.shape == x.shape
+    grad = layer.backward(np.ones_like(out))
+    assert grad.shape == x.shape
+    assert np.isfinite(grad).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(1, 6),
+    st.integers(1, 8),
+    st.integers(1, 8),
+    st.integers(0, 2**31 - 1),
+)
+def test_dense_linearity(batch, in_dim, out_dim, seed):
+    """Dense layers are linear: f(a + b) == f(a) + f(b) - f(0)."""
+    rng = np.random.default_rng(seed)
+    layer = Dense(out_dim)
+    layer.build((in_dim,), rng)
+    a = rng.normal(size=(batch, in_dim))
+    b = rng.normal(size=(batch, in_dim))
+    zero = np.zeros((batch, in_dim))
+    lhs = layer.forward(a + b)
+    rhs = layer.forward(a) + layer.forward(b) - layer.forward(zero)
+    np.testing.assert_allclose(lhs, rhs, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(1, 5))
+def test_parameter_roundtrip_preserves_outputs(seed, batch):
+    """set_parameters(get_parameters()) leaves the model function unchanged."""
+    rng = np.random.default_rng(seed)
+    model = Sequential(
+        [Dense(7), Tanh(), Dense(3)], input_shape=(4,), rng=rng, name="prop"
+    )
+    x = rng.normal(size=(batch, 4))
+    before = model.forward(x)
+    model.set_parameters(model.get_parameters())
+    after = model.forward(x)
+    np.testing.assert_array_equal(before, after)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.lists(finite_floats, min_size=6, max_size=6),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_average_parameters_within_bounds(vectors):
+    """The average of parameter vectors is bounded by the elementwise min/max."""
+    arrays_ = [np.array(v) for v in vectors]
+    avg = average_parameters(arrays_)
+    stacked = np.stack(arrays_)
+    assert np.all(avg >= stacked.min(axis=0) - 1e-12)
+    assert np.all(avg <= stacked.max(axis=0) + 1e-12)

@@ -1,0 +1,131 @@
+"""Unit tests for nodes, the cluster container and crash schedules."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    Cluster,
+    ComputeLedger,
+    CrashSchedule,
+    MessageKind,
+    Node,
+    SimulatedNetwork,
+    SERVER_NAME,
+    worker_name,
+)
+
+
+class TestComputeLedger:
+    def test_charge_and_categories(self):
+        ledger = ComputeLedger()
+        ledger.charge("gen", 100.0)
+        ledger.charge("gen", 50.0)
+        ledger.charge("disc", 10.0)
+        assert ledger.flops == 160.0
+        assert ledger.by_category == {"gen": 150.0, "disc": 10.0}
+
+    def test_memory_peak(self):
+        ledger = ComputeLedger()
+        ledger.observe_memory(10)
+        ledger.observe_memory(5)
+        assert ledger.peak_memory_floats == 10
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeLedger().charge("x", -1)
+
+    def test_reset(self):
+        ledger = ComputeLedger()
+        ledger.charge("x", 5)
+        ledger.observe_memory(3)
+        ledger.reset()
+        assert ledger.flops == 0 and ledger.peak_memory_floats == 0
+
+
+class TestNode:
+    def test_send_receive_roundtrip(self):
+        net = SimulatedNetwork()
+        a = Node("a", net)
+        b = Node("b", net)
+        assert a.send("b", MessageKind.CONTROL, np.zeros(2), iteration=3, tag="hello")
+        messages = b.receive()
+        assert len(messages) == 1
+        assert messages[0].metadata["tag"] == "hello"
+        assert messages[0].iteration == 3
+
+    def test_crash_disconnects(self):
+        net = SimulatedNetwork()
+        a = Node("a", net)
+        Node("b", net)
+        a.crash()
+        assert not a.alive
+        # Crashing twice is harmless.
+        a.crash()
+
+
+class TestCrashSchedule:
+    def test_none_schedule(self):
+        schedule = CrashSchedule.none()
+        assert schedule.total_crashes == 0
+        assert schedule.crashes_at(10) == []
+
+    def test_uniform_schedule_covers_all_workers(self):
+        names = [worker_name(i) for i in range(5)]
+        schedule = CrashSchedule.uniform(names, total_iterations=100)
+        assert schedule.total_crashes == 5
+        assert set(schedule.all_victims()) == set(names)
+        # One crash every I/N = 20 iterations, the first one not at iteration 0.
+        iterations = sorted(schedule.crashes)
+        assert iterations[0] == 20
+        assert iterations[-1] <= 100
+
+    def test_uniform_schedule_empty_workers(self):
+        assert CrashSchedule.uniform([], 100).total_crashes == 0
+
+    def test_uniform_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            CrashSchedule.uniform(["w"], 0)
+
+    def test_random_schedule_fraction(self, rng):
+        names = [worker_name(i) for i in range(10)]
+        schedule = CrashSchedule.random(names, 50, crash_fraction=0.4, rng=rng)
+        assert schedule.total_crashes == 4
+        with pytest.raises(ValueError):
+            CrashSchedule.random(names, 50, crash_fraction=1.5, rng=rng)
+
+
+class TestCluster:
+    def test_membership(self):
+        cluster = Cluster(num_workers=3)
+        assert cluster.num_workers == 3
+        assert len(cluster.alive_workers()) == 3
+        assert cluster.server.name == SERVER_NAME
+        assert cluster.worker(worker_name(1)).name == worker_name(1)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            Cluster(num_workers=0)
+
+    def test_apply_crashes(self):
+        schedule = CrashSchedule({5: [worker_name(0), worker_name(2)]})
+        cluster = Cluster(num_workers=3, crash_schedule=schedule)
+        assert cluster.apply_crashes(4) == []
+        crashed = cluster.apply_crashes(5)
+        assert set(crashed) == {worker_name(0), worker_name(2)}
+        assert len(cluster.alive_workers()) == 1
+        # Applying again at the same iteration is a no-op (already crashed).
+        assert cluster.apply_crashes(5) == []
+
+    def test_event_log(self):
+        cluster = Cluster(num_workers=2)
+        cluster.log(1, "swap", worker_name(0), "sent parameters")
+        cluster.log(2, "crash", worker_name(1))
+        assert len(cluster.events_of_kind("swap")) == 1
+        assert cluster.events_of_kind("crash")[0].iteration == 2
+
+    def test_worker_server_communication_metered(self):
+        cluster = Cluster(num_workers=2)
+        cluster.server.send(
+            worker_name(0), MessageKind.GENERATED_BATCHES, np.zeros(8), iteration=1
+        )
+        assert cluster.meter.node_egress(SERVER_NAME) == 32

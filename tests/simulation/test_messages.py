@@ -1,0 +1,63 @@
+"""Unit tests for message typing and payload byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import Message, MessageKind, payload_nbytes
+
+
+class TestPayloadBytes:
+    def test_none_is_zero(self):
+        assert payload_nbytes(None) == 0
+
+    def test_array_counts_four_bytes_per_value(self):
+        assert payload_nbytes(np.zeros((10, 3, 2))) == 60 * 4
+
+    def test_nested_containers(self):
+        payload = {"a": np.zeros(5), "b": [np.zeros(2), np.zeros(3)]}
+        assert payload_nbytes(payload) == (5 + 2 + 3) * 4
+
+    def test_scalars_count_one_float(self):
+        assert payload_nbytes(3) == 4
+        assert payload_nbytes(2.5) == 4
+        assert payload_nbytes(True) == 4
+
+    def test_strings_count_utf8_bytes(self):
+        assert payload_nbytes("abcd") == 4
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            payload_nbytes(object())
+
+
+class TestMessage:
+    def test_nbytes_computed_from_payload(self):
+        msg = Message("a", "b", MessageKind.ERROR_FEEDBACK, np.zeros((4, 8)))
+        assert msg.nbytes == 32 * 4
+
+    def test_kind_coercion_from_string(self):
+        msg = Message("a", "b", "error_feedback", None)
+        assert msg.kind is MessageKind.ERROR_FEEDBACK
+
+    def test_ids_are_unique_and_increasing(self):
+        a = Message("x", "y", MessageKind.CONTROL)
+        b = Message("x", "y", MessageKind.CONTROL)
+        assert b.msg_id > a.msg_id
+
+    def test_metadata_not_counted_in_bytes(self):
+        with_meta = Message(
+            "a", "b", MessageKind.GENERATED_BATCHES, np.zeros(10),
+            metadata={"labels": np.zeros(10)},
+        )
+        without = Message("a", "b", MessageKind.GENERATED_BATCHES, np.zeros(10))
+        assert with_meta.nbytes == without.nbytes
+
+    def test_kinds_cover_all_paper_communications(self):
+        values = {k.value for k in MessageKind}
+        assert {
+            "generated_batches",
+            "error_feedback",
+            "discriminator_swap",
+            "model_broadcast",
+            "model_update",
+        } <= values
