@@ -19,6 +19,8 @@ from repro.experiments import (
     run_ablation_swap,
 )
 
+pytestmark = pytest.mark.slow  # heavy convergence run; excluded from the fast lane
+
 
 @pytest.mark.paper_artifact("section4b4")
 def test_ablation_k_diversity_tradeoff(benchmark, bench_scale):

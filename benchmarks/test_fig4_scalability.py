@@ -14,6 +14,8 @@ from conftest import record_rows
 
 from repro.experiments import run_fig4
 
+pytestmark = pytest.mark.slow  # heavy convergence run; excluded from the fast lane
+
 
 @pytest.mark.paper_artifact("fig4")
 def test_fig4_scalability(benchmark, bench_scale):

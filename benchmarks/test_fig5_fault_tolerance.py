@@ -14,6 +14,8 @@ from conftest import record_rows
 
 from repro.experiments import run_fig5
 
+pytestmark = pytest.mark.slow  # heavy convergence run; excluded from the fast lane
+
 
 def _final(result, competitor, metric):
     rows = [r for r in result.rows if r["competitor"] == competitor]

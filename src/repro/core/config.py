@@ -74,6 +74,11 @@ class TrainingConfig:
     participation_fraction: float = 1.0
     #: Record traffic/compute statistics in the history (cheap, on by default).
     record_traffic: bool = True
+    #: Floating-point policy for models/optimizers: ``"float32"`` (fast path,
+    #: matches the 32-bit wire format), ``"float64"`` (numerics opt-in), or
+    #: ``None`` to follow the process-wide default from
+    #: :mod:`repro.nn.precision`.
+    precision: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.iterations <= 0:
@@ -92,6 +97,18 @@ class TrainingConfig:
             raise ValueError("participation_fraction must be in (0, 1]")
         if self.eval_every < 0:
             raise ValueError("eval_every must be >= 0 (0 disables evaluation)")
+        if self.precision is not None and self.precision not in ("float32", "float64"):
+            raise ValueError(
+                f"precision must be 'float32', 'float64' or None, got "
+                f"{self.precision!r}"
+            )
+
+    @property
+    def dtype(self):
+        """Resolved numpy dtype of the configured precision policy."""
+        from ..nn.precision import resolve_dtype
+
+        return resolve_dtype(self.precision)
 
     def with_overrides(self, **kwargs) -> "TrainingConfig":
         """Return a copy with the given fields replaced."""

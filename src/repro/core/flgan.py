@@ -50,7 +50,9 @@ class FLGANWorkerState:
     disc_opt: object
     sampler: EpochSampler
     dataset: ImageDataset
-    rng: np.random.Generator = None
+    #: Worker-local random stream; required — sampling code must never see
+    #: a missing generator.
+    rng: np.random.Generator
 
 
 class FLGANTrainer:
@@ -66,6 +68,8 @@ class FLGANTrainer:
     ) -> None:
         if not shards:
             raise ValueError("FL-GAN needs at least one worker shard")
+        # Convert shards once so an explicit precision opt-in reaches the data.
+        shards = [shard.astype(config.dtype) for shard in shards]
         self.factory = factory
         self.config = config
         self.evaluator = evaluator
@@ -79,14 +83,15 @@ class FLGANTrainer:
         )
 
         # The server keeps the reference (averaged) generator/discriminator.
-        self.server_generator = factory.make_generator(self._rng)
-        self.server_discriminator = factory.make_discriminator(self._rng)
+        dtype = config.dtype
+        self.server_generator = factory.make_generator(self._rng, dtype=dtype)
+        self.server_discriminator = factory.make_discriminator(self._rng, dtype=dtype)
 
         self.workers: List[FLGANWorkerState] = []
         for index, shard in enumerate(shards):
             worker_rng = np.random.default_rng(config.seed + 1000 + index)
-            generator = factory.make_generator(worker_rng)
-            discriminator = factory.make_discriminator(worker_rng)
+            generator = factory.make_generator(worker_rng, dtype=dtype)
+            discriminator = factory.make_discriminator(worker_rng, dtype=dtype)
             # All workers start from the same global model, as in federated
             # learning where the server initialises the round-0 model.
             generator.set_parameters(self.server_generator.get_parameters())
@@ -126,7 +131,9 @@ class FLGANTrainer:
 
     def sample_images(self, n: int, rng: np.random.Generator) -> np.ndarray:
         """Generate ``n`` images from the server's averaged generator."""
-        noise = rng.normal(0.0, 1.0, size=(n, self.factory.latent_dim))
+        noise = rng.normal(0.0, 1.0, size=(n, self.factory.latent_dim)).astype(
+            self.server_generator.dtype, copy=False
+        )
         labels = (
             rng.integers(0, self.factory.num_classes, size=n)
             if self.factory.conditional

@@ -142,8 +142,14 @@ def sample_generator_images(
     batch_index: int = 0,
     training: bool = True,
 ) -> GeneratedBatch:
-    """Draw noise (and labels if conditional) and run the generator forward."""
+    """Draw noise (and labels if conditional) and run the generator forward.
+
+    Noise is drawn in float64 by the generator's RNG and cast once to the
+    generator's policy dtype, so the stored batch replays without per-step
+    upcasts.
+    """
     noise = rng.normal(0.0, 1.0, size=(batch_size, factory.latent_dim))
+    noise = noise.astype(generator.dtype, copy=False)
     labels = (
         rng.integers(0, factory.num_classes, size=batch_size)
         if factory.conditional
@@ -241,7 +247,7 @@ def apply_feedback_to_generator(
             )
         g_input = generator_input(batch.noise, batch.labels, factory.num_classes)
         generator.forward(g_input, training=True)
-        generator.backward(np.asarray(feedback, dtype=np.float64) * weight)
+        generator.backward(np.asarray(feedback, dtype=generator.dtype) * weight)
 
 
 def generator_update(

@@ -50,6 +50,7 @@ from .gan_ops import (
     apply_feedback_to_generator,
     discriminator_update,
     generator_feedback,
+    sample_generator_images,
 )
 from .history import TrainingHistory
 
@@ -84,6 +85,8 @@ class MDGANTrainer:
     ) -> None:
         if not shards:
             raise ValueError("MD-GAN needs at least one worker shard")
+        # Convert shards once so an explicit precision opt-in reaches the data.
+        shards = [shard.astype(config.dtype) for shard in shards]
         self.factory = factory
         self.config = config
         self.evaluator = evaluator
@@ -103,7 +106,8 @@ class MDGANTrainer:
         )
 
         # Server-side generator (the only generator in the system).
-        self.generator: Sequential = factory.make_generator(self._rng)
+        self._dtype = config.dtype
+        self.generator: Sequential = factory.make_generator(self._rng, dtype=self._dtype)
         self._gen_opt = config.generator_opt.build()
 
         # Worker-side discriminators.
@@ -113,7 +117,9 @@ class MDGANTrainer:
             self.workers.append(
                 MDGANWorkerState(
                     index=index,
-                    discriminator=factory.make_discriminator(worker_rng),
+                    discriminator=factory.make_discriminator(
+                        worker_rng, dtype=self._dtype
+                    ),
                     disc_opt=config.discriminator_opt.build(),
                     sampler=EpochSampler(shard, config.batch_size, worker_rng),
                     dataset=shard,
@@ -164,7 +170,9 @@ class MDGANTrainer:
 
     def sample_images(self, n: int, rng: np.random.Generator) -> np.ndarray:
         """Generate ``n`` images from the server generator (evaluation mode)."""
-        noise = rng.normal(0.0, 1.0, size=(n, self.factory.latent_dim))
+        noise = rng.normal(0.0, 1.0, size=(n, self.factory.latent_dim)).astype(
+            self.generator.dtype, copy=False
+        )
         labels = (
             rng.integers(0, self.factory.num_classes, size=n)
             if self.factory.conditional
@@ -178,18 +186,14 @@ class MDGANTrainer:
         """Step 1: the server generates ``k`` batches of size ``b``."""
         batches = []
         for j in range(k):
-            noise = self._rng.normal(
-                0.0, 1.0, size=(self.config.batch_size, self.factory.latent_dim)
-            )
-            labels = (
-                self._rng.integers(0, self.factory.num_classes, size=self.config.batch_size)
-                if self.factory.conditional
-                else None
-            )
-            g_input = generator_input(noise, labels, self.factory.num_classes)
-            images = self.generator.forward(g_input, training=True)
             batches.append(
-                GeneratedBatch(images=images, noise=noise, labels=labels, batch_index=j)
+                sample_generator_images(
+                    self.generator,
+                    self.factory,
+                    self.config.batch_size,
+                    self._rng,
+                    batch_index=j,
+                )
             )
             # Cost model of Section IV-B3: generating a batch costs O(b |w|).
             self.cluster.server.compute.charge(
@@ -205,15 +209,18 @@ class MDGANTrainer:
     ) -> Dict[int, Dict[str, int]]:
         """Step 1 (cont.): send two batches to every participating worker.
 
-        Uses the paper's round-robin assignment:
-        ``X_n^{(g)} = X^{(n mod k)}`` and ``X_n^{(d)} = X^{((n+1) mod k)}``.
-        Returns the mapping ``worker index -> {"d": batch_index, "g": batch_index}``.
+        Uses the paper's round-robin assignment keyed on the *worker index*
+        ``n`` — ``X_n^{(g)} = X^{(n mod k)}`` and ``X_n^{(d)} = X^{((n+1) mod
+        k)}`` — not on enumeration order over the participant list, so each
+        worker's assignment is stable under crashes and partial
+        participation.  Returns the mapping ``worker index -> {"d":
+        batch_index, "g": batch_index}``.
         """
         k = len(batches)
         assignment: Dict[int, Dict[str, int]] = {}
-        for order, worker in enumerate(participants):
-            g_idx = order % k
-            d_idx = (order + 1) % k
+        for worker in participants:
+            g_idx = worker.index % k
+            d_idx = (worker.index + 1) % k
             assignment[worker.index] = {"g": g_idx, "d": d_idx}
             node = self.cluster.workers[worker.index]
             payload = {
@@ -313,7 +320,8 @@ class MDGANTrainer:
             )
 
         gen_batch = GeneratedBatch(
-            images=x_g, noise=np.zeros((x_g.shape[0], self.factory.latent_dim)),
+            images=x_g,
+            noise=np.zeros((x_g.shape[0], self.factory.latent_dim), dtype=x_g.dtype),
             labels=labels_g, batch_index=batch_index_g,
         )
         gen_loss, feedback = generator_feedback(

@@ -41,13 +41,14 @@ class StandaloneGANTrainer:
         evaluator: Optional[GeneratorEvaluator] = None,
     ) -> None:
         self.factory = factory
-        self.dataset = dataset
+        dtype = config.dtype
+        self.dataset = dataset.astype(dtype)
         self.config = config
         self.evaluator = evaluator
 
         self._rng = np.random.default_rng(config.seed)
-        self.generator: Sequential = factory.make_generator(self._rng)
-        self.discriminator: Sequential = factory.make_discriminator(self._rng)
+        self.generator: Sequential = factory.make_generator(self._rng, dtype=dtype)
+        self.discriminator: Sequential = factory.make_discriminator(self._rng, dtype=dtype)
         self._gen_opt = config.generator_opt.build()
         self._disc_opt = config.discriminator_opt.build()
         self._objective = GANObjective(
@@ -55,7 +56,7 @@ class StandaloneGANTrainer:
             non_saturating=config.non_saturating,
             label_smoothing=config.label_smoothing,
         )
-        self._sampler = EpochSampler(dataset, config.batch_size, self._rng)
+        self._sampler = EpochSampler(self.dataset, config.batch_size, self._rng)
         self.history = TrainingHistory(
             algorithm="standalone",
             config={
@@ -70,7 +71,9 @@ class StandaloneGANTrainer:
     # -- sampling interface used by the evaluator -----------------------------
     def sample_images(self, n: int, rng: np.random.Generator) -> np.ndarray:
         """Generate ``n`` images from the current generator (evaluation mode)."""
-        noise = rng.normal(0.0, 1.0, size=(n, self.factory.latent_dim))
+        noise = rng.normal(0.0, 1.0, size=(n, self.factory.latent_dim)).astype(
+            self.generator.dtype, copy=False
+        )
         labels = (
             rng.integers(0, self.factory.num_classes, size=n)
             if self.factory.conditional

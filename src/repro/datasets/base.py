@@ -13,6 +13,8 @@ from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
+from ..nn.precision import resolve_dtype
+
 __all__ = ["ImageDataset", "DatasetSpec"]
 
 
@@ -55,15 +57,24 @@ class DatasetSpec:
 
 @dataclass
 class ImageDataset:
-    """Labelled image dataset in NCHW layout with values in ``[-1, 1]``."""
+    """Labelled image dataset in NCHW layout with values in ``[-1, 1]``.
+
+    Images are stored in ``dtype`` — by default the precision policy's dtype
+    (float32), so batches feed the models without per-step casts and the
+    in-memory size matches the paper's 32-bit wire accounting.  Pass
+    ``dtype`` (or use :meth:`astype`) to override, e.g. for a float64
+    numerics run.
+    """
 
     images: np.ndarray
     labels: np.ndarray
     spec: DatasetSpec
     name: str = field(default="")
+    dtype: object = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
-        self.images = np.asarray(self.images, dtype=np.float64)
+        self.dtype = resolve_dtype(self.dtype)
+        self.images = np.asarray(self.images, dtype=self.dtype)
         self.labels = np.asarray(self.labels, dtype=np.int64)
         if self.images.ndim != 4:
             raise ValueError(
@@ -108,6 +119,25 @@ class ImageDataset:
             labels=self.labels[indices].copy(),
             spec=self.spec,
             name=name or f"{self.name}[{indices.size}]",
+            dtype=self.dtype,
+        )
+
+    def astype(self, dtype) -> "ImageDataset":
+        """Return this dataset with images in ``dtype`` (self if it already is).
+
+        Trainers call this once at construction so an explicit
+        ``TrainingConfig(precision=...)`` reaches the data, not only the
+        models — a float64 opt-in must not train on float32-quantized images.
+        """
+        dtype = resolve_dtype(dtype)
+        if self.images.dtype == dtype:
+            return self
+        return ImageDataset(
+            images=self.images,
+            labels=self.labels,
+            spec=self.spec,
+            name=self.name,
+            dtype=dtype,
         )
 
     def sample_batch(

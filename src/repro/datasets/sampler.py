@@ -45,8 +45,14 @@ class EpochSampler:
 
     @property
     def batches_per_epoch(self) -> int:
-        """Number of batches that constitute one pass over the local shard."""
-        return max(1, len(self.dataset) // self.batch_size)
+        """Number of ``next_batch`` calls that complete one pass over the shard.
+
+        Uses ceiling division to match the wrap-around epoch accounting of
+        :meth:`next_batch`: a 101-sample shard with batch size 10 finishes its
+        first epoch *during* the 11th batch (after ~10.1 batches), so 11 calls
+        are needed before ``epochs_completed`` advances — not 10.
+        """
+        return -(-len(self.dataset) // self.batch_size)
 
     def next_batch(self) -> Tuple[np.ndarray, np.ndarray]:
         """Return the next ``(images, labels)`` batch, reshuffling per epoch.

@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro.experiments <artefact> [--scale smoke|small|paper]
+                                            [--precision float32|float64]
                                             [--dataset mnist|cifar10|celeba]
                                             [--architecture mnist-mlp|...]
                                             [--json PATH] [--csv PATH]
@@ -73,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("artefact", choices=sorted(ARTIFACTS) + ["all"])
     parser.add_argument("--scale", default="smoke", choices=("smoke", "small", "paper"))
+    parser.add_argument(
+        "--precision",
+        default="float32",
+        choices=("float32", "float64"),
+        help="floating-point policy for all models (float32 is the fast default)",
+    )
     parser.add_argument("--dataset", default="mnist")
     parser.add_argument("--architecture", default="mnist-mlp")
     parser.add_argument("--json", help="write the result rows to a JSON file")
@@ -119,6 +126,9 @@ def _emit(result: ExperimentResult, args: argparse.Namespace) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    from ..nn.precision import set_default_precision
+
+    set_default_precision(args.precision)
     names = sorted(ARTIFACTS) if args.artefact == "all" else [args.artefact]
     for name in names:
         result = _run_one(name, args)

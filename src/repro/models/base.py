@@ -23,11 +23,14 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from ..nn.model import Sequential
+from ..nn.precision import PrecisionLike, resolve_dtype
 
 __all__ = ["GANFactory", "one_hot", "generator_input"]
 
 
-def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+def one_hot(
+    labels: np.ndarray, num_classes: int, dtype: PrecisionLike = None
+) -> np.ndarray:
     """One-hot encode integer labels into shape ``(N, num_classes)``."""
     labels = np.asarray(labels, dtype=np.int64)
     if labels.ndim != 1:
@@ -37,7 +40,7 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
             f"labels must lie in [0, {num_classes}); got range "
             f"[{labels.min()}, {labels.max()}]"
         )
-    out = np.zeros((labels.size, num_classes), dtype=np.float64)
+    out = np.zeros((labels.size, num_classes), dtype=resolve_dtype(dtype))
     out[np.arange(labels.size), labels] = 1.0
     return out
 
@@ -45,10 +48,16 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
 def generator_input(
     noise: np.ndarray, labels: Optional[np.ndarray], num_classes: int
 ) -> np.ndarray:
-    """Assemble the generator input from noise and (optionally) labels."""
+    """Assemble the generator input from noise and (optionally) labels.
+
+    The one-hot block is materialised in the noise's dtype so the
+    concatenation does not upcast under a float32 policy.
+    """
     if labels is None:
         return noise
-    return np.concatenate([noise, one_hot(labels, num_classes)], axis=1)
+    noise = np.asarray(noise)
+    dtype = noise.dtype if np.issubdtype(noise.dtype, np.floating) else None
+    return np.concatenate([noise, one_hot(labels, num_classes, dtype)], axis=1)
 
 
 @dataclass
@@ -99,10 +108,16 @@ class GANFactory:
         return c * h * w
 
     # -- model construction ------------------------------------------------------
-    def make_generator(self, rng: np.random.Generator) -> Sequential:
-        """Create and build a freshly initialised generator."""
+    def make_generator(
+        self, rng: np.random.Generator, dtype: PrecisionLike = None
+    ) -> Sequential:
+        """Create and build a freshly initialised generator.
+
+        ``dtype`` selects the precision policy for the model's parameters and
+        activations; ``None`` follows the process-wide default (float32).
+        """
         layers = self.generator_builder(self)
-        model = Sequential(layers, name=f"{self.name}-G")
+        model = Sequential(layers, name=f"{self.name}-G", dtype=dtype)
         model.build((self.generator_input_dim,), rng)
         if model.output_shape != self.image_shape:
             raise ValueError(
@@ -111,10 +126,16 @@ class GANFactory:
             )
         return model
 
-    def make_discriminator(self, rng: np.random.Generator) -> Sequential:
-        """Create and build a freshly initialised discriminator."""
+    def make_discriminator(
+        self, rng: np.random.Generator, dtype: PrecisionLike = None
+    ) -> Sequential:
+        """Create and build a freshly initialised discriminator.
+
+        ``dtype`` selects the precision policy for the model's parameters and
+        activations; ``None`` follows the process-wide default (float32).
+        """
         layers = self.discriminator_builder(self)
-        model = Sequential(layers, name=f"{self.name}-D")
+        model = Sequential(layers, name=f"{self.name}-D", dtype=dtype)
         model.build(self.image_shape, rng)
         if model.output_shape != (self.discriminator_output_dim,):
             raise ValueError(

@@ -5,6 +5,12 @@ learning framework: layers (dense, convolutional, transposed-convolutional,
 normalisation, minibatch discrimination), GAN losses, Adam/SGD optimizers and
 a :class:`Sequential` container whose backward pass returns input gradients —
 the mechanism MD-GAN's error feedback is built on.
+
+All floating-point tensors follow the precision policy in
+:mod:`repro.nn.precision`: float32 by default (matching the paper's 32-bit
+wire format and halving GEMM memory traffic), float64 as an explicit opt-in
+for numerics-sensitive work (``precision_scope("float64")`` or
+``Sequential(..., dtype=np.float64)``).
 """
 
 from . import initializers
@@ -36,6 +42,16 @@ from .losses import (
 from .minibatch import MinibatchDiscrimination
 from .model import Sequential
 from .optim import SGD, Adam, Optimizer, make_optimizer
+from .precision import (
+    FLOAT32,
+    FLOAT64,
+    Precision,
+    get_default_precision,
+    precision_scope,
+    resolve_dtype,
+    resolve_precision,
+    set_default_precision,
+)
 from .serialize import (
     FLOAT_BYTES,
     average_parameters,
@@ -78,6 +94,14 @@ __all__ = [
     "softmax_cross_entropy",
     "mse_loss",
     "sigmoid",
+    "Precision",
+    "FLOAT32",
+    "FLOAT64",
+    "resolve_precision",
+    "resolve_dtype",
+    "get_default_precision",
+    "set_default_precision",
+    "precision_scope",
     "FLOAT_BYTES",
     "parameter_bytes",
     "vector_bytes",

@@ -4,6 +4,10 @@ All layers use the NCHW layout.  ``Conv2DTranspose`` is implemented through
 the convolution/transposed-convolution duality: its forward pass is the
 input-gradient of a convolution and vice versa, so both layers share the same
 three vectorised primitives.
+
+Weights are created in the layer's policy dtype (float32 by default) and the
+shared primitives are dtype-preserving, so the convolution hot path performs
+no per-step casts.
 """
 
 from __future__ import annotations

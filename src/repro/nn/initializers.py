@@ -7,6 +7,11 @@ shape using the same conventions as Keras (the framework used by the paper):
 * Dense kernels have shape ``(fan_in, fan_out)``.
 * Conv kernels have shape ``(out_channels, in_channels, kh, kw)``.
 * Transposed-conv kernels have shape ``(in_channels, out_channels, kh, kw)``.
+
+Deterministic initializers (``zeros``/``ones``/``constant``) materialise
+arrays in the current default precision policy; random draws come out of the
+generator in float64 and are cast to the owning layer's dtype by
+``Layer.add_param``, which performs the authoritative cast in all cases.
 """
 
 from __future__ import annotations
@@ -14,6 +19,8 @@ from __future__ import annotations
 from typing import Callable, Tuple
 
 import numpy as np
+
+from .precision import resolve_dtype
 
 __all__ = [
     "compute_fans",
@@ -54,13 +61,13 @@ def compute_fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
 def zeros(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """All-zeros initializer (used for biases)."""
     del rng
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=resolve_dtype(None))
 
 
 def ones(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """All-ones initializer (used for batch-norm scale)."""
     del rng
-    return np.ones(shape, dtype=np.float64)
+    return np.ones(shape, dtype=resolve_dtype(None))
 
 
 def constant(value: float) -> Initializer:
@@ -68,7 +75,7 @@ def constant(value: float) -> Initializer:
 
     def _init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
         del rng
-        return np.full(shape, float(value), dtype=np.float64)
+        return np.full(shape, float(value), dtype=resolve_dtype(None))
 
     return _init
 

@@ -12,6 +12,12 @@ Every layer implements the interface defined by :class:`Layer`:
 Returning input gradients is what lets MD-GAN's workers produce the error
 feedback :math:`F_n = \\partial \\tilde B / \\partial x` without holding a
 generator, and lets the server chain that feedback through the generator.
+
+Parameters, caches and outputs all live in the layer's ``dtype``, which is
+assigned by the owning :class:`~repro.nn.model.Sequential` (or resolved from
+the process-wide policy in :mod:`repro.nn.precision` when a layer is built
+standalone).  Forward/backward implementations are written to preserve that
+dtype — no hidden float64 upcasts on the hot path.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from . import initializers as init
+from .precision import resolve_dtype
 
 __all__ = [
     "Layer",
@@ -57,11 +64,20 @@ class Layer:
         self.built = False
         self.input_shape: Optional[Tuple[int, ...]] = None
         self.output_shape: Optional[Tuple[int, ...]] = None
+        #: Floating dtype of parameters/gradients; assigned by the owning
+        #: model before build, else resolved from the default policy.
+        self.dtype: Optional[np.dtype] = None
+
+    def _resolved_dtype(self) -> np.dtype:
+        if self.dtype is None:
+            self.dtype = resolve_dtype(None)
+        return self.dtype
 
     # -- lifecycle ---------------------------------------------------------
     def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
         """Create parameters for the given per-sample input shape."""
         del rng
+        self._resolved_dtype()
         self.input_shape = tuple(input_shape)
         self.output_shape = self.compute_output_shape(self.input_shape)
         self.built = True
@@ -95,7 +111,7 @@ class Layer:
     ) -> np.ndarray:
         """Create and register a parameter plus its gradient buffer."""
         initializer = init.get_initializer(initializer)
-        value = np.asarray(initializer(shape, rng), dtype=np.float64)
+        value = np.asarray(initializer(shape, rng), dtype=self._resolved_dtype())
         self.params[name] = value
         self.grads[name] = np.zeros_like(value)
         return value
@@ -219,7 +235,9 @@ class Dropout(Layer):
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(x.shape) < keep) / keep
+        mask = (self._rng.random(x.shape) < keep).astype(x.dtype)
+        mask /= np.asarray(keep, dtype=x.dtype)
+        self._mask = mask
         return x * self._mask
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -261,7 +279,7 @@ class Sigmoid(Layer):
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         del training
-        out = np.empty_like(x, dtype=np.float64)
+        out = np.empty_like(x)
         pos = x >= 0
         out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
         ex = np.exp(x[~pos])
@@ -325,8 +343,8 @@ class BatchNorm(Layer):
         channels = int(input_shape[0])
         self.add_param("gamma", (channels,), rng, init.ones)
         self.add_param("beta", (channels,), rng, init.zeros)
-        self.running_mean = np.zeros(channels, dtype=np.float64)
-        self.running_var = np.ones(channels, dtype=np.float64)
+        self.running_mean = np.zeros(channels, dtype=self._resolved_dtype())
+        self.running_var = np.ones(channels, dtype=self._resolved_dtype())
         super().build(input_shape, rng)
 
     def _reduce_axes(self, ndim: int) -> Tuple[int, ...]:
@@ -444,7 +462,8 @@ class GaussianNoise(Layer):
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         if not training or self.stddev == 0.0:
             return x
-        return x + self._rng.normal(0.0, self.stddev, size=x.shape)
+        noise = self._rng.normal(0.0, self.stddev, size=x.shape)
+        return x + noise.astype(x.dtype, copy=False)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         return grad_out

@@ -13,6 +13,11 @@ Two GAN objectives are provided:
 * :class:`ACGANLoss` — the auxiliary-classifier GAN objective used for the
   paper's experiments (ACGAN, Odena et al.), which adds a class-prediction
   head to the discriminator.
+
+Precision policy: the loss *internals* always run in float64 — the arrays are
+tiny (one logit row per sample) and the log/exp arithmetic benefits from the
+headroom — but returned gradients are cast back to the dtype of the incoming
+logits, so a float32 model receives float32 seeds for its backward pass.
 """
 
 from __future__ import annotations
@@ -34,6 +39,14 @@ __all__ = [
 _EPS = 1e-12
 
 
+def _grad_like(grad: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Cast a float64-computed gradient back to the caller's dtype."""
+    dtype = np.asarray(reference).dtype
+    if not np.issubdtype(dtype, np.floating):
+        return grad
+    return grad.astype(dtype, copy=False)
+
+
 def sigmoid(x: np.ndarray) -> np.ndarray:
     """Numerically stable logistic sigmoid."""
     out = np.empty_like(x, dtype=np.float64)
@@ -52,6 +65,7 @@ def bce_with_logits(
     Returns the mean loss and its gradient with respect to the logits
     (already divided by the number of elements).
     """
+    logits_in = logits
     logits = np.asarray(logits, dtype=np.float64)
     targets = np.asarray(targets, dtype=np.float64)
     if logits.shape != targets.shape:
@@ -62,7 +76,7 @@ def bce_with_logits(
     loss = np.maximum(logits, 0.0) - logits * targets + np.log1p(np.exp(-np.abs(logits)))
     probs = sigmoid(logits)
     grad = (probs - targets) / logits.size
-    return float(loss.mean()), grad
+    return float(loss.mean()), _grad_like(grad, logits_in)
 
 
 def softmax_cross_entropy(
@@ -73,6 +87,7 @@ def softmax_cross_entropy(
     ``logits`` has shape ``(N, K)`` and ``labels`` shape ``(N,)``.  Returns
     the mean loss and gradient w.r.t. the logits.
     """
+    logits_in = logits
     logits = np.asarray(logits, dtype=np.float64)
     labels = np.asarray(labels, dtype=np.int64)
     n = logits.shape[0]
@@ -83,15 +98,16 @@ def softmax_cross_entropy(
     grad = np.exp(log_probs)
     grad[np.arange(n), labels] -= 1.0
     grad /= n
-    return float(loss), grad
+    return float(loss), _grad_like(grad, logits_in)
 
 
 def mse_loss(pred: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
     """Mean squared error and its gradient w.r.t. the prediction."""
+    pred_in = pred
     pred = np.asarray(pred, dtype=np.float64)
     target = np.asarray(target, dtype=np.float64)
     diff = pred - target
-    return float(np.mean(diff**2)), 2.0 * diff / diff.size
+    return float(np.mean(diff**2)), _grad_like(2.0 * diff / diff.size, pred_in)
 
 
 @dataclass

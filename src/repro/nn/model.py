@@ -10,6 +10,11 @@ on:
   used by FL-GAN's federated averaging and by MD-GAN's discriminator swaps —
   these model exactly what travels over the network;
 * parameter-count reporting used by the analytic complexity models.
+
+All parameters, activations and gradients live in the model's ``dtype``,
+resolved at construction from the precision policy (float32 by default, see
+:mod:`repro.nn.precision`); inputs are cast on entry (a no-op when callers
+already supply policy-dtype arrays) and stay in that dtype throughout.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .layers import Layer
+from .precision import PrecisionLike, as_dtype, resolve_dtype
 
 __all__ = ["Sequential"]
 
@@ -32,9 +38,11 @@ class Sequential:
         input_shape: Optional[Tuple[int, ...]] = None,
         rng: Optional[np.random.Generator] = None,
         name: str = "model",
+        dtype: PrecisionLike = None,
     ) -> None:
         self.layers: List[Layer] = list(layers)
         self.name = name
+        self.dtype: np.dtype = resolve_dtype(dtype)
         self.built = False
         self.input_shape: Optional[Tuple[int, ...]] = None
         self.output_shape: Optional[Tuple[int, ...]] = None
@@ -47,6 +55,7 @@ class Sequential:
         shape = tuple(int(s) for s in input_shape)
         self.input_shape = shape
         for layer in self.layers:
+            layer.dtype = self.dtype
             layer.build(shape, rng)
             shape = layer.output_shape
         self.output_shape = shape
@@ -62,7 +71,7 @@ class Sequential:
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         """Run the forward pass, caching intermediates for backward."""
         self._require_built()
-        out = np.asarray(x, dtype=np.float64)
+        out = as_dtype(x, self.dtype)
         for layer in self.layers:
             out = layer.forward(out, training=training)
         return out
@@ -81,7 +90,7 @@ class Sequential:
         call :meth:`zero_grad` before starting a fresh accumulation.
         """
         self._require_built()
-        grad = np.asarray(grad_output, dtype=np.float64)
+        grad = as_dtype(grad_output, self.dtype)
         for layer in reversed(self.layers):
             grad = layer.backward(grad)
         return grad
@@ -116,17 +125,17 @@ class Sequential:
         return int(sum(p.size for _, p in self.named_parameters()))
 
     def get_parameters(self) -> np.ndarray:
-        """Return all parameters concatenated into one flat float64 vector."""
+        """Return all parameters concatenated into one flat policy-dtype vector."""
         self._require_built()
         parts = [p.ravel() for _, p in self.named_parameters()]
         if not parts:
-            return np.zeros(0, dtype=np.float64)
-        return np.concatenate(parts).astype(np.float64, copy=True)
+            return np.zeros(0, dtype=self.dtype)
+        return np.concatenate(parts)
 
     def set_parameters(self, flat: np.ndarray) -> None:
         """Load parameters from a flat vector, writing arrays in place."""
         self._require_built()
-        flat = np.asarray(flat, dtype=np.float64).ravel()
+        flat = as_dtype(flat, self.dtype).ravel()
         expected = self.num_parameters
         if flat.size != expected:
             raise ValueError(
@@ -144,13 +153,13 @@ class Sequential:
         self._require_built()
         parts = [g.ravel() for _, _, g in self.named_parameters_and_grads()]
         if not parts:
-            return np.zeros(0, dtype=np.float64)
-        return np.concatenate(parts).astype(np.float64, copy=True)
+            return np.zeros(0, dtype=self.dtype)
+        return np.concatenate(parts)
 
     def set_gradients(self, flat: np.ndarray) -> None:
         """Load gradients from a flat vector (used by gradient aggregation)."""
         self._require_built()
-        flat = np.asarray(flat, dtype=np.float64).ravel()
+        flat = as_dtype(flat, self.dtype).ravel()
         if flat.size != self.num_parameters:
             raise ValueError(
                 f"Gradient vector has {flat.size} values; model expects "
@@ -182,8 +191,9 @@ class Sequential:
             clone.built = False
             clone.input_shape = None
             clone.output_shape = None
+            clone.dtype = None
             new_layers.append(clone)
-        return Sequential(new_layers, name=f"{self.name}_clone")
+        return Sequential(new_layers, name=f"{self.name}_clone", dtype=self.dtype)
 
     def summary(self) -> str:
         """Human-readable layer/parameter summary (like ``keras.summary``)."""

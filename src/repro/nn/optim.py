@@ -8,6 +8,12 @@ The MD-GAN server additionally needs to apply Adam to a *gradient it did not
 compute through its own loss* (the gradient assembled from worker error
 feedbacks); ``step`` therefore simply consumes whatever is currently stored
 in the model's gradient buffers.
+
+Optimizer state (velocity, Adam moments) is allocated with ``zeros_like`` on
+the gradient, so it follows the model's precision policy automatically — a
+float32 model keeps float32 moments.  A parameter whose shape changed between
+steps indicates a wiring bug (e.g. a discriminator swapped against a
+different architecture) and raises instead of silently resetting state.
 """
 
 from __future__ import annotations
@@ -61,8 +67,14 @@ class SGD(Optimizer):
     def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
         if self.momentum > 0.0:
             vel = self._velocity.get(key)
-            if vel is None or vel.shape != grad.shape:
+            if vel is None:
                 vel = np.zeros_like(grad)
+            elif vel.shape != grad.shape:
+                raise ValueError(
+                    f"SGD state for {key!r} has shape {vel.shape} but the "
+                    f"gradient has shape {grad.shape}; the model wiring "
+                    "changed mid-training (call reset() to start fresh)"
+                )
             vel = self.momentum * vel - self.learning_rate * grad
             self._velocity[key] = vel
             param += vel
@@ -106,9 +118,15 @@ class Adam(Optimizer):
     def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
         m = self._m.get(key)
         v = self._v.get(key)
-        if m is None or m.shape != grad.shape:
+        if m is None:
             m = np.zeros_like(grad)
             v = np.zeros_like(grad)
+        elif m.shape != grad.shape:
+            raise ValueError(
+                f"Adam state for {key!r} has shape {m.shape} but the "
+                f"gradient has shape {grad.shape}; the model wiring "
+                "changed mid-training (call reset() to start fresh)"
+            )
         m = self.beta1 * m + (1.0 - self.beta1) * grad
         v = self.beta2 * v + (1.0 - self.beta2) * grad**2
         self._m[key] = m

@@ -1,0 +1,130 @@
+"""Precision policy for the NumPy neural-network substrate.
+
+The paper's traffic model counts every transmitted scalar as a 32-bit float
+(:data:`repro.nn.serialize.FLOAT_BYTES`), and its TensorFlow implementation
+trains in float32.  This module makes the compute side match: a
+:class:`Precision` policy selects the dtype used for parameters, activations,
+gradients and optimizer state, with **float32 as the default** (the fast path
+— im2col/GEMM hot loops move half the bytes) and float64 available as an
+opt-in for numerics-sensitive work such as finite-difference gradient checks.
+
+The policy can be set three ways, in increasing order of precedence:
+
+* the process-wide default (:func:`set_default_precision`, initially
+  ``float32``),
+* a :func:`precision_scope` context manager for temporary overrides,
+* an explicit ``dtype=``/``precision=`` argument on :class:`~repro.nn.model.
+  Sequential`, :class:`~repro.models.base.GANFactory` model builders, or
+  :class:`~repro.core.config.TrainingConfig`.
+
+Loss functions intentionally keep their *internal* scalar math in float64
+(the arrays involved are tiny — one logit row per sample) and cast the
+returned gradients back to the caller's dtype, so switching policy never
+destabilises the log/exp arithmetic.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "Precision",
+    "FLOAT32",
+    "FLOAT64",
+    "PrecisionLike",
+    "resolve_precision",
+    "resolve_dtype",
+    "get_default_precision",
+    "set_default_precision",
+    "precision_scope",
+    "as_dtype",
+]
+
+
+@dataclass(frozen=True)
+class Precision:
+    """A named floating-point policy (dtype plus wire/bookkeeping metadata)."""
+
+    name: str
+    dtype: np.dtype
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per scalar held in memory under this policy."""
+        return int(self.dtype.itemsize)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+FLOAT32 = Precision("float32", np.dtype(np.float32))
+FLOAT64 = Precision("float64", np.dtype(np.float64))
+
+_BY_NAME = {"float32": FLOAT32, "float64": FLOAT64}
+
+PrecisionLike = Union[None, str, np.dtype, type, Precision]
+
+_default: Precision = FLOAT32
+
+
+def resolve_precision(spec: PrecisionLike = None) -> Precision:
+    """Resolve a precision spec to a :class:`Precision`.
+
+    ``None`` selects the current process-wide default; strings, numpy dtypes
+    and scalar types (``np.float32``/``np.float64``) are accepted.
+    """
+    if spec is None:
+        return _default
+    if isinstance(spec, Precision):
+        return spec
+    try:
+        name = np.dtype(spec).name
+    except TypeError as exc:
+        raise ValueError(f"Cannot interpret {spec!r} as a precision policy") from exc
+    try:
+        return _BY_NAME[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"Unsupported precision {name!r}; expected one of {sorted(_BY_NAME)}"
+        ) from exc
+
+
+def resolve_dtype(spec: PrecisionLike = None) -> np.dtype:
+    """Shorthand for ``resolve_precision(spec).dtype``."""
+    return resolve_precision(spec).dtype
+
+
+def get_default_precision() -> Precision:
+    """Return the current process-wide precision policy."""
+    return _default
+
+
+def set_default_precision(spec: PrecisionLike) -> Precision:
+    """Set the process-wide precision policy and return it."""
+    global _default
+    _default = resolve_precision(spec)
+    return _default
+
+
+@contextlib.contextmanager
+def precision_scope(spec: PrecisionLike) -> Iterator[Precision]:
+    """Temporarily switch the process-wide precision policy."""
+    global _default
+    previous = _default
+    _default = resolve_precision(spec)
+    try:
+        yield _default
+    finally:
+        _default = previous
+
+
+def as_dtype(array: np.ndarray, dtype: Optional[np.dtype]) -> np.ndarray:
+    """Return ``array`` viewed in ``dtype``, copying only when necessary."""
+    arr = np.asarray(array)
+    if dtype is None or arr.dtype == dtype:
+        return arr
+    return arr.astype(dtype)

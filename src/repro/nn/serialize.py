@@ -25,7 +25,9 @@ __all__ = [
 
 #: Size in bytes of one transmitted scalar.  The paper counts parameters and
 #: data features in 32-bit floats; all byte figures in the analytic model and
-#: the traffic meters use this constant.
+#: the traffic meters use this constant.  Under the default float32 precision
+#: policy (see :mod:`repro.nn.precision`) in-memory payloads now genuinely
+#: occupy this many bytes per scalar, so simulated and real sizes agree.
 FLOAT_BYTES = 4
 
 
@@ -43,11 +45,14 @@ def average_parameters(vectors: Sequence[np.ndarray]) -> np.ndarray:
     """Uniform average of flat parameter vectors (FedAvg aggregation)."""
     if not vectors:
         raise ValueError("Cannot average an empty collection of parameter vectors")
-    flat = [np.asarray(v, dtype=np.float64).ravel() for v in vectors]
+    flat = [np.asarray(v).ravel() for v in vectors]
     sizes = {v.size for v in flat}
     if len(sizes) != 1:
         raise ValueError(f"Parameter vectors have inconsistent sizes: {sizes}")
-    return np.stack(flat).mean(axis=0)
+    out_dtype = np.result_type(np.float32, *flat)
+    # Accumulate in float64 regardless of policy: averaging many float32
+    # vectors in float32 loses bits needlessly for a one-off reduction.
+    return np.stack(flat).mean(axis=0, dtype=np.float64).astype(out_dtype, copy=False)
 
 
 def weighted_average_parameters(
@@ -66,8 +71,10 @@ def weighted_average_parameters(
     if np.any(weights < 0) or weights.sum() <= 0:
         raise ValueError("Weights must be non-negative and sum to a positive value")
     weights = weights / weights.sum()
-    stacked = np.stack([np.asarray(v, dtype=np.float64).ravel() for v in vectors])
-    return (weights[:, None] * stacked).sum(axis=0)
+    flat = [np.asarray(v).ravel() for v in vectors]
+    out_dtype = np.result_type(np.float32, *flat)
+    stacked = np.stack(flat).astype(np.float64, copy=False)
+    return (weights[:, None] * stacked).sum(axis=0).astype(out_dtype, copy=False)
 
 
 def copy_parameters(source: Sequential, destination: Sequential) -> None:

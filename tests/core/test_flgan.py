@@ -14,6 +14,26 @@ def test_requires_at_least_one_shard(toy_factory, tiny_config):
         FLGANTrainer(toy_factory, [], tiny_config)
 
 
+def test_worker_state_requires_rng(ring_shards, toy_factory, tiny_config):
+    # FLGANWorkerState.rng is a required field: a worker without its own
+    # random stream must be a construction-time error, not a latent None
+    # that reaches sampling code mid-round.
+    from repro.core.flgan import FLGANWorkerState
+
+    with pytest.raises(TypeError):
+        FLGANWorkerState(
+            index=0,
+            generator=None,
+            discriminator=None,
+            gen_opt=None,
+            disc_opt=None,
+            sampler=None,
+            dataset=None,
+        )
+    trainer = FLGANTrainer(toy_factory, ring_shards, tiny_config)
+    assert all(isinstance(w.rng, np.random.Generator) for w in trainer.workers)
+
+
 def test_workers_start_from_identical_models(ring_shards, toy_factory, tiny_config):
     trainer = FLGANTrainer(toy_factory, ring_shards, tiny_config)
     reference_g = trainer.server_generator.get_parameters()

@@ -20,7 +20,7 @@ from repro.core import (
 )
 from repro.models import build_toy_gan
 from repro.models.base import generator_input
-from repro.nn import Adam
+from repro.nn import Adam, precision_scope
 
 
 @pytest.fixture()
@@ -109,7 +109,11 @@ class TestDiscriminatorUpdate:
 
 class TestFeedback:
     def test_feedback_matches_numeric_image_gradient(self, setup, rng):
-        factory, generator, discriminator, objective = setup
+        factory, _, _, objective = setup
+        # Finite differences need the float64 opt-in of the precision policy.
+        with precision_scope("float64"):
+            generator = factory.make_generator(rng)
+            discriminator = factory.make_discriminator(rng)
         batch = sample_generator_images(generator, factory, 3, rng)
         loss, feedback = generator_feedback(discriminator, objective, batch)
         assert feedback.shape == batch.images.shape

@@ -45,6 +45,19 @@ class TestSetup:
         trainer = MDGANTrainer(toy_factory, ring_shards, config)
         assert trainer.swap_period == 0
 
+    def test_precision_opt_in_reaches_models_and_shards(self, ring_shards, toy_factory):
+        # An explicit float64 config must govern the whole pipeline — the
+        # worker shards included, not just model parameters.
+        config = TrainingConfig(iterations=1, batch_size=8, precision="float64")
+        trainer = MDGANTrainer(toy_factory, ring_shards, config)
+        assert trainer.generator.dtype == np.float64
+        assert all(w.discriminator.dtype == np.float64 for w in trainer.workers)
+        assert all(w.dataset.images.dtype == np.float64 for w in trainer.workers)
+        real_images, _ = trainer.workers[0].sampler.next_batch()
+        assert real_images.dtype == np.float64
+        # The shared fixture's shards stay float32 (astype copies).
+        assert all(s.images.dtype == np.float32 for s in ring_shards)
+
 
 class TestTrainingLoop:
     def test_history_and_losses(self, ring_shards, toy_factory):
@@ -110,9 +123,84 @@ class TestCommunicationPattern:
         trainer = make_trainer(toy_factory, ring_shards, num_batches=2, iterations=1)
         batches = trainer._generate_batches(2)
         assignment = trainer._distribute_batches(1, batches, trainer.workers)
-        for order, worker in enumerate(trainer.workers):
-            assert assignment[worker.index]["g"] == order % 2
-            assert assignment[worker.index]["d"] == (order + 1) % 2
+        for worker in trainer.workers:
+            assert assignment[worker.index]["g"] == worker.index % 2
+            assert assignment[worker.index]["d"] == (worker.index + 1) % 2
+
+    def test_assignment_keyed_on_worker_index_not_enumeration_order(
+        self, ring_shards, toy_factory
+    ):
+        # The paper's X_n^(g) = X^(n mod k) uses the worker index n, so a
+        # worker keeps its batch assignment when peers crash or sit out an
+        # iteration (partial participation must not reshuffle assignments).
+        trainer = make_trainer(toy_factory, ring_shards, num_batches=2, iterations=1)
+        batches = trainer._generate_batches(2)
+        subset = [trainer.workers[1], trainer.workers[3]]
+        assignment = trainer._distribute_batches(1, batches, subset)
+        full = trainer._distribute_batches(2, batches, trainer.workers)
+        assert set(assignment) == {1, 3}
+        for index in (1, 3):
+            assert assignment[index] == full[index]
+            assert assignment[index]["g"] == index % 2
+            assert assignment[index]["d"] == (index + 1) % 2
+
+
+class TestFeedbackAggregation:
+    def test_averaged_path_applies_one_generator_step(self, ring_shards, toy_factory):
+        trainer = make_trainer(toy_factory, ring_shards, iterations=1)
+        trainer.train_iteration(1)
+        # All worker feedbacks are averaged into a single Adam step.
+        assert trainer._gen_opt.iterations == 1
+
+    def test_per_feedback_path_applies_one_step_per_feedback(
+        self, ring_shards, toy_factory
+    ):
+        config = TrainingConfig(iterations=1, batch_size=8, seed=21)
+        trainer = MDGANTrainer(
+            toy_factory, ring_shards, config, per_feedback_updates=True
+        )
+        trainer.train_iteration(1)
+        assert trainer._gen_opt.iterations == len(ring_shards)
+
+    def test_averaged_gradient_is_mean_of_individual_feedback_gradients(
+        self, ring_shards, toy_factory
+    ):
+        trainer = make_trainer(toy_factory, ring_shards, iterations=1)
+        participants = trainer._participating_workers()
+        k = min(trainer.num_batches, len(participants))
+        batches = trainer._generate_batches(k)
+        trainer._distribute_batches(1, batches, participants)
+        for worker in participants:
+            trainer._worker_iteration(1, worker)
+        messages = trainer.cluster.server.receive(MessageKind.ERROR_FEEDBACK)
+        assert len(messages) == len(participants)
+
+        individual = []
+        for message in messages:
+            batch = batches[message.metadata["batch_index"]]
+            trainer.generator.zero_grad()
+            from repro.core.gan_ops import apply_feedback_to_generator
+
+            apply_feedback_to_generator(
+                trainer.generator,
+                trainer.factory,
+                [batch],
+                [message.payload],
+                weights=[1.0],
+            )
+            individual.append(trainer.generator.get_gradients().astype(np.float64))
+
+        trainer.generator.zero_grad()
+        apply_feedback_to_generator(
+            trainer.generator,
+            trainer.factory,
+            [batches[m.metadata["batch_index"]] for m in messages],
+            [m.payload for m in messages],
+        )
+        averaged = trainer.generator.get_gradients().astype(np.float64)
+        np.testing.assert_allclose(
+            averaged, np.mean(individual, axis=0), rtol=5e-5, atol=1e-7
+        )
 
 
 class TestSwap:

@@ -41,6 +41,25 @@ class TestValidation:
             ImageDataset(np.zeros((5, 1, 8, 8)), np.zeros(5), spec)
 
 
+class TestDtype:
+    def test_images_default_to_policy_dtype(self, dataset):
+        assert dataset.images.dtype == np.float32
+
+    def test_explicit_dtype_overrides_policy(self, spec, rng):
+        images = rng.uniform(-1, 1, size=(10, 1, 4, 4))
+        labels = rng.integers(0, 3, size=10)
+        ds = ImageDataset(images, labels, spec, dtype=np.float64)
+        assert ds.images.dtype == np.float64
+        # subset() must not silently re-quantize to the process default.
+        assert ds.subset(np.arange(4)).images.dtype == np.float64
+
+    def test_astype_roundtrip(self, dataset):
+        ds64 = dataset.astype(np.float64)
+        assert ds64.images.dtype == np.float64
+        assert dataset.astype(np.float32) is dataset
+        np.testing.assert_allclose(ds64.images, dataset.images)
+
+
 class TestAccess:
     def test_len_and_properties(self, dataset):
         assert len(dataset) == 30

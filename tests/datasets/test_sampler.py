@@ -37,8 +37,31 @@ class TestEpochSampler:
         assert len(seen) == 24
 
     def test_batches_per_epoch(self, small_dataset, rng):
+        # 50 samples / batch 8: the 7th next_batch() call wraps and finishes
+        # the epoch, so batches_per_epoch is the ceiling, not the floor.
         sampler = EpochSampler(small_dataset, 8, rng)
-        assert sampler.batches_per_epoch == 50 // 8
+        assert sampler.batches_per_epoch == 7
+
+    def test_batches_per_epoch_matches_wraparound_accounting(self, rng):
+        # Regression: a 101-sample shard with batch 10 completes an epoch
+        # after ~10.1 batches; floor division said 10, but epochs_completed
+        # only advances during the 11th call.
+        train, _ = make_gaussian_ring(n_train=101, n_test=4, seed=5)
+        sampler = EpochSampler(train, 10, rng)
+        assert sampler.batches_per_epoch == 11
+        for _ in range(10):
+            sampler.next_batch()
+        assert sampler.epochs_completed == 0
+        sampler.next_batch()
+        assert sampler.epochs_completed == 1
+
+    def test_batches_per_epoch_exact_multiple(self, rng):
+        train, _ = make_gaussian_ring(n_train=40, n_test=4, seed=5)
+        sampler = EpochSampler(train, 10, rng)
+        assert sampler.batches_per_epoch == 4
+        for _ in range(4):
+            sampler.next_batch()
+        assert sampler.epochs_completed == 1
 
     def test_wraps_partial_batches(self, rng):
         train, _ = make_gaussian_ring(n_train=10, n_test=4, seed=3)

@@ -2,11 +2,15 @@
 
 These tests validate the backward pass of every layer family in composition,
 including the input-gradient path MD-GAN's error feedback relies on.  Smooth
-activations (Tanh) are used so that finite differences are well behaved.
+activations (Tanh) are used so that finite differences are well behaved, and
+the whole module opts into the float64 precision policy — central differences
+with ``eps=1e-6`` need more headroom than the float32 default provides.
 """
 
 import numpy as np
 import pytest
+
+from repro.nn import precision_scope
 
 from repro.nn import (
     BatchNorm,
@@ -77,6 +81,13 @@ def check_input_gradients(model, x, target, samples, rng, tol=2e-4):
         assert abs(numeric - analytic) / denom < tol, (
             f"input {i}: numeric {numeric} vs analytic {analytic}"
         )
+
+
+@pytest.fixture(autouse=True)
+def _float64_policy():
+    """Finite-difference checks use the documented float64 opt-in."""
+    with precision_scope("float64"):
+        yield
 
 
 @pytest.fixture()

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import MinibatchDiscrimination
+from repro.nn import MinibatchDiscrimination, precision_scope
 
 
 def build_layer(rng, features=6, num_kernels=4, kernel_dim=3):
@@ -50,7 +50,9 @@ def test_backward_shapes(rng):
 
 
 def test_gradients_match_numeric(rng):
-    layer = build_layer(rng, features=4, num_kernels=2, kernel_dim=2)
+    # Finite differences need the float64 opt-in of the precision policy.
+    with precision_scope("float64"):
+        layer = build_layer(rng, features=4, num_kernels=2, kernel_dim=2)
     x = rng.normal(size=(3, 4))
     target = rng.normal(size=(3, 6))
 

@@ -66,6 +66,24 @@ class TestSGD:
         opt.reset()
         assert not opt._velocity and opt.iterations == 0
 
+    def test_raises_on_state_shape_mismatch(self, rng):
+        # Applying the same optimizer to a differently-shaped model under
+        # matching parameter keys indicates a wiring bug (e.g. a swap against
+        # the wrong architecture) and must not silently reset the momenta.
+        opt = SGD(learning_rate=0.01, momentum=0.9)
+        model = quadratic_model(np.random.default_rng(0), dim=4)
+        x = rng.normal(size=(8, 4))
+        y = rng.normal(size=(8, 1))
+        quadratic_step(model, x, y)
+        opt.step(model)
+        other = quadratic_model(np.random.default_rng(1), dim=5)
+        quadratic_step(other, rng.normal(size=(8, 5)), y)
+        with pytest.raises(ValueError, match="SGD state .* shape"):
+            opt.step(other)
+        # reset() is the documented way to reuse the optimizer.
+        opt.reset()
+        opt.step(other)
+
 
 class TestAdam:
     def test_converges_on_quadratic(self, rng):
@@ -91,6 +109,22 @@ class TestAdam:
         opt.step(model)
         after = model.get_parameters()
         np.testing.assert_allclose(np.abs(after - before), 0.1, rtol=1e-5)
+
+    def test_raises_on_state_shape_mismatch(self, rng):
+        # Silent moment resets after a bad discriminator swap masked wiring
+        # bugs; a shape change under a known key must now raise.
+        opt = Adam(learning_rate=0.01)
+        model = quadratic_model(np.random.default_rng(0), dim=4)
+        x = rng.normal(size=(8, 4))
+        y = rng.normal(size=(8, 1))
+        quadratic_step(model, x, y)
+        opt.step(model)
+        other = quadratic_model(np.random.default_rng(1), dim=5)
+        quadratic_step(other, rng.normal(size=(8, 5)), y)
+        with pytest.raises(ValueError, match="Adam state .* shape"):
+            opt.step(other)
+        opt.reset()
+        opt.step(other)
 
     def test_state_tracks_parameters_across_set_parameters(self, rng):
         # set_parameters writes in place, so Adam's per-key state stays valid.
