@@ -9,6 +9,11 @@ constant-server workload.
 Run::
 
     python examples/scalability_sweep.py [--scale smoke|small]
+                                         [--backend serial|thread|process]
+
+The ``--backend`` flag fans the per-worker phase out through the
+``repro.runtime`` execution backends; the numbers are bitwise identical
+across backends, only the wall-clock time changes.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from __future__ import annotations
 import argparse
 
 from repro.experiments import format_table, get_scale, run_fig4
+from repro.runtime import BACKENDS
 
 
 def parse_args() -> argparse.Namespace:
@@ -27,6 +33,19 @@ def parse_args() -> argparse.Namespace:
         nargs="*",
         default=None,
         help="explicit ladder of worker counts (default depends on the scale)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="serial",
+        choices=BACKENDS,
+        help="execution backend for the per-worker phase (same results, "
+        "different wall-clock)",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="pool size for the thread/process backends (default: cores - 1)",
     )
     return parser.parse_args()
 
@@ -40,7 +59,12 @@ def main() -> None:
         f"Figure 4 sweep on the MNIST-like dataset / MLP architecture "
         f"(scale={scale.name}, {scale.iterations} iterations per point)"
     )
-    result = run_fig4(scale=scale, worker_counts=worker_counts)
+    result = run_fig4(
+        scale=scale,
+        worker_counts=worker_counts,
+        backend=args.backend,
+        max_workers=args.max_workers,
+    )
     print()
     print(
         format_table(

@@ -1,5 +1,7 @@
 """Setup shim for environments without the `wheel` package (offline legacy
-editable installs); all project metadata lives in pyproject.toml."""
+editable installs); all project metadata — including the ``[dev]`` extra
+that pins the identical test/lint toolchain for CI and contributors
+(``pip install -e .[dev]``) — lives in pyproject.toml."""
 from setuptools import setup
 
 setup()

@@ -12,14 +12,16 @@ Sericola - IPDPS 2019), including:
 * ``repro.models`` - the paper's GAN architectures,
 * ``repro.metrics`` - dataset score (MNIST/Inception-style) and FID,
 * ``repro.core`` - standalone, FL-GAN and MD-GAN trainers,
+* ``repro.runtime`` - execution backends (serial/thread/process) for the
+  per-worker training phase,
 * ``repro.analysis`` - analytic complexity and communication models
   (Tables II-IV, Figure 2),
 * ``repro.experiments`` - runners regenerating every table and figure.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import core, datasets, metrics, models, nn, simulation
+from . import core, datasets, metrics, models, nn, runtime, simulation
 
 __all__ = [
     "__version__",
@@ -29,4 +31,5 @@ __all__ = [
     "models",
     "metrics",
     "core",
+    "runtime",
 ]

@@ -33,8 +33,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List
 
-import numpy as np
-
 from ..nn.serialize import FLOAT_BYTES
 
 __all__ = [

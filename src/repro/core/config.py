@@ -79,6 +79,13 @@ class TrainingConfig:
     #: ``None`` to follow the process-wide default from
     #: :mod:`repro.nn.precision`.
     precision: Optional[str] = None
+    #: Execution backend for the per-worker phase of each global iteration:
+    #: ``"serial"`` (reference), ``"thread"`` or ``"process"`` (see
+    #: :mod:`repro.runtime`).  All backends produce bitwise-identical seeded
+    #: runs; the parallel ones only change wall-clock time.
+    backend: str = "serial"
+    #: Pool size for the parallel backends (``None`` = cores - 1).
+    max_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.iterations <= 0:
@@ -102,6 +109,14 @@ class TrainingConfig:
                 f"precision must be 'float32', 'float64' or None, got "
                 f"{self.precision!r}"
             )
+        from ..runtime.backend import BACKENDS
+
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
 
     @property
     def dtype(self):
@@ -109,6 +124,12 @@ class TrainingConfig:
         from ..nn.precision import resolve_dtype
 
         return resolve_dtype(self.precision)
+
+    def build_backend(self):
+        """Instantiate the configured :class:`repro.runtime.ExecutorBackend`."""
+        from ..runtime.backend import create_backend
+
+        return create_backend(self.backend, self.max_workers)
 
     def with_overrides(self, **kwargs) -> "TrainingConfig":
         """Return a copy with the given fields replaced."""

@@ -5,10 +5,12 @@ Two extensions are provided as thin variants of :class:`MDGANTrainer`:
 * :class:`AsyncMDGANTrainer` — the "asynchronous setting" of Section VII-1.
   Instead of averaging all worker feedbacks and applying one generator
   update per global iteration, the server applies an update for each
-  feedback as it is processed.  The emulation remains single-threaded (as in
-  the paper's own setup), but the update schedule — and therefore the
-  staleness of the parameters each worker's feedback was computed on — now
-  matches the asynchronous variant.
+  feedback as it is processed.  The update *schedule* — and therefore the
+  staleness of the parameters each worker's feedback was computed on —
+  matches the asynchronous variant while the merge order stays
+  deterministic, so the variant composes with every execution backend of
+  :mod:`repro.runtime` (``TrainingConfig(backend="thread"|"process")``),
+  which both subclasses inherit from :class:`MDGANTrainer` unchanged.
 * :class:`SampledMDGANTrainer` — the "scaling the number of workers"
   discussion of Section VII-4.  Only a random fraction of workers
   participates in each global iteration, the way federated learning samples

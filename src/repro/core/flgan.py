@@ -24,16 +24,17 @@ from ..metrics.evaluator import GeneratorEvaluator
 from ..models.base import GANFactory, generator_input
 from ..nn.model import Sequential
 from ..nn.serialize import average_parameters
+from ..runtime.backend import ExecutorBackend
+from ..runtime.tasks import (
+    FLGANLocalResult,
+    FLGANLocalTask,
+    run_flgan_local_task,
+)
 from ..simulation.cluster import SERVER_NAME, Cluster
 from ..simulation.messages import MessageKind
 from ..simulation.network import LinkModel
 from .config import TrainingConfig
-from .gan_ops import (
-    GANObjective,
-    discriminator_update,
-    generator_update,
-    sample_generator_images,
-)
+from .gan_ops import GANObjective
 from .history import TrainingHistory
 
 __all__ = ["FLGANWorkerState", "FLGANTrainer"]
@@ -76,8 +77,12 @@ class FLGANTrainer:
         self.cluster = Cluster(num_workers=len(shards), link_model=link_model)
 
         self._rng = np.random.default_rng(config.seed)
+        #: Execution backend for the local-epoch phase, created lazily.
+        self._backend: Optional[ExecutorBackend] = None
+        # Built on the factory's picklable spec so worker tasks (which carry
+        # the objective) survive the process backend's pickle round-trip.
         self._objective = GANObjective(
-            factory,
+            factory.spec(),
             non_saturating=config.non_saturating,
             label_smoothing=config.label_smoothing,
         )
@@ -142,35 +147,56 @@ class FLGANTrainer:
         g_input = generator_input(noise, labels, self.factory.num_classes)
         return self.server_generator.predict(g_input)
 
-    # -- federated round ------------------------------------------------------------
-    def _local_iteration(self, worker: FLGANWorkerState) -> tuple:
-        cfg = self.config
-        worker_rng = worker.rng
-        disc_loss = 0.0
-        for _ in range(cfg.disc_steps):
-            real_images, real_labels = worker.sampler.next_batch()
-            generated = sample_generator_images(
-                worker.generator, self.factory, cfg.batch_size, worker_rng
-            )
-            disc_loss = discriminator_update(
-                worker.discriminator,
-                self._objective,
-                worker.disc_opt,
-                real_images,
-                real_labels if self.factory.conditional else None,
-                generated.images,
-                generated.labels,
-            )
-        gen_loss = generator_update(
-            worker.generator,
-            worker.discriminator,
-            self.factory,
-            self._objective,
-            worker.gen_opt,
-            cfg.batch_size,
-            worker_rng,
+    # -- local epochs ---------------------------------------------------------------
+    #
+    # Local iterations between federated rounds are independent across
+    # workers, so they run through the build -> compute -> merge protocol of
+    # ``repro.runtime`` exactly like MD-GAN's per-worker phase.
+
+    @property
+    def executor(self) -> ExecutorBackend:
+        """The configured execution backend, created on first use."""
+        if self._backend is None:
+            self._backend = self.config.build_backend()
+        return self._backend
+
+    def close_backend(self) -> None:
+        """Shut down the execution backend's pool (recreated lazily if needed)."""
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+
+    def _build_local_task(self, worker: FLGANWorkerState) -> FLGANLocalTask:
+        """Build phase: snapshot one worker's local GAN iteration."""
+        return FLGANLocalTask(
+            worker_index=worker.index,
+            generator=worker.generator,
+            discriminator=worker.discriminator,
+            gen_opt=worker.gen_opt,
+            disc_opt=worker.disc_opt,
+            sampler=worker.sampler,
+            rng=worker.rng,
+            objective=self._objective,
+            disc_steps=self.config.disc_steps,
+            batch_size=self.config.batch_size,
         )
-        return gen_loss, disc_loss
+
+    def _merge_local_result(
+        self, worker: FLGANWorkerState, result: FLGANLocalResult
+    ) -> tuple:
+        """Merge phase: adopt the (possibly round-tripped) local GAN state."""
+        worker.generator = result.generator
+        worker.discriminator = result.discriminator
+        worker.gen_opt = result.gen_opt
+        worker.disc_opt = result.disc_opt
+        worker.sampler = result.sampler
+        worker.rng = result.rng
+        return result.gen_loss, result.disc_loss
+
+    def _local_iteration(self, worker: FLGANWorkerState) -> tuple:
+        """One local GAN iteration for one worker, run inline."""
+        task = self._build_local_task(worker)
+        return self._merge_local_result(worker, run_flgan_local_task(task))
 
     def _federated_round(self, iteration: int) -> None:
         """Workers upload their GANs, the server averages and broadcasts."""
@@ -216,27 +242,38 @@ class FLGANTrainer:
         """Run ``config.iterations`` synchronous local iterations with rounds."""
         cfg = self.config
         round_length = self.iterations_per_round
-        for iteration in range(1, cfg.iterations + 1):
-            gen_losses, disc_losses = [], []
-            for worker in self.workers:
-                if not self.cluster.workers[worker.index].alive:
-                    continue
-                gen_loss, disc_loss = self._local_iteration(worker)
-                gen_losses.append(gen_loss)
-                disc_losses.append(disc_loss)
-            if gen_losses:
-                self.history.record_losses(
-                    iteration, float(np.mean(gen_losses)), float(np.mean(disc_losses))
-                )
-            if iteration % round_length == 0:
-                self._federated_round(iteration)
-            if (
-                self.evaluator is not None
-                and cfg.eval_every
-                and (iteration % cfg.eval_every == 0 or iteration == cfg.iterations)
-            ):
-                result = self.evaluator.evaluate(self.sample_images, iteration)
-                self.history.record_evaluation(result)
+        try:
+            for iteration in range(1, cfg.iterations + 1):
+                # Fan the local iterations out through the execution backend;
+                # merge in worker-index order for bitwise-identical seeded
+                # runs across serial/thread/process.
+                active = [
+                    worker
+                    for worker in self.workers
+                    if self.cluster.workers[worker.index].alive
+                ]
+                tasks = [self._build_local_task(worker) for worker in active]
+                results = self.executor.map_ordered(run_flgan_local_task, tasks)
+                gen_losses, disc_losses = [], []
+                for worker, result in zip(active, results):
+                    gen_loss, disc_loss = self._merge_local_result(worker, result)
+                    gen_losses.append(gen_loss)
+                    disc_losses.append(disc_loss)
+                if gen_losses:
+                    self.history.record_losses(
+                        iteration, float(np.mean(gen_losses)), float(np.mean(disc_losses))
+                    )
+                if iteration % round_length == 0:
+                    self._federated_round(iteration)
+                if (
+                    self.evaluator is not None
+                    and cfg.eval_every
+                    and (iteration % cfg.eval_every == 0 or iteration == cfg.iterations)
+                ):
+                    result = self.evaluator.evaluate(self.sample_images, iteration)
+                    self.history.record_evaluation(result)
+        finally:
+            self.close_backend()
         if cfg.record_traffic:
             meter = self.cluster.meter
             self.history.traffic = {

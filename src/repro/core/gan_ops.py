@@ -49,7 +49,14 @@ class GeneratedBatch:
 
 
 class GANObjective:
-    """Adversarial objective dispatching between vanilla GAN and ACGAN."""
+    """Adversarial objective dispatching between vanilla GAN and ACGAN.
+
+    ``factory`` may be a full :class:`~repro.models.base.GANFactory` or its
+    picklable :class:`~repro.models.base.FactorySpec` view — the objective
+    (and the helpers below) only consult the dimensional facts, never the
+    builders, so trainers hand the spec to worker tasks that must survive a
+    pickle round-trip on the ``process`` execution backend.
+    """
 
     def __init__(
         self,

@@ -39,6 +39,12 @@ from ..datasets.sampler import EpochSampler
 from ..metrics.evaluator import GeneratorEvaluator
 from ..models.base import GANFactory, generator_input
 from ..nn.model import Sequential
+from ..runtime.backend import ExecutorBackend
+from ..runtime.tasks import (
+    MDGANWorkerResult,
+    MDGANWorkerTask,
+    run_mdgan_worker_task,
+)
 from ..simulation.cluster import SERVER_NAME, Cluster
 from ..simulation.failures import CrashSchedule
 from ..simulation.messages import MessageKind
@@ -48,8 +54,6 @@ from .gan_ops import (
     GANObjective,
     GeneratedBatch,
     apply_feedback_to_generator,
-    discriminator_update,
-    generator_feedback,
     sample_generator_images,
 )
 from .history import TrainingHistory
@@ -99,8 +103,13 @@ class MDGANTrainer:
         )
 
         self._rng = np.random.default_rng(config.seed)
+        #: Execution backend for the per-worker phase, created lazily so a
+        #: trainer that never trains does not spin up a pool.
+        self._backend: Optional[ExecutorBackend] = None
+        # Built on the factory's picklable spec so worker tasks (which carry
+        # the objective) survive the process backend's pickle round-trip.
         self._objective = GANObjective(
-            factory,
+            factory.spec(),
             non_saturating=config.non_saturating,
             label_smoothing=config.label_smoothing,
         )
@@ -285,60 +294,89 @@ class MDGANTrainer:
         return len(messages)
 
     # -- worker side ---------------------------------------------------------------
-    def _worker_iteration(
-        self,
-        iteration: int,
-        worker: MDGANWorkerState,
-    ) -> Optional[Dict[str, float]]:
-        """Steps 2-3 for one worker: L discriminator steps + error feedback."""
+    #
+    # Steps 2-3 run through the three-phase protocol of ``repro.runtime``:
+    # build (drain mailbox, serial) -> compute (pure task, possibly parallel)
+    # -> merge (write back state, absorb charges, send feedback; serial, in
+    # worker-index order).  Workers within an iteration are independent by
+    # construction, so any backend yields bitwise-identical trajectories.
+
+    @property
+    def executor(self) -> ExecutorBackend:
+        """The configured execution backend, created on first use."""
+        if self._backend is None:
+            self._backend = self.config.build_backend()
+        return self._backend
+
+    def close_backend(self) -> None:
+        """Shut down the execution backend's pool (recreated lazily if needed)."""
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+
+    def _build_worker_task(
+        self, worker: MDGANWorkerState
+    ) -> Optional[MDGANWorkerTask]:
+        """Build phase: snapshot one worker's share of the iteration."""
         node = self.cluster.workers[worker.index]
         received = node.receive(MessageKind.GENERATED_BATCHES)
         if not received:
             return None
         message = received[-1]
-        x_d = message.payload["X_d"]
-        x_g = message.payload["X_g"]
-        labels_d = message.metadata.get("labels_d")
-        labels_g = message.metadata.get("labels_g")
-        batch_index_g = message.metadata.get("batch_index_g", 0)
+        return MDGANWorkerTask(
+            worker_index=worker.index,
+            discriminator=worker.discriminator,
+            disc_opt=worker.disc_opt,
+            sampler=worker.sampler,
+            rng=worker.rng,
+            objective=self._objective,
+            disc_steps=self.config.disc_steps,
+            batch_size=self.config.batch_size,
+            latent_dim=self.factory.latent_dim,
+            x_d=message.payload["X_d"],
+            x_g=message.payload["X_g"],
+            labels_d=message.metadata.get("labels_d"),
+            labels_g=message.metadata.get("labels_g"),
+            batch_index_g=message.metadata.get("batch_index_g", 0),
+        )
 
-        disc_loss = 0.0
-        for _ in range(self.config.disc_steps):
-            real_images, real_labels = worker.sampler.next_batch()
-            disc_loss = discriminator_update(
-                worker.discriminator,
-                self._objective,
-                worker.disc_opt,
-                real_images,
-                real_labels if self.factory.conditional else None,
-                x_d,
-                labels_d,
-            )
-            node.compute.charge(
-                "discriminator_training",
-                2 * self.config.batch_size * worker.discriminator.num_parameters,
-            )
+    def _merge_worker_result(
+        self,
+        iteration: int,
+        worker: MDGANWorkerState,
+        result: MDGANWorkerResult,
+    ) -> Dict[str, float]:
+        """Merge phase: adopt worker state, absorb charges, ship the feedback.
 
-        gen_batch = GeneratedBatch(
-            images=x_g,
-            noise=np.zeros((x_g.shape[0], self.factory.latent_dim), dtype=x_g.dtype),
-            labels=labels_g, batch_index=batch_index_g,
-        )
-        gen_loss, feedback = generator_feedback(
-            worker.discriminator, self._objective, gen_batch
-        )
-        node.compute.charge(
-            "feedback", 2 * self.config.batch_size * worker.discriminator.num_parameters
-        )
-        node.compute.observe_memory(worker.discriminator.num_parameters)
+        Re-assigning the stateful objects is a no-op under ``serial`` and
+        ``thread`` (same objects) and a state transfer under ``process``
+        (pickle round-tripped copies).
+        """
+        worker.discriminator = result.discriminator
+        worker.disc_opt = result.disc_opt
+        worker.sampler = result.sampler
+        worker.rng = result.rng
+        node = self.cluster.workers[worker.index]
+        self.cluster.absorb_tape(node.name, result.tape)
         node.send(
             SERVER_NAME,
             MessageKind.ERROR_FEEDBACK,
-            feedback,
+            result.feedback,
             iteration,
-            batch_index=batch_index_g,
+            batch_index=result.batch_index_g,
         )
-        return {"disc_loss": disc_loss, "gen_loss": gen_loss}
+        return {"disc_loss": result.disc_loss, "gen_loss": result.gen_loss}
+
+    def _worker_iteration(
+        self,
+        iteration: int,
+        worker: MDGANWorkerState,
+    ) -> Optional[Dict[str, float]]:
+        """Steps 2-3 for one worker, run inline (backend-independent)."""
+        task = self._build_worker_task(worker)
+        if task is None:
+            return None
+        return self._merge_worker_result(iteration, worker, run_mdgan_worker_task(task))
 
     def _swap_discriminators(self, iteration: int) -> None:
         """The SWAP procedure: gossip discriminator parameters between workers.
@@ -393,12 +431,19 @@ class MDGANTrainer:
         batches = self._generate_batches(k)
         self._distribute_batches(iteration, batches, participants)
 
+        # Fan the per-worker phase out through the execution backend; merge
+        # in participant (= worker-index) order so seeded runs are bitwise
+        # identical across serial/thread/process.
+        pending = [(worker, self._build_worker_task(worker)) for worker in participants]
+        live = [(worker, task) for worker, task in pending if task is not None]
+        results = self.executor.map_ordered(
+            run_mdgan_worker_task, [task for _, task in live]
+        )
         gen_losses, disc_losses = [], []
-        for worker in participants:
-            stats = self._worker_iteration(iteration, worker)
-            if stats is not None:
-                gen_losses.append(stats["gen_loss"])
-                disc_losses.append(stats["disc_loss"])
+        for (worker, _), result in zip(live, results):
+            stats = self._merge_worker_result(iteration, worker, result)
+            gen_losses.append(stats["gen_loss"])
+            disc_losses.append(stats["disc_loss"])
 
         self._aggregate_feedback(iteration, batches)
         if gen_losses:
@@ -413,18 +458,21 @@ class MDGANTrainer:
     def train(self) -> TrainingHistory:
         """Train for ``config.iterations`` global iterations and return the history."""
         cfg = self.config
-        for iteration in range(1, cfg.iterations + 1):
-            if not self._alive_workers():
-                self.history.record_event(iteration, "all_workers_crashed")
-                break
-            self.train_iteration(iteration)
-            if (
-                self.evaluator is not None
-                and cfg.eval_every
-                and (iteration % cfg.eval_every == 0 or iteration == cfg.iterations)
-            ):
-                result = self.evaluator.evaluate(self.sample_images, iteration)
-                self.history.record_evaluation(result)
+        try:
+            for iteration in range(1, cfg.iterations + 1):
+                if not self._alive_workers():
+                    self.history.record_event(iteration, "all_workers_crashed")
+                    break
+                self.train_iteration(iteration)
+                if (
+                    self.evaluator is not None
+                    and cfg.eval_every
+                    and (iteration % cfg.eval_every == 0 or iteration == cfg.iterations)
+                ):
+                    result = self.evaluator.evaluate(self.sample_images, iteration)
+                    self.history.record_evaluation(result)
+        finally:
+            self.close_backend()
         if cfg.record_traffic:
             meter = self.cluster.meter
             self.history.traffic = {

@@ -8,7 +8,6 @@ iteration, both with the Adam optimizer.
 
 from __future__ import annotations
 
-from dataclasses import asdict
 from typing import Optional
 
 import numpy as np

@@ -17,6 +17,7 @@ where ``<artefact>`` is one of ``table2``, ``table3``, ``table4``, ``fig2``,
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -27,6 +28,7 @@ from .convergence import run_fig3
 from .fault_tolerance import run_fig5
 from .noniid import run_ablation_noniid
 from .reporting import ascii_chart, save_csv, save_json, series_from_rows, to_markdown
+from ..runtime.backend import BACKENDS
 from .scalability import run_fig4
 from .tables import run_fig2, run_table2, run_table3, run_table4
 from .timing import run_timing_estimate
@@ -80,6 +82,23 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("float32", "float64"),
         help="floating-point policy for all models (float32 is the fast default)",
     )
+    parser.add_argument(
+        "--backend",
+        default="serial",
+        choices=BACKENDS,
+        help=(
+            "execution backend for the per-worker training phase; results are "
+            "bitwise identical across backends (thread/process only change "
+            "wall-clock time)"
+        ),
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pool size for the thread/process backends (default: cores - 1)",
+    )
     parser.add_argument("--dataset", default="mnist")
     parser.add_argument("--architecture", default="mnist-mlp")
     parser.add_argument("--json", help="write the result rows to a JSON file")
@@ -93,15 +112,36 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _backend_kwargs(runner: Callable, args: argparse.Namespace) -> Dict[str, object]:
+    """Backend selection kwargs, for runners whose sweeps support them."""
+    accepted = inspect.signature(runner).parameters
+    kwargs: Dict[str, object] = {}
+    if "backend" in accepted:
+        kwargs["backend"] = args.backend
+        if "max_workers" in accepted:
+            kwargs["max_workers"] = args.max_workers
+    elif args.backend != "serial":
+        print(
+            f"note: {runner.__name__} does not take --backend; running serial",
+            file=sys.stderr,
+        )
+    return kwargs
+
+
 def _run_one(name: str, args: argparse.Namespace) -> ExperimentResult:
     runner = ARTIFACTS[name]
+    # Resolved for every artifact class so a dropped --backend always warns.
+    backend_kwargs = _backend_kwargs(runner, args)
     if name in _TRAINING_ARTIFACTS:
         return runner(
-            dataset=args.dataset, architecture=args.architecture, scale=args.scale
+            dataset=args.dataset,
+            architecture=args.architecture,
+            scale=args.scale,
+            **backend_kwargs,
         )
     if name in _SCALE_ONLY_ARTIFACTS:
-        return runner(scale=args.scale)
-    return runner()
+        return runner(scale=args.scale, **backend_kwargs)
+    return runner(**backend_kwargs)
 
 
 def _emit(result: ExperimentResult, args: argparse.Namespace) -> None:

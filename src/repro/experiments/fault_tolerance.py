@@ -10,7 +10,7 @@ standalone baseline with two batch sizes.
 from __future__ import annotations
 
 import math
-from typing import Dict
+from typing import Dict, Optional
 
 from ..core import MDGANTrainer, StandaloneGANTrainer, TrainingConfig, TrainingHistory
 from ..simulation import CrashSchedule, worker_name
@@ -31,8 +31,15 @@ def run_fig5(
     dataset: str = "mnist",
     architecture: str = "mnist-mlp",
     scale: ExperimentScale | str = "smoke",
+    backend: str = "serial",
+    max_workers: Optional[int] = None,
 ) -> ExperimentResult:
-    """Reproduce Figure 5: scores vs iterations with a rolling crash schedule."""
+    """Reproduce Figure 5: scores vs iterations with a rolling crash schedule.
+
+    ``backend``/``max_workers`` select the :mod:`repro.runtime` execution
+    backend; crash handling is backend-independent (crashes apply at
+    iteration boundaries, before the per-worker fan-out).
+    """
     scale = get_scale(scale)
     train, test = prepare_dataset(dataset, scale)
     evaluator = prepare_evaluator(train, test, scale)
@@ -50,6 +57,8 @@ def run_fig5(
         eval_every=scale.eval_every,
         eval_sample_size=scale.eval_sample_size,
         seed=scale.seed,
+        backend=backend,
+        max_workers=max_workers,
     )
     crash_schedule = CrashSchedule.uniform(
         [worker_name(i) for i in range(scale.num_workers)], scale.iterations

@@ -16,7 +16,7 @@ local shards (``|B_n| = |B| / N``), which is the effect the figure studies.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..core import MDGANTrainer, TrainingConfig
 from .common import (
@@ -48,8 +48,16 @@ def run_fig4(
     worker_counts: Optional[Sequence[int]] = None,
     modes: Sequence[str] = ("constant_worker", "constant_server"),
     swap_settings: Sequence[bool] = (True, False),
+    backend: str = "serial",
+    max_workers: Optional[int] = None,
 ) -> ExperimentResult:
-    """Reproduce Figure 4: final MD-GAN scores as a function of ``N``."""
+    """Reproduce Figure 4: final MD-GAN scores as a function of ``N``.
+
+    ``backend`` selects the :mod:`repro.runtime` execution backend for the
+    per-worker phase — results are bitwise identical across backends, but
+    ``thread``/``process`` let the large-``N`` points of the sweep use the
+    host's cores instead of running every worker sequentially.
+    """
     scale = get_scale(scale)
     if worker_counts is None:
         # The paper uses {1, 10, 25, 50}; scaled presets use a smaller ladder
@@ -88,6 +96,8 @@ def run_fig4(
                     eval_every=scale.iterations,
                     eval_sample_size=scale.eval_sample_size,
                     seed=scale.seed,
+                    backend=backend,
+                    max_workers=max_workers,
                 )
                 trainer = MDGANTrainer(
                     factory,

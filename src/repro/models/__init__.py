@@ -1,6 +1,6 @@
 """``repro.models`` — GAN architecture zoo matching the paper's Section V-A-b."""
 
-from .base import GANFactory, generator_input, one_hot
+from .base import FactorySpec, GANFactory, generator_input, one_hot
 from .celeba import build_celeba_cnn_gan
 from .cifar import build_cifar10_cnn_gan
 from .mnist import build_mnist_cnn_gan, build_mnist_mlp_gan, conv_channel_schedule
@@ -8,6 +8,7 @@ from .registry import ARCHITECTURES, build_architecture
 from .toy import build_toy_gan
 
 __all__ = [
+    "FactorySpec",
     "GANFactory",
     "one_hot",
     "generator_input",

@@ -25,7 +25,42 @@ import numpy as np
 from ..nn.model import Sequential
 from ..nn.precision import PrecisionLike, resolve_dtype
 
-__all__ = ["GANFactory", "one_hot", "generator_input"]
+__all__ = ["FactorySpec", "GANFactory", "one_hot", "generator_input"]
+
+
+@dataclass(frozen=True)
+class FactorySpec:
+    """Picklable architecture facts of a :class:`GANFactory`.
+
+    The concrete factories capture builder *closures* (hidden sizes, layer
+    stacks), which do not survive pickling.  The per-worker tasks of
+    :mod:`repro.runtime` never stamp out new models — they only need the
+    dimensional facts used by the loss/feedback helpers — so the trainers
+    hand them this frozen view instead of the full factory, keeping the
+    ``process`` backend's pickle round-trip possible for every architecture.
+    """
+
+    name: str
+    latent_dim: int
+    image_shape: Tuple[int, int, int]
+    num_classes: int
+    conditional: bool
+
+    @property
+    def generator_input_dim(self) -> int:
+        """Size of the generator's input vector (noise plus optional one-hot)."""
+        return self.latent_dim + (self.num_classes if self.conditional else 0)
+
+    @property
+    def discriminator_output_dim(self) -> int:
+        """Number of discriminator outputs (1, or 1 + num_classes for ACGAN)."""
+        return 1 + (self.num_classes if self.conditional else 0)
+
+    @property
+    def object_size(self) -> int:
+        """Number of scalar features per data object — the paper's ``d``."""
+        c, h, w = self.image_shape
+        return c * h * w
 
 
 def one_hot(
@@ -91,6 +126,16 @@ class GANFactory:
     metadata: Dict[str, object] = field(default_factory=dict)
 
     # -- derived dimensions ----------------------------------------------------
+    def spec(self) -> FactorySpec:
+        """The picklable dimensional facts of this architecture."""
+        return FactorySpec(
+            name=self.name,
+            latent_dim=self.latent_dim,
+            image_shape=tuple(self.image_shape),
+            num_classes=self.num_classes,
+            conditional=self.conditional,
+        )
+
     @property
     def generator_input_dim(self) -> int:
         """Size of the generator's input vector (noise plus optional one-hot)."""

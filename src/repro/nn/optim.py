@@ -18,7 +18,7 @@ different architecture) and raises instead of silently resetting state.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -1,0 +1,43 @@
+"""``repro.runtime`` — execution backends for the per-worker training phase.
+
+Workers within one global iteration are independent by construction
+(Algorithm 1 steps 2-3), so the trainers fan their per-worker work out
+through an :class:`ExecutorBackend`: ``serial`` (reference), ``thread``
+(NumPy kernels release the GIL) or ``process`` (pickle round-trip, full
+isolation).  All backends are bitwise-deterministic: results merge in
+worker-index order and the task runners touch no shared state.
+"""
+
+from .backend import (
+    BACKENDS,
+    ExecutorBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    create_backend,
+    default_max_workers,
+)
+from .tasks import (
+    FLGANLocalResult,
+    FLGANLocalTask,
+    MDGANWorkerResult,
+    MDGANWorkerTask,
+    run_flgan_local_task,
+    run_mdgan_worker_task,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ExecutorBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "create_backend",
+    "default_max_workers",
+    "MDGANWorkerTask",
+    "MDGANWorkerResult",
+    "FLGANLocalTask",
+    "FLGANLocalResult",
+    "run_mdgan_worker_task",
+    "run_flgan_local_task",
+]

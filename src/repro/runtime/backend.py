@@ -1,0 +1,174 @@
+"""Execution backends for the per-worker phase of a global iteration.
+
+The paper's algorithms are *embarrassingly parallel* across workers within
+one global iteration: MD-GAN's Algorithm 1 steps 2-3 (``L`` discriminator
+steps plus the error feedback) touch only worker-local state, and FL-GAN's
+local epochs are independent between federated rounds.  The trainers in
+``repro.core`` therefore split each iteration into three phases:
+
+1. **build** (serial) — drain mailboxes and snapshot every participant's
+   task as a self-contained, picklable value;
+2. **compute** (parallel) — run the pure per-worker function over the tasks
+   through an :class:`ExecutorBackend`;
+3. **merge** (serial, worker-index order) — write results back into the
+   trainer, absorb compute charges into the node ledgers and route messages
+   through the simulated network.
+
+Because phase 2 is side-effect free and phases 1/3 are serial and ordered,
+every backend produces *bitwise identical* training trajectories: ``thread``
+and ``process`` only change wall-clock time, never numerics.
+
+Backends:
+
+``serial``
+    The default.  Runs tasks in a plain loop on the calling thread; zero
+    overhead, reference behaviour.
+``thread``
+    A :class:`concurrent.futures.ThreadPoolExecutor`.  NumPy releases the
+    GIL inside its kernels, so the conv/matmul-heavy worker steps overlap on
+    multi-core hosts without any serialization cost.
+``process``
+    A :class:`concurrent.futures.ProcessPoolExecutor`.  Tasks and results
+    round-trip through pickle, so worker state must be picklable (the
+    ``repro`` stack is pure NumPy and is).  Highest isolation and true
+    parallelism for pure-Python-bound workloads, at the price of IPC.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+__all__ = [
+    "BACKENDS",
+    "ExecutorBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "create_backend",
+    "default_max_workers",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Names of the available execution backends, in documentation order.
+BACKENDS = ("serial", "thread", "process")
+
+
+def default_max_workers() -> int:
+    """Default pool size: every core but one, at least one."""
+    return max(1, (os.cpu_count() or 1) - 1)
+
+
+class ExecutorBackend(ABC):
+    """Maps a pure function over independent per-worker tasks.
+
+    The contract mirrors :func:`map`: results are returned **in task order**
+    regardless of completion order, which is what lets the trainers merge
+    worker results deterministically (worker-index order) and keep seeded
+    runs bitwise identical across backends.
+    """
+
+    #: Human-readable backend name (one of :data:`BACKENDS`).
+    name: str = "abstract"
+
+    @abstractmethod
+    def map_ordered(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
+        """Apply ``fn`` to every task and return the results in task order."""
+
+    def close(self) -> None:
+        """Release pooled resources; the backend may be reused afterwards."""
+
+    def __enter__(self) -> "ExecutorBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.__class__.__name__}(name={self.name!r})"
+
+
+class SerialBackend(ExecutorBackend):
+    """Reference backend: run every task inline on the calling thread."""
+
+    name = "serial"
+
+    def map_ordered(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
+        return [fn(task) for task in tasks]
+
+
+class _PooledBackend(ExecutorBackend):
+    """Shared lifecycle for the pool-based backends (lazy pool, reusable)."""
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers or default_max_workers()
+        self._pool = None
+
+    def _make_pool(self):
+        raise NotImplementedError
+
+    @property
+    def pool(self):
+        """The underlying executor, created on first use."""
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
+    def map_ordered(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
+        if len(tasks) <= 1:
+            # Nothing to overlap; skip pool dispatch (and, for the process
+            # backend, one pickle round-trip of the task payload).
+            return [fn(task) for task in tasks]
+        return list(self.pool.map(fn, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadBackend(_PooledBackend):
+    """Thread-pool backend; parallel where NumPy kernels release the GIL."""
+
+    name = "thread"
+
+    def _make_pool(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        return ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="repro-worker"
+        )
+
+
+class ProcessBackend(_PooledBackend):
+    """Process-pool backend; tasks/results round-trip through pickle."""
+
+    name = "process"
+
+    def _make_pool(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
+
+def create_backend(
+    name: str = "serial", max_workers: Optional[int] = None
+) -> ExecutorBackend:
+    """Instantiate an execution backend by name.
+
+    ``max_workers`` bounds the pool size for ``thread``/``process`` (``None``
+    picks :func:`default_max_workers`); it is accepted and ignored for
+    ``serial`` so call sites can thread the setting through unconditionally.
+    """
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadBackend(max_workers=max_workers)
+    if name == "process":
+        return ProcessBackend(max_workers=max_workers)
+    raise ValueError(f"Unknown backend {name!r}; expected one of {BACKENDS}")

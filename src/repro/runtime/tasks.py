@@ -1,0 +1,212 @@
+"""Picklable per-worker tasks for the execution backends.
+
+The trainers snapshot everything a worker touches during one global
+iteration into a task dataclass, hand the tasks to an
+:class:`~repro.runtime.backend.ExecutorBackend`, and merge the returned
+results back in worker-index order.  The task runners are **pure** with
+respect to the trainer: they mutate only the objects carried inside their
+own task and record compute charges on a detached
+:class:`~repro.simulation.node.ComputeTape` instead of a shared ledger.
+
+Two identity invariants make the ``process`` backend bitwise-faithful:
+
+* a task and its result reference the *same* stateful objects
+  (discriminator, optimizer, sampler, RNG), so under ``serial``/``thread``
+  the merge phase's re-assignment is a no-op, while under ``process`` the
+  round-tripped copies transparently replace the parent's state;
+* the sampler and the worker RNG share one :class:`numpy.random.Generator`,
+  and pickle preserves that sharing because both travel in the same task
+  (and the same result) object graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.gan_ops import (
+    GANObjective,
+    GeneratedBatch,
+    discriminator_update,
+    generator_feedback,
+    generator_update,
+    sample_generator_images,
+)
+from ..datasets.sampler import EpochSampler
+from ..nn.model import Sequential
+from ..simulation.node import ComputeTape
+
+__all__ = [
+    "MDGANWorkerTask",
+    "MDGANWorkerResult",
+    "FLGANLocalTask",
+    "FLGANLocalResult",
+    "run_mdgan_worker_task",
+    "run_flgan_local_task",
+]
+
+
+# -- MD-GAN: Algorithm 1 steps 2-3 ------------------------------------------------
+
+
+@dataclass
+class MDGANWorkerTask:
+    """One worker's share of an MD-GAN global iteration (steps 2-3)."""
+
+    worker_index: int
+    discriminator: Sequential
+    disc_opt: object
+    sampler: EpochSampler
+    rng: np.random.Generator
+    objective: GANObjective
+    disc_steps: int
+    batch_size: int
+    latent_dim: int
+    x_d: np.ndarray
+    x_g: np.ndarray
+    labels_d: Optional[np.ndarray]
+    labels_g: Optional[np.ndarray]
+    batch_index_g: int
+
+
+@dataclass
+class MDGANWorkerResult:
+    """Updated worker state plus the error feedback destined for the server."""
+
+    worker_index: int
+    discriminator: Sequential
+    disc_opt: object
+    sampler: EpochSampler
+    rng: np.random.Generator
+    disc_loss: float
+    gen_loss: float
+    feedback: np.ndarray
+    batch_index_g: int
+    tape: ComputeTape = field(default_factory=ComputeTape)
+
+
+def run_mdgan_worker_task(task: MDGANWorkerTask) -> MDGANWorkerResult:
+    """Run ``L`` discriminator steps and compute the error feedback ``F_n``.
+
+    Pure with respect to the trainer: touches only objects inside ``task``
+    and records compute costs on a private tape.
+    """
+    tape = ComputeTape()
+    disc_loss = 0.0
+    for _ in range(task.disc_steps):
+        real_images, real_labels = task.sampler.next_batch()
+        disc_loss = discriminator_update(
+            task.discriminator,
+            task.objective,
+            task.disc_opt,
+            real_images,
+            real_labels if task.objective.conditional else None,
+            task.x_d,
+            task.labels_d,
+        )
+        tape.charge(
+            "discriminator_training",
+            2 * task.batch_size * task.discriminator.num_parameters,
+        )
+
+    gen_batch = GeneratedBatch(
+        images=task.x_g,
+        noise=np.zeros((task.x_g.shape[0], task.latent_dim), dtype=task.x_g.dtype),
+        labels=task.labels_g,
+        batch_index=task.batch_index_g,
+    )
+    gen_loss, feedback = generator_feedback(
+        task.discriminator, task.objective, gen_batch
+    )
+    tape.charge(
+        "feedback", 2 * task.batch_size * task.discriminator.num_parameters
+    )
+    tape.observe_memory(task.discriminator.num_parameters)
+    return MDGANWorkerResult(
+        worker_index=task.worker_index,
+        discriminator=task.discriminator,
+        disc_opt=task.disc_opt,
+        sampler=task.sampler,
+        rng=task.rng,
+        disc_loss=disc_loss,
+        gen_loss=gen_loss,
+        feedback=feedback,
+        batch_index_g=task.batch_index_g,
+        tape=tape,
+    )
+
+
+# -- FL-GAN: one local iteration of the full GAN ----------------------------------
+
+
+@dataclass
+class FLGANLocalTask:
+    """One worker's local GAN iteration between two federated rounds."""
+
+    worker_index: int
+    generator: Sequential
+    discriminator: Sequential
+    gen_opt: object
+    disc_opt: object
+    sampler: EpochSampler
+    rng: np.random.Generator
+    objective: GANObjective
+    disc_steps: int
+    batch_size: int
+
+
+@dataclass
+class FLGANLocalResult:
+    """Updated local GAN state plus the iteration's losses."""
+
+    worker_index: int
+    generator: Sequential
+    discriminator: Sequential
+    gen_opt: object
+    disc_opt: object
+    sampler: EpochSampler
+    rng: np.random.Generator
+    gen_loss: float
+    disc_loss: float
+
+
+def run_flgan_local_task(task: FLGANLocalTask) -> FLGANLocalResult:
+    """One discriminator+generator local step, as in the standalone baseline."""
+    factory = task.objective.factory
+    disc_loss = 0.0
+    for _ in range(task.disc_steps):
+        real_images, real_labels = task.sampler.next_batch()
+        generated = sample_generator_images(
+            task.generator, factory, task.batch_size, task.rng
+        )
+        disc_loss = discriminator_update(
+            task.discriminator,
+            task.objective,
+            task.disc_opt,
+            real_images,
+            real_labels if task.objective.conditional else None,
+            generated.images,
+            generated.labels,
+        )
+    gen_loss = generator_update(
+        task.generator,
+        task.discriminator,
+        factory,
+        task.objective,
+        task.gen_opt,
+        task.batch_size,
+        task.rng,
+    )
+    return FLGANLocalResult(
+        worker_index=task.worker_index,
+        generator=task.generator,
+        discriminator=task.discriminator,
+        gen_opt=task.gen_opt,
+        disc_opt=task.disc_opt,
+        sampler=task.sampler,
+        rng=task.rng,
+        gen_loss=gen_loss,
+        disc_loss=disc_loss,
+    )

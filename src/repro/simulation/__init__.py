@@ -10,7 +10,7 @@ from .cluster import SERVER_NAME, Cluster, ClusterEvent, worker_name
 from .failures import CrashSchedule
 from .messages import Message, MessageKind, payload_nbytes
 from .network import LinkModel, NodeDisconnected, SimulatedNetwork
-from .node import ComputeLedger, Node
+from .node import ComputeLedger, ComputeTape, Node
 from .timeline import HardwareProfile, IterationTimeline, estimate_iteration_time
 from .traffic import LinkStats, TrafficMeter
 
@@ -28,6 +28,7 @@ __all__ = [
     "SimulatedNetwork",
     "Node",
     "ComputeLedger",
+    "ComputeTape",
     "TrafficMeter",
     "LinkStats",
     "HardwareProfile",

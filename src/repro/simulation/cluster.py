@@ -10,7 +10,7 @@ log used by the experiment reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from .failures import CrashSchedule
@@ -83,6 +83,19 @@ class Cluster:
                 crashed.append(name)
                 self.log(iteration, "crash", name, "fail-stop crash (data share lost)")
         return crashed
+
+    # -- compute accounting ----------------------------------------------------
+    def absorb_tape(self, node_name: str, tape) -> None:
+        """Fold a detached :class:`~repro.simulation.node.ComputeTape` into a node.
+
+        Execution backends (:mod:`repro.runtime`) hand worker compute charges
+        back as tapes; the trainers absorb them here, serially and in
+        worker-index order, so ledgers never get mutated concurrently.
+        """
+        if node_name == SERVER_NAME:
+            self.server.compute.absorb(tape)
+        else:
+            self._workers_by_name[node_name].compute.absorb(tape)
 
     # -- logging ---------------------------------------------------------------
     def log(self, iteration: int, kind: str, node: str, detail: str = "") -> None:

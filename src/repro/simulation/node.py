@@ -15,7 +15,34 @@ from typing import Any, Dict, List, Optional
 from .messages import Message, MessageKind
 from .network import SimulatedNetwork
 
-__all__ = ["ComputeLedger", "Node"]
+__all__ = ["ComputeTape", "ComputeLedger", "Node"]
+
+
+@dataclass
+class ComputeTape:
+    """A detached, picklable recording of compute charges.
+
+    Parallel execution backends (:mod:`repro.runtime`) run the per-worker
+    phase of an iteration off the main thread or in another process, where
+    mutating a shared :class:`ComputeLedger` would race (threads) or be lost
+    (processes).  Worker tasks therefore record their charges on a private
+    tape with the same ``charge``/``observe_memory`` interface, and the
+    trainer absorbs the tapes into the real node ledgers serially, in
+    worker-index order, during the merge phase.
+    """
+
+    charges: List[tuple] = field(default_factory=list)
+    peak_memory_floats: float = 0.0
+
+    def charge(self, category: str, flops: float) -> None:
+        """Record ``flops`` operations under ``category``."""
+        if flops < 0:
+            raise ValueError(f"flops must be non-negative, got {flops}")
+        self.charges.append((category, flops))
+
+    def observe_memory(self, floats: float) -> None:
+        """Record a transient memory requirement (keeps the running peak)."""
+        self.peak_memory_floats = max(self.peak_memory_floats, float(floats))
 
 
 @dataclass
@@ -43,6 +70,17 @@ class ComputeLedger:
     def observe_memory(self, floats: float) -> None:
         """Record a transient memory requirement (keeps the running peak)."""
         self.peak_memory_floats = max(self.peak_memory_floats, float(floats))
+
+    def absorb(self, tape: "ComputeTape") -> None:
+        """Fold a worker task's :class:`ComputeTape` into this ledger.
+
+        Charges replay in recording order, so absorbing tapes serially in
+        worker-index order reproduces the exact ledger state of a serial run.
+        """
+        for category, flops in tape.charges:
+            self.charge(category, flops)
+        if tape.peak_memory_floats:
+            self.observe_memory(tape.peak_memory_floats)
 
     def reset(self) -> None:
         self.flops = 0.0

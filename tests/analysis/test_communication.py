@@ -1,6 +1,5 @@
 """Tests for the Table III/IV and Figure 2 communication model."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

@@ -39,11 +39,22 @@ class TestTrainingConfig:
             dict(participation_fraction=0.0),
             dict(participation_fraction=1.5),
             dict(eval_every=-1),
+            dict(backend="gpu"),
+            dict(max_workers=0),
         ],
     )
     def test_invalid_values_rejected(self, kwargs):
         with pytest.raises(ValueError):
             TrainingConfig(**kwargs)
+
+    def test_build_backend_follows_config(self):
+        from repro.runtime import SerialBackend, ThreadBackend
+
+        assert isinstance(TrainingConfig().build_backend(), SerialBackend)
+        backend = TrainingConfig(backend="thread", max_workers=3).build_backend()
+        assert isinstance(backend, ThreadBackend)
+        assert backend.max_workers == 3
+        backend.close()
 
     def test_infinite_epochs_allowed(self):
         config = TrainingConfig(epochs_per_swap=math.inf)

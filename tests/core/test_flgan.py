@@ -43,6 +43,34 @@ def test_workers_start_from_identical_models(ring_shards, toy_factory, tiny_conf
         np.testing.assert_array_equal(worker.discriminator.get_parameters(), reference_d)
 
 
+def test_local_iteration_matches_backend_path(ring_shards, toy_factory, tiny_config):
+    # _local_iteration is the documented inline equivalent of the trainer's
+    # build -> compute -> merge fan-out; the two paths must stay in lockstep.
+    inline = FLGANTrainer(toy_factory, ring_shards, tiny_config)
+    losses = [inline._local_iteration(worker) for worker in inline.workers]
+    assert all(np.isfinite(g) and np.isfinite(d) for g, d in losses)
+    assert all(
+        w.sampler.samples_drawn == tiny_config.batch_size * tiny_config.disc_steps
+        for w in inline.workers
+    )
+
+    fanned = FLGANTrainer(toy_factory, ring_shards, tiny_config)
+    tasks = [fanned._build_local_task(worker) for worker in fanned.workers]
+    from repro.runtime import run_flgan_local_task
+
+    results = fanned.executor.map_ordered(run_flgan_local_task, tasks)
+    fanned_losses = [
+        fanned._merge_local_result(worker, result)
+        for worker, result in zip(fanned.workers, results)
+    ]
+    assert fanned_losses == losses
+    for inline_worker, fanned_worker in zip(inline.workers, fanned.workers):
+        np.testing.assert_array_equal(
+            inline_worker.generator.get_parameters(),
+            fanned_worker.generator.get_parameters(),
+        )
+
+
 def test_round_length_follows_e_m_over_b(ring_shards, toy_factory):
     config = TrainingConfig(iterations=10, batch_size=10, epochs_per_swap=2.0)
     trainer = FLGANTrainer(toy_factory, ring_shards, config)

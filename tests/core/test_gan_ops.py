@@ -12,7 +12,6 @@ import pytest
 
 from repro.core import (
     GANObjective,
-    GeneratedBatch,
     apply_feedback_to_generator,
     discriminator_update,
     generator_feedback,

@@ -137,3 +137,27 @@ class TestCLI:
     def test_main_rejects_unknown_artifact(self):
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+    def test_parser_accepts_backend_selection(self):
+        args = build_parser().parse_args(
+            ["fig4", "--backend", "thread", "--max-workers", "2"]
+        )
+        assert args.backend == "thread"
+        assert args.max_workers == 2
+
+    def test_parser_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4", "--backend", "gpu"])
+
+    def test_backend_kwargs_dispatch(self):
+        from repro.experiments.cli import _backend_kwargs
+        from repro.experiments.scalability import run_fig4
+        from repro.experiments.tables import run_table2
+
+        args = build_parser().parse_args(["fig4", "--backend", "process"])
+        assert _backend_kwargs(run_fig4, args) == {
+            "backend": "process",
+            "max_workers": None,
+        }
+        # Runners without a backend sweep fall back to serial with a note.
+        assert _backend_kwargs(run_table2, args) == {}

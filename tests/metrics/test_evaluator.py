@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.metrics import GeneratorEvaluator, train_score_classifier
+from repro.metrics import train_score_classifier
 
 
 class TestScoreClassifier:
