@@ -80,9 +80,11 @@ class TrainingConfig:
     #: :mod:`repro.nn.precision`.
     precision: Optional[str] = None
     #: Execution backend for the per-worker phase of each global iteration:
-    #: ``"serial"`` (reference), ``"thread"`` or ``"process"`` (see
-    #: :mod:`repro.runtime`).  All backends produce bitwise-identical seeded
-    #: runs; the parallel ones only change wall-clock time.
+    #: ``"serial"`` (reference), ``"thread"``, ``"process"`` or
+    #: ``"resident"`` (persistent pool holding worker state across
+    #: iterations; see :mod:`repro.runtime`).  All backends produce
+    #: bitwise-identical seeded runs; the parallel ones only change
+    #: wall-clock time.
     backend: str = "serial"
     #: Pool size for the parallel backends (``None`` = cores - 1).
     max_workers: Optional[int] = None

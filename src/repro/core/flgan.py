@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -23,11 +23,13 @@ from ..datasets.sampler import EpochSampler
 from ..metrics.evaluator import GeneratorEvaluator
 from ..models.base import GANFactory, generator_input
 from ..nn.model import Sequential
-from ..nn.serialize import average_parameters
+from ..nn.serialize import weighted_average_parameters
 from ..runtime.backend import ExecutorBackend
+from ..runtime.resident import ResidentBackend
 from ..runtime.tasks import (
     FLGANLocalResult,
     FLGANLocalTask,
+    FLGANResidentState,
     run_flgan_local_task,
 )
 from ..simulation.cluster import SERVER_NAME, Cluster
@@ -151,7 +153,10 @@ class FLGANTrainer:
     #
     # Local iterations between federated rounds are independent across
     # workers, so they run through the build -> compute -> merge protocol of
-    # ``repro.runtime`` exactly like MD-GAN's per-worker phase.
+    # ``repro.runtime`` exactly like MD-GAN's per-worker phase.  Under the
+    # ``resident`` backend the full local GAN is installed into its pool
+    # process once per round era and the per-iteration messages carry nothing
+    # at all outbound — only losses and RNG/sampler cursors come back.
 
     @property
     def executor(self) -> ExecutorBackend:
@@ -166,8 +171,15 @@ class FLGANTrainer:
             self._backend.close()
             self._backend = None
 
+    def _active_resident(self) -> Optional[ResidentBackend]:
+        """The already-built resident backend, or ``None`` (never builds one)."""
+        backend = self._backend
+        if backend is not None and getattr(backend, "supports_resident", False):
+            return backend
+        return None
+
     def _build_local_task(self, worker: FLGANWorkerState) -> FLGANLocalTask:
-        """Build phase: snapshot one worker's local GAN iteration."""
+        """Build phase (stateless backends): snapshot one local GAN iteration."""
         return FLGANLocalTask(
             worker_index=worker.index,
             generator=worker.generator,
@@ -181,48 +193,113 @@ class FLGANTrainer:
             batch_size=self.config.batch_size,
         )
 
-    def _merge_local_result(
-        self, worker: FLGANWorkerState, result: FLGANLocalResult
-    ) -> tuple:
-        """Merge phase: adopt the (possibly round-tripped) local GAN state."""
-        worker.generator = result.generator
-        worker.discriminator = result.discriminator
-        worker.gen_opt = result.gen_opt
-        worker.disc_opt = result.disc_opt
-        worker.sampler = result.sampler
-        worker.rng = result.rng
+    def _resident_state(self, worker: FLGANWorkerState) -> FLGANResidentState:
+        """Build-once install payload for the resident backend."""
+        return FLGANResidentState(
+            worker_index=worker.index,
+            generator=worker.generator,
+            discriminator=worker.discriminator,
+            gen_opt=worker.gen_opt,
+            disc_opt=worker.disc_opt,
+            sampler=worker.sampler,
+            rng=worker.rng,
+            objective=self._objective,
+            disc_steps=self.config.disc_steps,
+            batch_size=self.config.batch_size,
+        )
+
+    def sync_worker_state(
+        self, workers: Optional[Sequence[FLGANWorkerState]] = None
+    ) -> None:
+        """Pull resident worker state back into the trainer's own objects.
+
+        No-op for stateless backends.  Afterwards the trainer is
+        authoritative (pool copies dropped, state epoch bumped), so worker
+        state may be mutated freely before training resumes.
+        """
+        resident = self._active_resident()
+        if resident is None:
+            return
+        targets = list(self.workers) if workers is None else list(workers)
+        resident.pull_into(
+            targets,
+            ("generator", "discriminator", "gen_opt", "disc_opt", "sampler", "rng"),
+        )
+
+    def _merge_local_result(self, worker: FLGANWorkerState, result) -> tuple:
+        """Merge phase: adopt the round-tripped state, or just the cursors.
+
+        A full-snapshot :class:`FLGANLocalResult` replaces the worker's
+        objects (a no-op under ``serial``/``thread``); a resident
+        :class:`FLGANStepResult` only folds the RNG/sampler cursors back —
+        the local GAN itself stayed in the pool.
+        """
+        if isinstance(result, FLGANLocalResult):
+            worker.generator = result.generator
+            worker.discriminator = result.discriminator
+            worker.gen_opt = result.gen_opt
+            worker.disc_opt = result.disc_opt
+            worker.sampler = result.sampler
+            worker.rng = result.rng
+        else:
+            worker.rng.bit_generator.state = result.rng_state
+            worker.sampler.samples_drawn = result.samples_drawn
+            worker.sampler.epochs_completed = result.epochs_completed
         return result.gen_loss, result.disc_loss
 
-    def _local_iteration(self, worker: FLGANWorkerState) -> tuple:
-        """One local GAN iteration for one worker, run inline."""
-        task = self._build_local_task(worker)
-        return self._merge_local_result(worker, run_flgan_local_task(task))
-
     def _federated_round(self, iteration: int) -> None:
-        """Workers upload their GANs, the server averages and broadcasts."""
-        gen_vectors, disc_vectors = [], []
-        for worker in self.workers:
+        """Workers upload their GANs, the server averages and broadcasts.
+
+        FedAvg weights every worker's parameters by its shard size
+        ``m_n / sum m_n`` — with unequal or non-IID shards an unweighted mean
+        would bias the global model toward small shards.  Resident workers
+        exchange only flat parameter vectors with the pool (pull before the
+        upload, push after the broadcast); optimizer, sampler and RNG state
+        never leave their pool process.
+        """
+        resident = self._active_resident()
+        alive = [
+            worker
+            for worker in self.workers
+            if self.cluster.workers[worker.index].alive
+        ]
+        pulled: Dict[int, Dict[str, np.ndarray]] = {}
+        if resident is not None:
+            keys = [w.index for w in alive if resident.installed(w.index)]
+            if keys:
+                pulled = resident.pull_params(keys)
+        gen_vectors, disc_vectors, weights = [], [], []
+        for worker in alive:
             node = self.cluster.workers[worker.index]
-            if not node.alive:
-                continue
-            payload = {
-                "generator": worker.generator.get_parameters(),
-                "discriminator": worker.discriminator.get_parameters(),
-            }
-            node.send(SERVER_NAME, MessageKind.MODEL_UPDATE, payload, iteration)
+            if worker.index in pulled:
+                payload = dict(pulled[worker.index])
+            else:
+                payload = {
+                    "generator": worker.generator.get_parameters(),
+                    "discriminator": worker.discriminator.get_parameters(),
+                }
+            # Weight by the sampler's *live* shard size, not the construction-
+            # time `worker.dataset` — replace_dataset churn changes the former.
+            node.send(
+                SERVER_NAME,
+                MessageKind.MODEL_UPDATE,
+                payload,
+                iteration,
+                num_samples=len(worker.sampler),
+            )
         for message in self.cluster.server.receive(MessageKind.MODEL_UPDATE):
             gen_vectors.append(message.payload["generator"])
             disc_vectors.append(message.payload["discriminator"])
+            weights.append(float(message.metadata.get("num_samples", 1.0)))
         if not gen_vectors:
             return
-        avg_gen = average_parameters(gen_vectors)
-        avg_disc = average_parameters(disc_vectors)
+        avg_gen = weighted_average_parameters(gen_vectors, weights)
+        avg_disc = weighted_average_parameters(disc_vectors, weights)
         self.server_generator.set_parameters(avg_gen)
         self.server_discriminator.set_parameters(avg_disc)
-        for worker in self.workers:
+        push_map: Dict[int, Dict[str, np.ndarray]] = {}
+        for worker in alive:
             node = self.cluster.workers[worker.index]
-            if not node.alive:
-                continue
             self.cluster.server.send(
                 node.name,
                 MessageKind.MODEL_BROADCAST,
@@ -231,10 +308,17 @@ class FLGANTrainer:
             )
             broadcast = node.receive(MessageKind.MODEL_BROADCAST)
             if broadcast:
-                worker.generator.set_parameters(broadcast[-1].payload["generator"])
-                worker.discriminator.set_parameters(
-                    broadcast[-1].payload["discriminator"]
-                )
+                payload = broadcast[-1].payload
+                if resident is not None and resident.installed(worker.index):
+                    push_map[worker.index] = {
+                        "generator": payload["generator"],
+                        "discriminator": payload["discriminator"],
+                    }
+                else:
+                    worker.generator.set_parameters(payload["generator"])
+                    worker.discriminator.set_parameters(payload["discriminator"])
+        if push_map:
+            resident.push_params(push_map)
         self.history.record_event(iteration, "federated_round", workers=len(gen_vectors))
 
     # -- main loop --------------------------------------------------------------------
@@ -246,14 +330,26 @@ class FLGANTrainer:
             for iteration in range(1, cfg.iterations + 1):
                 # Fan the local iterations out through the execution backend;
                 # merge in worker-index order for bitwise-identical seeded
-                # runs across serial/thread/process.
+                # runs across serial/thread/process/resident.
                 active = [
                     worker
                     for worker in self.workers
                     if self.cluster.workers[worker.index].alive
                 ]
-                tasks = [self._build_local_task(worker) for worker in active]
-                results = self.executor.map_ordered(run_flgan_local_task, tasks)
+                backend = self.executor
+                if getattr(backend, "supports_resident", False):
+                    items = [
+                        (
+                            worker.index,
+                            lambda w=worker: self._resident_state(w),
+                            None,
+                        )
+                        for worker in active
+                    ]
+                    results = backend.run_steps("flgan", items)
+                else:
+                    tasks = [self._build_local_task(worker) for worker in active]
+                    results = backend.map_ordered(run_flgan_local_task, tasks)
                 gen_losses, disc_losses = [], []
                 for worker, result in zip(active, results):
                     gen_loss, disc_loss = self._merge_local_result(worker, result)
@@ -273,6 +369,9 @@ class FLGANTrainer:
                     result = self.evaluator.evaluate(self.sample_images, iteration)
                     self.history.record_evaluation(result)
         finally:
+            # Reclaim any state still resident in the pool so the trainer's
+            # worker objects hold the final models, then drop the pool.
+            self.sync_worker_state()
             self.close_backend()
         if cfg.record_traffic:
             meter = self.cluster.meter

@@ -40,14 +40,17 @@ from ..metrics.evaluator import GeneratorEvaluator
 from ..models.base import GANFactory, generator_input
 from ..nn.model import Sequential
 from ..runtime.backend import ExecutorBackend
+from ..runtime.resident import ResidentBackend
 from ..runtime.tasks import (
+    MDGANResidentState,
+    MDGANStepInput,
     MDGANWorkerResult,
     MDGANWorkerTask,
     run_mdgan_worker_task,
 )
 from ..simulation.cluster import SERVER_NAME, Cluster
 from ..simulation.failures import CrashSchedule
-from ..simulation.messages import MessageKind
+from ..simulation.messages import Message, MessageKind
 from ..simulation.network import LinkModel
 from .config import TrainingConfig, resolve_num_batches
 from .gan_ops import (
@@ -208,8 +211,12 @@ class MDGANTrainer:
             self.cluster.server.compute.charge(
                 "batch_generation", self.config.batch_size * self.generator.num_parameters
             )
+        # The stored batches occupy b*d floats each (d = object size), the
+        # same convention `_aggregate_feedback` uses for the received
+        # feedbacks — generating them costs O(b |w|) ops, but holding them
+        # does not take |w| floats per image.
         self.cluster.server.compute.observe_memory(
-            k * self.config.batch_size * self.generator.num_parameters
+            k * self.config.batch_size * self.factory.object_size
         )
         return batches
 
@@ -300,6 +307,15 @@ class MDGANTrainer:
     # -> merge (write back state, absorb charges, send feedback; serial, in
     # worker-index order).  Workers within an iteration are independent by
     # construction, so any backend yields bitwise-identical trajectories.
+    #
+    # Under the ``resident`` backend the build phase splits in two: the full
+    # worker state is installed into its (sticky) pool process once, and each
+    # iteration ships only the generated batches; merge absorbs the returned
+    # delta (losses, feedback, tape, RNG/sampler cursors) without re-adopting
+    # state.  Whenever the trainer must read or mutate worker state outside
+    # the pool (SWAP, crashes, end of training, ``replace_dataset``), it goes
+    # through the pull/push/sync helpers below, which keep the state-epoch
+    # protocol honest.
 
     @property
     def executor(self) -> ExecutorBackend:
@@ -314,15 +330,27 @@ class MDGANTrainer:
             self._backend.close()
             self._backend = None
 
+    def _active_resident(self) -> Optional[ResidentBackend]:
+        """The already-built resident backend, or ``None`` (never builds one)."""
+        backend = self._backend
+        if backend is not None and getattr(backend, "supports_resident", False):
+            return backend
+        return None
+
+    def _receive_generated(self, worker: MDGANWorkerState) -> Optional[Message]:
+        """Drain the worker's generated-batch mailbox; latest message wins."""
+        received = self.cluster.workers[worker.index].receive(
+            MessageKind.GENERATED_BATCHES
+        )
+        return received[-1] if received else None
+
     def _build_worker_task(
         self, worker: MDGANWorkerState
     ) -> Optional[MDGANWorkerTask]:
-        """Build phase: snapshot one worker's share of the iteration."""
-        node = self.cluster.workers[worker.index]
-        received = node.receive(MessageKind.GENERATED_BATCHES)
-        if not received:
+        """Build phase (stateless backends): snapshot one worker's share."""
+        message = self._receive_generated(worker)
+        if message is None:
             return None
-        message = received[-1]
         return MDGANWorkerTask(
             worker_index=worker.index,
             discriminator=worker.discriminator,
@@ -340,22 +368,91 @@ class MDGANTrainer:
             batch_index_g=message.metadata.get("batch_index_g", 0),
         )
 
+    def _resident_state(self, worker: MDGANWorkerState) -> MDGANResidentState:
+        """Build-once install payload for the resident backend."""
+        return MDGANResidentState(
+            worker_index=worker.index,
+            discriminator=worker.discriminator,
+            disc_opt=worker.disc_opt,
+            sampler=worker.sampler,
+            rng=worker.rng,
+            objective=self._objective,
+            disc_steps=self.config.disc_steps,
+            batch_size=self.config.batch_size,
+            latent_dim=self.factory.latent_dim,
+        )
+
+    @staticmethod
+    def _resident_step_input(message: Message) -> MDGANStepInput:
+        """Per-iteration payload for the resident backend: the two batches."""
+        return MDGANStepInput(
+            x_d=message.payload["X_d"],
+            x_g=message.payload["X_g"],
+            labels_d=message.metadata.get("labels_d"),
+            labels_g=message.metadata.get("labels_g"),
+            batch_index_g=message.metadata.get("batch_index_g", 0),
+        )
+
+    def _compute_resident(
+        self, backend: ResidentBackend, participants: List[MDGANWorkerState]
+    ) -> tuple:
+        """Compute phase on the resident pool: ship only per-iteration inputs."""
+        live, items = [], []
+        for worker in participants:
+            message = self._receive_generated(worker)
+            if message is None:
+                continue
+            live.append(worker)
+            items.append(
+                (
+                    worker.index,
+                    lambda w=worker: self._resident_state(w),
+                    self._resident_step_input(message),
+                )
+            )
+        return live, backend.run_steps("mdgan", items)
+
+    def sync_worker_state(
+        self, workers: Optional[Sequence[MDGANWorkerState]] = None
+    ) -> None:
+        """Pull resident worker state back into the trainer's own objects.
+
+        No-op for stateless backends.  After the pull the trainer is
+        authoritative again (the pool copies are dropped and the state epoch
+        bumped), so callers may freely mutate worker state — e.g.
+        ``worker.sampler.replace_dataset(...)`` — before training resumes;
+        the next participation re-installs the mutated state.
+        """
+        resident = self._active_resident()
+        if resident is None:
+            return
+        targets = list(self.workers) if workers is None else list(workers)
+        resident.pull_into(targets, ("discriminator", "disc_opt", "sampler", "rng"))
+
     def _merge_worker_result(
         self,
         iteration: int,
         worker: MDGANWorkerState,
-        result: MDGANWorkerResult,
+        result,
     ) -> Dict[str, float]:
-        """Merge phase: adopt worker state, absorb charges, ship the feedback.
+        """Merge phase: adopt worker state/cursors, absorb charges, ship feedback.
 
-        Re-assigning the stateful objects is a no-op under ``serial`` and
-        ``thread`` (same objects) and a state transfer under ``process``
-        (pickle round-tripped copies).
+        For a full-snapshot :class:`MDGANWorkerResult`, re-assigning the
+        stateful objects is a no-op under ``serial``/``thread`` (same
+        objects) and a state transfer under ``process`` (pickle round-tripped
+        copies).  For a resident :class:`MDGANStepResult` the state stayed in
+        the pool; only the RNG/sampler cursors are folded back so the
+        trainer's local accounting stays exact.
         """
-        worker.discriminator = result.discriminator
-        worker.disc_opt = result.disc_opt
-        worker.sampler = result.sampler
-        worker.rng = result.rng
+        if isinstance(result, MDGANWorkerResult):
+            worker.discriminator = result.discriminator
+            worker.disc_opt = result.disc_opt
+            worker.sampler = result.sampler
+            worker.rng = result.rng
+        else:
+            worker.rng.bit_generator.state = result.rng_state
+            worker.sampler.samples_drawn = result.samples_drawn
+            worker.sampler.epochs_completed = result.epochs_completed
         node = self.cluster.workers[worker.index]
         self.cluster.absorb_tape(node.name, result.tape)
         node.send(
@@ -366,17 +463,6 @@ class MDGANTrainer:
             batch_index=result.batch_index_g,
         )
         return {"disc_loss": result.disc_loss, "gen_loss": result.gen_loss}
-
-    def _worker_iteration(
-        self,
-        iteration: int,
-        worker: MDGANWorkerState,
-    ) -> Optional[Dict[str, float]]:
-        """Steps 2-3 for one worker, run inline (backend-independent)."""
-        task = self._build_worker_task(worker)
-        if task is None:
-            return None
-        return self._merge_worker_result(iteration, worker, run_mdgan_worker_task(task))
 
     def _swap_discriminators(self, iteration: int) -> None:
         """The SWAP procedure: gossip discriminator parameters between workers.
@@ -392,6 +478,16 @@ class MDGANTrainer:
         alive = self._alive_workers()
         if len(alive) < 2:
             return
+        # Resident workers keep their state in the pool: read the parameter
+        # vectors out (pull), route them through the simulated network as
+        # usual, and write the received vectors back in place (push) — the
+        # optimizer/sampler/RNG state never crosses the IPC boundary.
+        resident = self._active_resident()
+        pulled: Dict[int, np.ndarray] = {}
+        if resident is not None:
+            keys = [w.index for w in alive if resident.installed(w.index)]
+            if keys:
+                pulled = resident.pull_params(keys)
         permutation = self._rng.permutation(len(alive))
         parameter_vectors = {}
         for src_pos, dst_pos in enumerate(permutation):
@@ -400,7 +496,10 @@ class MDGANTrainer:
             src = alive[src_pos]
             dst = alive[dst_pos]
             src_node = self.cluster.workers[src.index]
-            params = src.discriminator.get_parameters()
+            if src.index in pulled:
+                params = pulled[src.index]
+            else:
+                params = src.discriminator.get_parameters()
             delivered = src_node.send(
                 self.cluster.workers[dst.index].name,
                 MessageKind.DISCRIMINATOR_SWAP,
@@ -409,11 +508,17 @@ class MDGANTrainer:
             )
             if delivered:
                 parameter_vectors[dst.index] = params
+        push_map: Dict[int, np.ndarray] = {}
         for worker in alive:
             node = self.cluster.workers[worker.index]
             messages = node.receive(MessageKind.DISCRIMINATOR_SWAP)
             if messages:
-                worker.discriminator.set_parameters(messages[-1].payload)
+                if resident is not None and resident.installed(worker.index):
+                    push_map[worker.index] = messages[-1].payload
+                else:
+                    worker.discriminator.set_parameters(messages[-1].payload)
+        if push_map:
+            resident.push_params(push_map)
         if parameter_vectors:
             self.history.record_event(iteration, "swap", exchanged=len(parameter_vectors))
 
@@ -423,6 +528,13 @@ class MDGANTrainer:
         crashed = self.cluster.apply_crashes(iteration)
         for name in crashed:
             self.history.record_event(iteration, "crash", worker=name)
+        if crashed:
+            # Crashed workers leave the pool permanently: reclaim their last
+            # resident state so the trainer's view of them stays exact.
+            names = set(crashed)
+            self.sync_worker_state(
+                [w for w in self.workers if self.cluster.workers[w.index].name in names]
+            )
 
         participants = self._participating_workers()
         if not participants:
@@ -433,14 +545,21 @@ class MDGANTrainer:
 
         # Fan the per-worker phase out through the execution backend; merge
         # in participant (= worker-index) order so seeded runs are bitwise
-        # identical across serial/thread/process.
-        pending = [(worker, self._build_worker_task(worker)) for worker in participants]
-        live = [(worker, task) for worker, task in pending if task is not None]
-        results = self.executor.map_ordered(
-            run_mdgan_worker_task, [task for _, task in live]
-        )
+        # identical across serial/thread/process/resident.
+        backend = self.executor
+        if getattr(backend, "supports_resident", False):
+            live_workers, results = self._compute_resident(backend, participants)
+        else:
+            pending = [
+                (worker, self._build_worker_task(worker)) for worker in participants
+            ]
+            live = [(worker, task) for worker, task in pending if task is not None]
+            live_workers = [worker for worker, _ in live]
+            results = backend.map_ordered(
+                run_mdgan_worker_task, [task for _, task in live]
+            )
         gen_losses, disc_losses = [], []
-        for (worker, _), result in zip(live, results):
+        for worker, result in zip(live_workers, results):
             stats = self._merge_worker_result(iteration, worker, result)
             gen_losses.append(stats["gen_loss"])
             disc_losses.append(stats["disc_loss"])
@@ -472,6 +591,9 @@ class MDGANTrainer:
                     result = self.evaluator.evaluate(self.sample_images, iteration)
                     self.history.record_evaluation(result)
         finally:
+            # Reclaim any state still resident in the pool so the trainer's
+            # worker objects hold the final models, then drop the pool.
+            self.sync_worker_state()
             self.close_backend()
         if cfg.record_traffic:
             meter = self.cluster.meter

@@ -77,7 +77,23 @@ class EpochSampler:
         return self.dataset.images[idx], self.dataset.labels[idx]
 
     def replace_dataset(self, dataset: ImageDataset) -> None:
-        """Swap the underlying shard (used when reassigning data after churn)."""
+        """Swap the underlying shard (used when reassigning data after churn).
+
+        Epoch-accounting semantics (pinned by ``tests/datasets/test_sampler.py``):
+
+        * the shuffle order and cursor are **reset** — the next batch starts a
+          fresh pass over the new shard, with the order drawn from the
+          sampler's own RNG so seeded trajectories stay deterministic;
+        * ``samples_drawn`` and ``epochs_completed`` **carry over** — they
+          count the worker's lifetime progress, not per-shard progress, so
+          swap/round triggers (``i mod (mE/b)``) keep their cadence across a
+          replacement.
+
+        If the worker's state lives in a resident execution pool
+        (``backend="resident"``), sync it back first
+        (``trainer.sync_worker_state([worker])``) so the replacement reaches
+        the authoritative copy.
+        """
         if len(dataset) == 0:
             raise ValueError("Cannot sample from an empty dataset")
         self.dataset = dataset

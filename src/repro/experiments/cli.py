@@ -88,8 +88,9 @@ def build_parser() -> argparse.ArgumentParser:
         choices=BACKENDS,
         help=(
             "execution backend for the per-worker training phase; results are "
-            "bitwise identical across backends (thread/process only change "
-            "wall-clock time)"
+            "bitwise identical across backends (thread/process/resident only "
+            "change wall-clock time; resident keeps worker state in its pool "
+            "process and ships only per-iteration deltas)"
         ),
     )
     parser.add_argument(

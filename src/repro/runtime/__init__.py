@@ -3,9 +3,11 @@
 Workers within one global iteration are independent by construction
 (Algorithm 1 steps 2-3), so the trainers fan their per-worker work out
 through an :class:`ExecutorBackend`: ``serial`` (reference), ``thread``
-(NumPy kernels release the GIL) or ``process`` (pickle round-trip, full
-isolation).  All backends are bitwise-deterministic: results merge in
-worker-index order and the task runners touch no shared state.
+(NumPy kernels release the GIL), ``process`` (pickle round-trip, full
+isolation) or ``resident`` (persistent pool holding worker state across
+iterations; only per-iteration deltas cross the IPC boundary).  All backends
+are bitwise-deterministic: results merge in worker-index order and the task
+runners touch no shared state.
 """
 
 from .backend import (
@@ -16,13 +18,27 @@ from .backend import (
     ThreadBackend,
     create_backend,
     default_max_workers,
+    register_backend,
+)
+from .resident import (
+    ResidentBackend,
+    ResidentProgram,
+    get_program,
+    register_program,
 )
 from .tasks import (
     FLGANLocalResult,
     FLGANLocalTask,
+    FLGANResidentState,
+    FLGANStepResult,
+    MDGANResidentState,
+    MDGANStepInput,
+    MDGANStepResult,
     MDGANWorkerResult,
     MDGANWorkerTask,
     run_flgan_local_task,
+    run_flgan_resident_step,
+    run_mdgan_resident_step,
     run_mdgan_worker_task,
 )
 
@@ -32,12 +48,24 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "ResidentBackend",
+    "ResidentProgram",
     "create_backend",
+    "register_backend",
+    "register_program",
+    "get_program",
     "default_max_workers",
     "MDGANWorkerTask",
     "MDGANWorkerResult",
+    "MDGANResidentState",
+    "MDGANStepInput",
+    "MDGANStepResult",
     "FLGANLocalTask",
     "FLGANLocalResult",
+    "FLGANResidentState",
+    "FLGANStepResult",
     "run_mdgan_worker_task",
     "run_flgan_local_task",
+    "run_mdgan_resident_step",
+    "run_flgan_resident_step",
 ]

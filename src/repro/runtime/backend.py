@@ -32,13 +32,18 @@ Backends:
     round-trip through pickle, so worker state must be picklable (the
     ``repro`` stack is pure NumPy and is).  Highest isolation and true
     parallelism for pure-Python-bound workloads, at the price of IPC.
+``resident``
+    A persistent process pool that keeps each worker's state *resident* in
+    its pool process across iterations (sticky worker->process affinity), so
+    only per-iteration inputs and outputs cross the IPC boundary instead of
+    the full pickled worker state.  See :mod:`repro.runtime.resident`.
 """
 
 from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 __all__ = [
     "BACKENDS",
@@ -47,6 +52,7 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "create_backend",
+    "register_backend",
     "default_max_workers",
 ]
 
@@ -54,7 +60,15 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 #: Names of the available execution backends, in documentation order.
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "resident")
+
+#: Registry mapping backend name -> factory taking ``max_workers``.
+_REGISTRY: Dict[str, Callable[[Optional[int]], "ExecutorBackend"]] = {}
+
+
+def register_backend(name: str, factory: Callable[[Optional[int]], "ExecutorBackend"]) -> None:
+    """Register a backend factory under ``name`` (used by :func:`create_backend`)."""
+    _REGISTRY[name] = factory
 
 
 def default_max_workers() -> int:
@@ -156,19 +170,28 @@ class ProcessBackend(_PooledBackend):
         return ProcessPoolExecutor(max_workers=self.max_workers)
 
 
+register_backend("serial", lambda max_workers=None: SerialBackend())
+register_backend("thread", lambda max_workers=None: ThreadBackend(max_workers=max_workers))
+register_backend("process", lambda max_workers=None: ProcessBackend(max_workers=max_workers))
+
+
 def create_backend(
     name: str = "serial", max_workers: Optional[int] = None
 ) -> ExecutorBackend:
-    """Instantiate an execution backend by name.
+    """Instantiate an execution backend by name (via the registry).
 
-    ``max_workers`` bounds the pool size for ``thread``/``process`` (``None``
-    picks :func:`default_max_workers`); it is accepted and ignored for
-    ``serial`` so call sites can thread the setting through unconditionally.
+    ``max_workers`` bounds the pool size for ``thread``/``process``/
+    ``resident`` (``None`` picks :func:`default_max_workers`); it is accepted
+    and ignored for ``serial`` so call sites can thread the setting through
+    unconditionally.
     """
-    if name == "serial":
-        return SerialBackend()
-    if name == "thread":
-        return ThreadBackend(max_workers=max_workers)
-    if name == "process":
-        return ProcessBackend(max_workers=max_workers)
-    raise ValueError(f"Unknown backend {name!r}; expected one of {BACKENDS}")
+    factory = _REGISTRY.get(name)
+    if factory is None and name in BACKENDS:
+        # The resident backend registers itself on import; pull it in lazily
+        # so importing this module alone stays cheap and cycle-free.
+        from . import resident  # noqa: F401  (registration side effect)
+
+        factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(f"Unknown backend {name!r}; expected one of {BACKENDS}")
+    return factory(max_workers)

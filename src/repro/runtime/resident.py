@@ -1,0 +1,436 @@
+"""Resident-worker process pool: worker state lives in the pool (delta shipping).
+
+The ``process`` backend re-pickles each worker's *entire* state — model(s),
+optimizer moments, sampler (including the dataset shard) and RNG — on every
+global iteration, in both directions.  IPC cost therefore grows with model
+*and shard* size and swamps the parallel speedup the paper's embarrassingly
+parallel per-worker phase should deliver.
+
+The ``resident`` backend fixes that by making worker state **resident**: each
+pool process holds the full state of the workers assigned to it (sticky
+``worker index -> slot`` affinity, ``slot = index mod pool size``) across
+iterations, so the trainer ships only the per-iteration *inputs* (generated
+batches for MD-GAN, nothing at all for FL-GAN local epochs) and receives only
+the per-iteration *outputs* (losses, error feedback, compute tapes and the
+RNG/sampler cursors that keep the trainer's accounting exact).
+
+Because trainers sometimes mutate worker state outside the pool (the SWAP
+gossip, FedAvg broadcasts, crash handling, ``replace_dataset``), the protocol
+carries an explicit **state-epoch counter** per worker:
+
+* while a worker's resident copy is current, the pool is authoritative and
+  the trainer's local objects are stale;
+* boundary mutations that touch only model parameters go through
+  :meth:`ResidentBackend.pull_params` / :meth:`ResidentBackend.push_params`,
+  which read/write flat parameter vectors in place without ever shipping the
+  sampler or optimizer state;
+* any other mutation must first *reclaim* authority with
+  :meth:`ResidentBackend.pull_state`, which returns the full state, drops the
+  resident copy and bumps the worker's epoch.  The next ``run_steps`` call
+  detects the epoch mismatch and re-installs fresh state from the trainer.
+
+Pool processes double-check the epoch of every step they execute and fail
+loudly on a mismatch, so any state handed through the protocol can never be
+silently trained on while stale.  (Mutations the protocol is never told
+about — e.g. editing a worker's sampler without first reclaiming it via
+``pull_state``/``sync_worker_state`` — are outside its reach: announce them,
+as the trainer docs require.)  All numerics are bitwise identical to the
+``serial`` reference: the
+pool runs the exact same step functions on state that round-tripped through
+pickle (which preserves float bits and object-graph sharing), and results
+merge in worker-index order exactly like every other backend.
+
+The backend also meters its own IPC: :attr:`ResidentBackend.ipc_bytes_sent`
+and :attr:`ResidentBackend.ipc_bytes_received` count the pickled bytes that
+actually crossed the pipes, which is what the resident-vs-process benchmark
+(``benchmarks/test_resident_backend.py``) reports.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import traceback
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .backend import ExecutorBackend, default_max_workers, register_backend
+
+__all__ = [
+    "ResidentBackend",
+    "ResidentProgram",
+    "register_program",
+    "get_program",
+]
+
+
+# -- worker programs ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResidentProgram:
+    """Named behaviour executed inside pool processes for one trainer family.
+
+    ``step`` mutates the resident state in place and returns the light-weight
+    per-iteration result; ``pull_params``/``push_params`` read/write the flat
+    parameter vectors exchanged at swap/round boundaries without disturbing
+    the rest of the resident state.
+    """
+
+    name: str
+    step: Callable[[Any, Any], Any]
+    pull_params: Callable[[Any], Any]
+    push_params: Callable[[Any, Any], None]
+
+
+_PROGRAMS: Dict[str, ResidentProgram] = {}
+
+
+def register_program(program: ResidentProgram) -> ResidentProgram:
+    """Register a :class:`ResidentProgram` under its name (idempotent)."""
+    _PROGRAMS[program.name] = program
+    return program
+
+
+def get_program(name: str) -> ResidentProgram:
+    """Look up a registered program, importing the built-ins if needed."""
+    if name not in _PROGRAMS:
+        # The built-in MD-GAN / FL-GAN programs register themselves when
+        # repro.runtime.tasks is imported; a freshly spawned pool process may
+        # not have imported it yet.
+        from . import tasks  # noqa: F401  (registration side effect)
+    try:
+        return _PROGRAMS[name]
+    except KeyError:
+        raise ValueError(
+            f"Unknown resident program {name!r}; registered: {sorted(_PROGRAMS)}"
+        ) from None
+
+
+# -- pool process main loop --------------------------------------------------------
+
+
+def _slot_main(conn) -> None:
+    """Serve resident-state requests on ``conn`` until EOF or ``close``.
+
+    Residents are stored as ``key -> [program_name, epoch, state]``.  Every
+    reply is ``("ok", payload)`` or ``("err", traceback_text)``; the parent
+    re-raises errors, so a failure in worker code surfaces in the trainer
+    with the child traceback attached.
+    """
+    residents: Dict[Any, list] = {}
+    while True:
+        try:
+            raw = conn.recv_bytes()
+        except (EOFError, OSError):
+            break
+        op, payload = pickle.loads(raw)
+        if op == "close":
+            break
+        try:
+            if op == "run":
+                out = []
+                for key, program_name, epoch, install, step_payload in payload:
+                    if install is not None:
+                        residents[key] = [program_name, epoch, install]
+                    entry = residents.get(key)
+                    if entry is None:
+                        raise RuntimeError(
+                            f"no resident state for worker {key!r} and no "
+                            "install payload shipped"
+                        )
+                    if entry[1] != epoch:
+                        raise RuntimeError(
+                            f"stale resident state for worker {key!r}: resident "
+                            f"epoch {entry[1]}, trainer epoch {epoch} (state was "
+                            "mutated outside the pool without re-install)"
+                        )
+                    out.append(get_program(entry[0]).step(entry[2], step_payload))
+                reply = ("ok", out)
+            elif op == "pull_params":
+                out = {}
+                for key in payload:
+                    entry = residents[key]
+                    out[key] = get_program(entry[0]).pull_params(entry[2])
+                reply = ("ok", out)
+            elif op == "push_params":
+                for key, params in payload.items():
+                    entry = residents[key]
+                    get_program(entry[0]).push_params(entry[2], params)
+                reply = ("ok", None)
+            elif op == "pull_state":
+                keys, drop = payload
+                reply = ("ok", {key: residents[key][2] for key in keys})
+                if drop:
+                    for key in keys:
+                        residents.pop(key, None)
+            else:
+                raise RuntimeError(f"unknown resident-pool op {op!r}")
+        except BaseException:
+            reply = ("err", traceback.format_exc())
+        try:
+            conn.send_bytes(pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL))
+        except (BrokenPipeError, OSError):
+            break
+
+
+# -- trainer-side backend ----------------------------------------------------------
+
+
+class ResidentBackend(ExecutorBackend):
+    """Persistent process pool with resident per-worker state.
+
+    The generic :meth:`map_ordered` contract is honoured (inline, serial) so
+    the backend is a drop-in ``ExecutorBackend``; trainers that recognise
+    :attr:`supports_resident` use the richer protocol below instead.
+    """
+
+    name = "resident"
+    #: Capability flag the trainers in :mod:`repro.core` dispatch on
+    #: (``getattr(backend, "supports_resident", False)``); a third-party
+    #: backend that implements this class's protocol methods can set it to
+    #: opt into the resident code paths.
+    supports_resident = True
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers or default_max_workers()
+        self._slots: Optional[List[tuple]] = None
+        #: Trainer-side truth: current state epoch per worker key.
+        self._epochs: Dict[Any, int] = {}
+        #: Epoch of the copy installed in the pool, per worker key.
+        self._installed: Dict[Any, int] = {}
+        #: Set when a pool operation failed; the resident state is then lost
+        #: and every later protocol call refuses to run (fail-stop).
+        self._broken_reason: Optional[str] = None
+        #: Pickled bytes shipped to / received from the pool (IPC meter).
+        self.ipc_bytes_sent = 0
+        self.ipc_bytes_received = 0
+
+    # -- generic ExecutorBackend duty ------------------------------------------
+    def map_ordered(self, fn, tasks):
+        """Inline fallback for callers that use the stateless map contract."""
+        return [fn(task) for task in tasks]
+
+    # -- pool lifecycle ---------------------------------------------------------
+    def _ensure_slots(self) -> List[tuple]:
+        if self._slots is None:
+            ctx = multiprocessing.get_context()
+            slots = []
+            for _ in range(self.max_workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                process = ctx.Process(target=_slot_main, args=(child_conn,), daemon=True)
+                process.start()
+                child_conn.close()
+                slots.append((process, parent_conn))
+            self._slots = slots
+        return self._slots
+
+    def _poison(self, reason: str) -> None:
+        """Fail-stop after a pool error: discard the pool and refuse to go on.
+
+        A failed or half-executed request leaves resident state (and, with
+        multiple in-flight slot replies, the request/reply pipes) in an
+        unknown condition; some residents may hold steps the trainer never
+        merged.  Continuing — or re-installing from the trainer's stale
+        copies — would silently diverge from the serial reference, so the
+        backend tears the pool down and every later protocol call raises.
+        """
+        self._broken_reason = reason
+        self.close()
+
+    def _check_usable(self) -> None:
+        if self._broken_reason is not None:
+            raise RuntimeError(
+                "resident pool previously failed and its worker state was lost; "
+                "rebuild the trainer/backend to continue. Original failure:\n"
+                f"{self._broken_reason}"
+            )
+
+    def close(self) -> None:
+        """Shut the pool down; resident state is discarded (trainer re-installs)."""
+        if self._slots is not None:
+            for _, conn in self._slots:
+                try:
+                    conn.send_bytes(pickle.dumps(("close", None), protocol=pickle.HIGHEST_PROTOCOL))
+                except (BrokenPipeError, OSError):
+                    pass
+            for process, conn in self._slots:
+                process.join(timeout=5)
+                if process.is_alive():  # pragma: no cover - defensive cleanup
+                    process.terminate()
+                    process.join(timeout=5)
+                conn.close()
+            self._slots = None
+        self._installed.clear()
+
+    # -- wire helpers -----------------------------------------------------------
+    def _slot_for(self, key) -> int:
+        return hash(key) % len(self._ensure_slots())
+
+    def _send(self, slot_index: int, message: tuple) -> None:
+        _, conn = self._ensure_slots()[slot_index]
+        data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        self.ipc_bytes_sent += len(data)
+        try:
+            conn.send_bytes(data)
+        except (BrokenPipeError, OSError) as exc:  # pragma: no cover - pool death
+            self._poison(f"pipe to pool slot {slot_index} broke while sending")
+            raise RuntimeError(f"resident pool slot {slot_index} is gone") from exc
+
+    def _recv(self, slot_index: int):
+        _, conn = self._ensure_slots()[slot_index]
+        try:
+            data = conn.recv_bytes()
+        except EOFError as exc:  # pragma: no cover - pool death
+            self._poison(f"pool slot {slot_index} died mid-request")
+            raise RuntimeError(f"resident pool slot {slot_index} died") from exc
+        self.ipc_bytes_received += len(data)
+        status, payload = pickle.loads(data)
+        if status != "ok":
+            # The slot may have executed part of a batch before failing, and
+            # other slots may still have unread replies in flight: both leave
+            # state/pipes inconsistent, so fail stop rather than desync.
+            self._poison(payload)
+            raise RuntimeError(f"resident worker program failed:\n{payload}")
+        return payload
+
+    def _grouped(self, keys: Iterable) -> Dict[int, List]:
+        grouped: Dict[int, List] = defaultdict(list)
+        for key in keys:
+            grouped[self._slot_for(key)].append(key)
+        return grouped
+
+    def _require_installed(self, keys: Iterable, op: str) -> None:
+        missing = [key for key in keys if not self.installed(key)]
+        if missing:
+            raise ValueError(f"{op} requires installed resident state; missing for {missing}")
+
+    # -- invalidation protocol --------------------------------------------------
+    def installed(self, key) -> bool:
+        """Whether the pool holds a *current* resident copy for ``key``."""
+        return self._installed.get(key, -1) == self._epochs.get(key, 0)
+
+    def invalidate(self, key) -> None:
+        """Mark trainer-side state authoritative for ``key``.
+
+        Bumps the state epoch, so the next :meth:`run_steps` ships a fresh
+        install and any lingering pool copy is rejected as stale.
+        """
+        self._epochs[key] = self._epochs.get(key, 0) + 1
+
+    # -- resident protocol ------------------------------------------------------
+    def run_steps(
+        self,
+        program: str,
+        items: Sequence[Tuple[Any, Callable[[], Any], Any]],
+    ) -> List[Any]:
+        """Run one per-iteration step for every ``(key, state_supplier, payload)``.
+
+        ``state_supplier`` is invoked (trainer-side) only when the pool holds
+        no current copy for ``key`` — first participation, after an
+        invalidation, or after a pool restart — and its return value is
+        shipped as the install payload.  Results come back in item order; the
+        per-worker work itself runs concurrently across pool slots.
+        """
+        if not items:
+            return []
+        self._check_usable()
+        per_slot: Dict[int, List[Tuple[int, tuple]]] = defaultdict(list)
+        for position, (key, state_supplier, payload) in enumerate(items):
+            epoch = self._epochs.setdefault(key, 0)
+            install = None
+            if self._installed.get(key) != epoch:
+                install = state_supplier()
+            wire = (key, program, epoch, install, payload)
+            per_slot[self._slot_for(key)].append((position, wire))
+        for slot_index, entries in per_slot.items():
+            self._send(slot_index, ("run", [wire for _, wire in entries]))
+        results: List[Any] = [None] * len(items)
+        for slot_index, entries in per_slot.items():
+            out = self._recv(slot_index)
+            for (position, (key, _, epoch, _, _)), result in zip(entries, out):
+                self._installed[key] = epoch
+                results[position] = result
+        return results
+
+    def pull_params(self, keys: Sequence) -> Dict[Any, Any]:
+        """Fetch flat parameter vectors from installed residents (state stays put)."""
+        keys = list(keys)
+        if not keys:
+            return {}
+        self._check_usable()
+        self._require_installed(keys, "pull_params")
+        grouped = self._grouped(keys)
+        for slot_index, slot_keys in grouped.items():
+            self._send(slot_index, ("pull_params", slot_keys))
+        merged: Dict[Any, Any] = {}
+        for slot_index in grouped:
+            merged.update(self._recv(slot_index))
+        return merged
+
+    def push_params(self, params_by_key: Dict[Any, Any]) -> None:
+        """Write flat parameter vectors into installed residents in place."""
+        if not params_by_key:
+            return
+        self._check_usable()
+        self._require_installed(params_by_key, "push_params")
+        grouped = self._grouped(params_by_key)
+        for slot_index, slot_keys in grouped.items():
+            self._send(slot_index, ("push_params", {key: params_by_key[key] for key in slot_keys}))
+        for slot_index in grouped:
+            self._recv(slot_index)
+
+    def pull_state(self, keys: Sequence, drop: bool = True) -> Dict[Any, Any]:
+        """Reclaim full resident state for ``keys`` (trainer becomes authoritative).
+
+        With ``drop`` (the default) the pool forgets the residents and the
+        epoch is bumped, so stale copies can never be stepped again; the next
+        participation re-installs from the trainer's (now current) objects.
+        """
+        keys = list(keys)
+        if not keys:
+            return {}
+        self._check_usable()
+        self._require_installed(keys, "pull_state")
+        grouped = self._grouped(keys)
+        for slot_index, slot_keys in grouped.items():
+            self._send(slot_index, ("pull_state", (slot_keys, drop)))
+        merged: Dict[Any, Any] = {}
+        for slot_index in grouped:
+            merged.update(self._recv(slot_index))
+        if drop:
+            for key in keys:
+                self._installed.pop(key, None)
+                self.invalidate(key)
+        return merged
+
+    def pull_into(
+        self, holders: Sequence, fields: Sequence[str], key_attr: str = "index"
+    ) -> None:
+        """Reclaim resident state and copy ``fields`` onto the holder objects.
+
+        Convenience over :meth:`pull_state` shared by the trainers'
+        ``sync_worker_state``: holders whose key is not installed are left
+        untouched; for the rest, every named field is copied from the pulled
+        state object onto the holder (both sides use the same field names).
+        """
+        keys = [
+            getattr(holder, key_attr)
+            for holder in holders
+            if self.installed(getattr(holder, key_attr))
+        ]
+        if not keys:
+            return
+        states = self.pull_state(keys, drop=True)
+        for holder in holders:
+            state = states.get(getattr(holder, key_attr))
+            if state is None:
+                continue
+            for field in fields:
+                setattr(holder, field, getattr(state, field))
+
+
+register_backend("resident", lambda max_workers=None: ResidentBackend(max_workers))

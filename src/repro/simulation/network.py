@@ -43,6 +43,15 @@ class LinkModel:
     latency_s: float = 0.0
     name: str = "link"
 
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError(
+                "bandwidth_bytes_per_s must be positive, got "
+                f"{self.bandwidth_bytes_per_s}"
+            )
+        if self.latency_s < 0:
+            raise ValueError(f"latency_s must be non-negative, got {self.latency_s}")
+
     def transfer_time(self, nbytes: int) -> float:
         if nbytes < 0:
             raise ValueError(f"nbytes must be non-negative, got {nbytes}")

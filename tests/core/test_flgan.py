@@ -43,32 +43,91 @@ def test_workers_start_from_identical_models(ring_shards, toy_factory, tiny_conf
         np.testing.assert_array_equal(worker.discriminator.get_parameters(), reference_d)
 
 
-def test_local_iteration_matches_backend_path(ring_shards, toy_factory, tiny_config):
-    # _local_iteration is the documented inline equivalent of the trainer's
-    # build -> compute -> merge fan-out; the two paths must stay in lockstep.
-    inline = FLGANTrainer(toy_factory, ring_shards, tiny_config)
-    losses = [inline._local_iteration(worker) for worker in inline.workers]
-    assert all(np.isfinite(g) and np.isfinite(d) for g, d in losses)
-    assert all(
-        w.sampler.samples_drawn == tiny_config.batch_size * tiny_config.disc_steps
-        for w in inline.workers
-    )
+def test_fanout_path_matches_resident_path(ring_shards, toy_factory, tiny_config):
+    # The full-snapshot fan-out (serial/thread/process tasks) and the
+    # resident delta protocol execute the same compute core; one local
+    # iteration must stay in bitwise lockstep between the two.
+    from repro.runtime import run_flgan_local_task
 
     fanned = FLGANTrainer(toy_factory, ring_shards, tiny_config)
     tasks = [fanned._build_local_task(worker) for worker in fanned.workers]
-    from repro.runtime import run_flgan_local_task
-
     results = fanned.executor.map_ordered(run_flgan_local_task, tasks)
-    fanned_losses = [
+    losses = [
         fanned._merge_local_result(worker, result)
         for worker, result in zip(fanned.workers, results)
     ]
-    assert fanned_losses == losses
-    for inline_worker, fanned_worker in zip(inline.workers, fanned.workers):
+    assert all(np.isfinite(g) and np.isfinite(d) for g, d in losses)
+    assert all(
+        w.sampler.samples_drawn == tiny_config.batch_size * tiny_config.disc_steps
+        for w in fanned.workers
+    )
+
+    resident_config = tiny_config.with_overrides(backend="resident", max_workers=2)
+    resident = FLGANTrainer(toy_factory, ring_shards, resident_config)
+    backend = resident.executor
+    items = [
+        (worker.index, lambda w=worker: resident._resident_state(w), None)
+        for worker in resident.workers
+    ]
+    step_results = backend.run_steps("flgan", items)
+    resident_losses = [
+        resident._merge_local_result(worker, result)
+        for worker, result in zip(resident.workers, step_results)
+    ]
+    assert resident_losses == losses
+    resident.sync_worker_state()
+    resident.close_backend()
+    for fanned_worker, resident_worker in zip(fanned.workers, resident.workers):
         np.testing.assert_array_equal(
-            inline_worker.generator.get_parameters(),
             fanned_worker.generator.get_parameters(),
+            resident_worker.generator.get_parameters(),
         )
+
+
+def test_federated_round_weights_by_shard_size(ring_dataset, toy_factory):
+    # FedAvg must weight each worker by its shard size m_n / sum(m): with
+    # 3:1 shards the average is 0.75*w_0 + 0.25*w_1, not the uniform mean.
+    train, _ = ring_dataset
+    shards = [train.subset(np.arange(30)), train.subset(np.arange(30, 40))]
+    config = TrainingConfig(iterations=1, batch_size=5, seed=0)
+    trainer = FLGANTrainer(toy_factory, shards, config)
+    gen_size = trainer.server_generator.num_parameters
+    disc_size = trainer.server_discriminator.num_parameters
+    trainer.workers[0].generator.set_parameters(np.full(gen_size, 1.0))
+    trainer.workers[1].generator.set_parameters(np.full(gen_size, 5.0))
+    trainer.workers[0].discriminator.set_parameters(np.full(disc_size, 2.0))
+    trainer.workers[1].discriminator.set_parameters(np.full(disc_size, 6.0))
+    trainer._federated_round(1)
+    # Weighted means: 0.75*1 + 0.25*5 = 2.0 and 0.75*2 + 0.25*6 = 3.0
+    # (an unweighted mean would give 3.0 and 4.0).
+    np.testing.assert_allclose(
+        trainer.server_generator.get_parameters(), 2.0, rtol=1e-6
+    )
+    np.testing.assert_allclose(
+        trainer.server_discriminator.get_parameters(), 3.0, rtol=1e-6
+    )
+    for worker in trainer.workers:
+        np.testing.assert_allclose(worker.generator.get_parameters(), 2.0, rtol=1e-6)
+
+
+def test_federated_round_weights_follow_replace_dataset(ring_dataset, toy_factory):
+    # FedAvg weights must track the sampler's *live* shard, not the shard the
+    # worker was constructed with: after replace_dataset equalises the shard
+    # sizes, the 3:1 weighting must become uniform.
+    train, _ = ring_dataset
+    shards = [train.subset(np.arange(30)), train.subset(np.arange(30, 40))]
+    config = TrainingConfig(iterations=1, batch_size=5, seed=0)
+    trainer = FLGANTrainer(toy_factory, shards, config)
+    trainer.workers[1].sampler.replace_dataset(train.subset(np.arange(40, 70)))
+    gen_size = trainer.server_generator.num_parameters
+    trainer.workers[0].generator.set_parameters(np.full(gen_size, 1.0))
+    trainer.workers[1].generator.set_parameters(np.full(gen_size, 5.0))
+    trainer._federated_round(1)
+    # Both shards now hold 30 samples -> uniform mean 3.0 (the stale 3:1
+    # weighting would give 2.0).
+    np.testing.assert_allclose(
+        trainer.server_generator.get_parameters(), 3.0, rtol=1e-6
+    )
 
 
 def test_round_length_follows_e_m_over_b(ring_shards, toy_factory):

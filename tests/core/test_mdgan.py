@@ -111,6 +111,20 @@ class TestCommunicationPattern:
         assert meter.total_bytes(MessageKind.ERROR_FEEDBACK) == expected
         assert meter.node_ingress(SERVER_NAME, MessageKind.ERROR_FEEDBACK) == expected
 
+    def test_generated_batch_memory_charged_at_object_size(
+        self, ring_shards, toy_factory
+    ):
+        # Section IV-B3 cost model: generating a batch costs O(b |w|) ops,
+        # but *holding* k batches takes k*b*d floats (d = object size) — the
+        # same convention _aggregate_feedback uses — not k*b*|w|.
+        trainer = make_trainer(toy_factory, ring_shards, iterations=1, batch_size=8)
+        k = 3
+        trainer._generate_batches(k)
+        ledger = trainer.cluster.server.compute
+        assert ledger.peak_memory_floats == k * 8 * toy_factory.object_size
+        # The regression is meaningful: the old |w|-based figure differs.
+        assert toy_factory.object_size != trainer.generator.num_parameters
+
     def test_k_controls_distinct_batches(self, ring_shards, toy_factory):
         trainer = make_trainer(toy_factory, ring_shards, num_batches=1, iterations=1)
         batches = trainer._generate_batches(trainer.num_batches)
@@ -170,8 +184,16 @@ class TestFeedbackAggregation:
         k = min(trainer.num_batches, len(participants))
         batches = trainer._generate_batches(k)
         trainer._distribute_batches(1, batches, participants)
-        for worker in participants:
-            trainer._worker_iteration(1, worker)
+        # Run steps 2-3 through the backend protocol (build -> compute ->
+        # merge), the same path train_iteration uses.
+        from repro.runtime import run_mdgan_worker_task
+
+        tasks = [trainer._build_worker_task(worker) for worker in participants]
+        results = trainer.executor.map_ordered(
+            run_mdgan_worker_task, [t for t in tasks if t is not None]
+        )
+        for worker, result in zip(participants, results):
+            trainer._merge_worker_result(1, worker, result)
         messages = trainer.cluster.server.receive(MessageKind.ERROR_FEEDBACK)
         assert len(messages) == len(participants)
 

@@ -9,6 +9,7 @@ import pytest
 from repro.runtime import (
     BACKENDS,
     ProcessBackend,
+    ResidentBackend,
     SerialBackend,
     ThreadBackend,
     create_backend,
@@ -33,6 +34,7 @@ class TestCreateBackend:
         assert isinstance(create_backend("serial"), SerialBackend)
         assert isinstance(create_backend("thread"), ThreadBackend)
         assert isinstance(create_backend("process"), ProcessBackend)
+        assert isinstance(create_backend("resident"), ResidentBackend)
 
     def test_backend_names_match_registry(self):
         for name in BACKENDS:

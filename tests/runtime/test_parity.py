@@ -24,7 +24,7 @@ from repro.datasets import make_gaussian_ring, partition_iid
 from repro.models import build_toy_gan
 from repro.simulation import CrashSchedule
 
-PARALLEL_BACKENDS = ("thread", "process")
+PARALLEL_BACKENDS = ("thread", "process", "resident")
 
 
 @pytest.fixture(scope="module")
@@ -196,18 +196,20 @@ class TestFLGANParity:
 
 
 class TestBackendStateRoundTrip:
-    def test_process_backend_advances_parent_rng_and_sampler(
-        self, small_shards_and_factory
+    @pytest.mark.parametrize("backend", ("process", "resident"))
+    def test_backend_advances_parent_rng_and_sampler(
+        self, backend, small_shards_and_factory
     ):
-        # The worker RNG and its sampler share one Generator; after a process
-        # round-trip the re-adopted copies must still share it, and their
+        # The worker RNG and its sampler share one Generator; after a pickle
+        # round-trip (process: per-iteration tasks; resident: the final
+        # state sync) the re-adopted copies must still share it, and their
         # state must have advanced exactly as in a serial run.
         shards, factory = small_shards_and_factory
         serial = MDGANTrainer(factory, shards, _config("serial", iterations=2))
         serial.train()
-        process = MDGANTrainer(factory, shards, _config("process", iterations=2))
-        process.train()
-        for s_worker, p_worker in zip(serial.workers, process.workers):
+        other = MDGANTrainer(factory, shards, _config(backend, iterations=2))
+        other.train()
+        for s_worker, p_worker in zip(serial.workers, other.workers):
             assert p_worker.sampler._rng is p_worker.rng
             assert (
                 p_worker.rng.bit_generator.state == s_worker.rng.bit_generator.state

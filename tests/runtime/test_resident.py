@@ -1,0 +1,216 @@
+"""Resident-backend protocol tests: installation, deltas, invalidation.
+
+Bitwise parity with the serial reference is covered by ``test_parity.py``;
+these tests pin the resident-specific machinery — state installs once and
+then only deltas cross the IPC boundary, the state-epoch counter invalidates
+stale residents, sync returns authority to the trainer, and child-side
+failures surface with their traceback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FLGANTrainer, MDGANTrainer, TrainingConfig
+from repro.datasets import make_gaussian_ring, partition_iid
+from repro.models import build_toy_gan
+from repro.runtime import ResidentBackend
+
+
+@pytest.fixture(scope="module")
+def small_shards_and_factory():
+    train, _ = make_gaussian_ring(n_train=160, n_test=40, image_size=8, seed=7)
+    factory = build_toy_gan(
+        image_shape=train.spec.shape,
+        num_classes=train.num_classes,
+        latent_dim=8,
+        hidden=16,
+    )
+    shards = partition_iid(train, 4, np.random.default_rng(3))
+    return shards, factory
+
+
+def _config(backend: str, **overrides) -> TrainingConfig:
+    base = dict(iterations=4, batch_size=8, seed=11, backend=backend, max_workers=2)
+    base.update(overrides)
+    return TrainingConfig(**base)
+
+
+class TestInstallOnceThenDeltas:
+    def test_state_ships_once_then_only_deltas(self, small_shards_and_factory):
+        shards, factory = small_shards_and_factory
+        trainer = MDGANTrainer(factory, shards, _config("resident"))
+        try:
+            trainer.train_iteration(1)
+            backend = trainer._backend
+            assert isinstance(backend, ResidentBackend)
+            assert all(backend.installed(w.index) for w in trainer.workers)
+            install_bytes = backend.ipc_bytes_sent
+            trainer.train_iteration(2)
+            delta_bytes = backend.ipc_bytes_sent - install_bytes
+            # Iteration 1 shipped full state (model + optimizer + shard);
+            # iteration 2 shipped only the generated batches.
+            assert delta_bytes < install_bytes / 2
+        finally:
+            trainer.sync_worker_state()
+            trainer.close_backend()
+
+    def test_flgan_steps_ship_no_state_at_all(self, small_shards_and_factory):
+        shards, factory = small_shards_and_factory
+        trainer = FLGANTrainer(factory, shards, _config("resident", iterations=6))
+        trainer.train()
+        # After train() the pool is closed and the trainer holds final state.
+        assert trainer._backend is None
+        assert all(np.isfinite(trainer.history.generator_loss))
+
+
+class TestSyncAndInvalidation:
+    def test_sync_returns_authoritative_state_and_invalidates(
+        self, small_shards_and_factory
+    ):
+        shards, factory = small_shards_and_factory
+        serial = MDGANTrainer(factory, shards, _config("serial"))
+        resident = MDGANTrainer(factory, shards, _config("resident"))
+        for iteration in (1, 2):
+            serial.train_iteration(iteration)
+            resident.train_iteration(iteration)
+        backend = resident._backend
+        resident.sync_worker_state()
+        try:
+            for s_worker, r_worker in zip(serial.workers, resident.workers):
+                assert np.array_equal(
+                    s_worker.discriminator.get_parameters(),
+                    r_worker.discriminator.get_parameters(),
+                )
+                assert (
+                    s_worker.rng.bit_generator.state
+                    == r_worker.rng.bit_generator.state
+                )
+                assert r_worker.sampler._rng is r_worker.rng
+                # Authority returned to the trainer: resident copy dropped.
+                assert not backend.installed(r_worker.index)
+        finally:
+            resident.close_backend()
+            serial.close_backend()
+
+    def test_replace_dataset_after_sync_matches_serial(
+        self, small_shards_and_factory
+    ):
+        # The invalidation protocol end-to-end: train, reclaim one worker's
+        # state, mutate it outside the pool (replace_dataset), train on.
+        # The trajectory must stay bitwise identical to a serial run that
+        # performs the same mutation at the same point.
+        shards, factory = small_shards_and_factory
+        replacement, _ = make_gaussian_ring(n_train=48, n_test=8, image_size=8, seed=23)
+
+        def run(backend_name):
+            trainer = MDGANTrainer(factory, shards, _config(backend_name))
+            for iteration in (1, 2):
+                trainer.train_iteration(iteration)
+            trainer.sync_worker_state([trainer.workers[0]])
+            trainer.workers[0].sampler.replace_dataset(replacement)
+            for iteration in (3, 4):
+                trainer.train_iteration(iteration)
+            trainer.sync_worker_state()
+            trainer.close_backend()
+            return trainer
+
+        serial = run("serial")
+        resident = run("resident")
+        for s_worker, r_worker in zip(serial.workers, resident.workers):
+            assert np.array_equal(
+                s_worker.discriminator.get_parameters(),
+                r_worker.discriminator.get_parameters(),
+            )
+            assert s_worker.rng.bit_generator.state == r_worker.rng.bit_generator.state
+        assert np.array_equal(
+            serial.generator.get_parameters(), resident.generator.get_parameters()
+        )
+
+    def test_stale_epoch_is_rejected_by_the_pool(self, small_shards_and_factory):
+        shards, factory = small_shards_and_factory
+        trainer = MDGANTrainer(factory, shards, _config("resident"))
+        try:
+            trainer.train_iteration(1)
+            backend = trainer._backend
+            # Forge the bookkeeping: pretend epoch 1 is installed while the
+            # pool still holds epoch 0.  The pool must refuse to step it.
+            key = trainer.workers[0].index
+            backend._epochs[key] += 1
+            backend._installed[key] = backend._epochs[key]
+            with pytest.raises(RuntimeError, match="stale resident state"):
+                trainer.train_iteration(2)
+        finally:
+            trainer.close_backend()
+
+    def test_pool_failure_poisons_the_backend(self, small_shards_and_factory):
+        # After any failed request some residents may hold steps the trainer
+        # never merged and other slots may have unread replies: the backend
+        # must fail stop (pool torn down, later calls refused) instead of
+        # desyncing pipes or silently resuming from stale state.
+        shards, factory = small_shards_and_factory
+        trainer = MDGANTrainer(factory, shards, _config("resident"))
+        try:
+            trainer.train_iteration(1)
+            backend = trainer._backend
+            key = trainer.workers[0].index
+            backend._epochs[key] += 1
+            backend._installed[key] = backend._epochs[key]
+            with pytest.raises(RuntimeError, match="stale resident state"):
+                trainer.train_iteration(2)
+            # The pool is gone and nothing counts as installed any more...
+            assert backend._slots is None
+            assert not any(backend.installed(w.index) for w in trainer.workers)
+            # ...sync_worker_state degrades to a no-op (never pulls junk)...
+            trainer.sync_worker_state()
+            # ...and further protocol use is refused with the original cause.
+            with pytest.raises(RuntimeError, match="previously failed"):
+                trainer.train_iteration(3)
+        finally:
+            trainer.close_backend()
+
+
+class TestProtocolErrors:
+    def test_pull_params_requires_installed_state(self):
+        backend = ResidentBackend(max_workers=1)
+        with pytest.raises(ValueError, match="pull_params requires"):
+            backend.pull_params([0])
+        backend.close()
+
+    def test_unknown_program_propagates_child_traceback(self):
+        backend = ResidentBackend(max_workers=1)
+        try:
+            with pytest.raises(RuntimeError, match="Unknown resident program"):
+                backend.run_steps("no-such-program", [(0, lambda: object(), None)])
+        finally:
+            backend.close()
+
+    def test_missing_install_is_an_error(self):
+        # A supplier returning None means "no install payload": stepping a
+        # never-installed worker must fail loudly, not train on nothing.
+        backend = ResidentBackend(max_workers=1)
+        try:
+            with pytest.raises(RuntimeError, match="no resident state"):
+                backend.run_steps("mdgan", [(0, lambda: None, None)])
+        finally:
+            backend.close()
+
+
+class TestLifecycle:
+    def test_pool_restart_reinstalls_state(self, small_shards_and_factory):
+        shards, factory = small_shards_and_factory
+        trainer = MDGANTrainer(factory, shards, _config("resident"))
+        try:
+            trainer.train_iteration(1)
+            backend = trainer._backend
+            trainer.sync_worker_state()
+            backend.close()
+            # The pool is gone; nothing is installed, training must resume
+            # by re-installing from the (authoritative) trainer state.
+            assert not any(backend.installed(w.index) for w in trainer.workers)
+            trainer.train_iteration(2)
+            assert all(backend.installed(w.index) for w in trainer.workers)
+        finally:
+            trainer.sync_worker_state()
+            trainer.close_backend()

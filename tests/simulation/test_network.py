@@ -38,6 +38,23 @@ class TestLinkModel:
         with pytest.raises(ValueError):
             LinkModel(1000.0).transfer_time(-1)
 
+    def test_nonpositive_bandwidth_rejected_at_construction(self):
+        # A zero bandwidth would divide by zero inside transfer_time; it must
+        # fail at construction, not on first use.
+        with pytest.raises(ValueError, match="bandwidth_bytes_per_s"):
+            LinkModel(bandwidth_bytes_per_s=0.0)
+        with pytest.raises(ValueError, match="bandwidth_bytes_per_s"):
+            LinkModel(bandwidth_bytes_per_s=-125.0)
+
+    def test_negative_latency_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="latency_s"):
+            LinkModel(bandwidth_bytes_per_s=1000.0, latency_s=-0.1)
+
+    def test_presets_pass_validation(self):
+        for preset in (LinkModel.datacenter(), LinkModel.wan(), LinkModel.edge()):
+            assert preset.bandwidth_bytes_per_s > 0
+            assert preset.latency_s >= 0
+
 
 class TestRouting:
     def test_send_and_receive(self):
