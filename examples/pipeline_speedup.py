@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Pipelined execution demo: overlap server generation with worker compute.
+
+Runs the same 8-worker MD-GAN conv-model training twice on the ``resident``
+backend — once with the strictly phase-serial synchronous schedule
+(``pipeline_depth=0``, the default) and once pipelined one iteration deep
+(``pipeline_depth=1``) — and reports:
+
+* wall-clock time of both runs (on a multi-core host the pipelined run wins,
+  because the server generates iteration ``t+1``'s k batches while the pool
+  is busy with iteration ``t``'s discriminator steps);
+* the per-iteration batch **staleness** the pipelined run recorded — the
+  price of the overlap: each batch set was produced by a generator missing
+  up to ``depth`` feedback updates;
+* the loss trajectories, so the bounded divergence is visible rather than
+  hidden.
+
+Run::
+
+    python examples/pipeline_speedup.py [--workers 8] [--iterations 6] [--depth 1]
+
+Expected output (shape, not exact numbers — timings vary with the host; on a
+single-core machine the speedup hovers around 1.0x)::
+
+    training: md-gan, 8 workers, k=8, conv generator (~... params)
+    synchronous resident   :  4.21s   staleness: none (phase-serial)
+    pipelined depth=1      :  3.37s   staleness: [0, 1, 1, 1, 1, 1]
+    speedup: 1.25x
+    overlap summary: {'pipeline_depth': 1.0, 'lookahead_generations': 5.0, ...}
+    final gen loss   sync=0.6931  pipelined=0.6918  (differ: staleness is real)
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.core import MDGANTrainer, TrainingConfig
+from repro.datasets import make_mnist_like, partition_iid
+from repro.models import build_architecture
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=8, help="number of workers N")
+    parser.add_argument("--iterations", type=int, default=6, help="global iterations I")
+    parser.add_argument("--batch-size", type=int, default=16, help="batch size b")
+    parser.add_argument(
+        "--depth", type=int, default=1, help="pipeline depth for the pipelined run"
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    return parser.parse_args()
+
+
+def build_trainer(args, factory, shards, depth: int) -> MDGANTrainer:
+    config = TrainingConfig(
+        iterations=args.iterations,
+        batch_size=args.batch_size,
+        num_batches=args.workers,  # k = N: the paper's max generation load
+        seed=args.seed,
+        backend="resident",
+        max_workers=args.workers,
+        pipeline_depth=depth,
+    )
+    return MDGANTrainer(factory, shards, config)
+
+
+def timed_train(trainer: MDGANTrainer):
+    start = time.perf_counter()
+    history = trainer.train()
+    return time.perf_counter() - start, history
+
+
+def main() -> None:
+    args = parse_args()
+
+    # The paper's MNIST CNN cell, at reduced width so the demo stays quick.
+    train, _ = make_mnist_like(n_train=80 * args.workers, n_test=160, image_size=16, seed=7)
+    factory = build_architecture(
+        "mnist-cnn",
+        image_shape=train.spec.shape,
+        num_classes=train.num_classes,
+        width_factor=0.5,
+        use_minibatch_discrimination=False,
+    )
+    shards = partition_iid(train, args.workers, np.random.default_rng(3))
+
+    probe = factory.make_generator(np.random.default_rng(0))
+    print(
+        f"training: md-gan, {args.workers} workers, k={args.workers}, "
+        f"conv generator (~{probe.num_parameters:,} params)"
+    )
+
+    # Warm-up run so pool spin-up does not bias the first measurement.
+    timed_train(build_trainer(args, factory, shards, depth=0))
+
+    sync_time, sync_history = timed_train(build_trainer(args, factory, shards, depth=0))
+    pipe_time, pipe_history = timed_train(
+        build_trainer(args, factory, shards, depth=args.depth)
+    )
+
+    print(
+        f"synchronous resident   : {sync_time:6.2f}s   staleness: none (phase-serial)"
+    )
+    print(
+        f"pipelined depth={args.depth:<2}     : {pipe_time:6.2f}s   "
+        f"staleness: {pipe_history.staleness}"
+    )
+    print(f"speedup: {sync_time / pipe_time:.2f}x")
+    print(f"overlap summary: {pipe_history.overlap}")
+    print(
+        f"final gen loss   sync={sync_history.generator_loss[-1]:.4f}  "
+        f"pipelined={pipe_history.generator_loss[-1]:.4f}  "
+        "(differ: staleness is real)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -88,6 +88,15 @@ class TrainingConfig:
     backend: str = "serial"
     #: Pool size for the parallel backends (``None`` = cores - 1).
     max_workers: Optional[int] = None
+    #: Pipelined execution depth (:mod:`repro.runtime.pipeline`).  ``0`` (the
+    #: default) keeps the strictly phase-serial schedule — bitwise identical
+    #: across all backends.  ``d > 0`` lets the server run up to ``d``
+    #: iterations ahead of the workers: MD-GAN pre-generates future batch
+    #: sets while workers compute (introducing a bounded, recorded batch
+    #: staleness ``<= d``), and FL-GAN on the ``resident`` backend keeps up
+    #: to ``d`` local iterations in flight (no staleness — FL-GAN pipelining
+    #: is parity-preserving).
+    pipeline_depth: int = 0
 
     def __post_init__(self) -> None:
         if self.iterations <= 0:
@@ -119,6 +128,11 @@ class TrainingConfig:
             )
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.pipeline_depth < 0:
+            raise ValueError(
+                f"pipeline_depth must be >= 0 (0 = synchronous), got "
+                f"{self.pipeline_depth}"
+            )
 
     @property
     def dtype(self):

@@ -25,6 +25,7 @@ from ..models.base import GANFactory, generator_input
 from ..nn.model import Sequential
 from ..nn.serialize import weighted_average_parameters
 from ..runtime.backend import ExecutorBackend
+from ..runtime.pipeline import InflightWindow, PipelineStats
 from ..runtime.resident import ResidentBackend
 from ..runtime.tasks import (
     FLGANLocalResult,
@@ -124,6 +125,7 @@ class FLGANTrainer:
                 "epochs_per_round": config.epochs_per_swap,
                 "num_workers": len(shards),
                 "architecture": factory.name,
+                "pipeline_depth": config.pipeline_depth,
             },
         )
 
@@ -322,43 +324,96 @@ class FLGANTrainer:
         self.history.record_event(iteration, "federated_round", workers=len(gen_vectors))
 
     # -- main loop --------------------------------------------------------------------
+    def _active_workers(self) -> List[FLGANWorkerState]:
+        """Workers whose emulated node is alive."""
+        return [
+            worker
+            for worker in self.workers
+            if self.cluster.workers[worker.index].alive
+        ]
+
+    def _dispatch_local_iteration(self, active: Sequence[FLGANWorkerState]):
+        """Dispatch one local iteration for every active worker, non-blocking.
+
+        Resident backends receive only the step trigger (state lives in the
+        pool) via ``start_steps``; stateless backends get full-snapshot tasks
+        via ``submit_ordered``.  Returns a handle whose ``result()`` yields
+        per-worker results in worker-index order.
+        """
+        backend = self.executor
+        if getattr(backend, "supports_resident", False):
+            items = [
+                (
+                    worker.index,
+                    lambda w=worker: self._resident_state(w),
+                    None,
+                )
+                for worker in active
+            ]
+            return backend.start_steps("flgan", items)
+        tasks = [self._build_local_task(worker) for worker in active]
+        return backend.submit_ordered(run_flgan_local_task, tasks)
+
+    def _merge_local_iteration(
+        self, iteration: int, active: Sequence[FLGANWorkerState], results
+    ) -> None:
+        """Merge one local iteration's results (worker-index order) + record."""
+        gen_losses, disc_losses = [], []
+        for worker, result in zip(active, results):
+            gen_loss, disc_loss = self._merge_local_result(worker, result)
+            gen_losses.append(gen_loss)
+            disc_losses.append(disc_loss)
+        if gen_losses:
+            self.history.record_losses(
+                iteration, float(np.mean(gen_losses)), float(np.mean(disc_losses))
+            )
+
     def train(self) -> TrainingHistory:
-        """Run ``config.iterations`` synchronous local iterations with rounds."""
+        """Run ``config.iterations`` local iterations with federated rounds.
+
+        Local iterations fan out through the execution backend and merge in
+        worker-index order, so seeded runs are bitwise identical across
+        serial/thread/process/resident.  With ``pipeline_depth > 0`` on the
+        ``resident`` backend, up to ``depth`` iterations stay in flight
+        behind the newest dispatch, overlapping the trainer's merge and
+        bookkeeping with the pool's compute; because local iterations never
+        touch the server model between rounds, the window drains before
+        every federated round / evaluation and the trajectory stays
+        **bitwise identical** at every depth (unlike MD-GAN, FL-GAN
+        pipelining introduces no staleness).  On non-resident backends a
+        positive depth falls back to the synchronous schedule (in-flight
+        snapshots of mutable worker state cannot overlap safely); the
+        history's ``overlap`` summary records what actually happened.
+        """
         cfg = self.config
         round_length = self.iterations_per_round
+        depth = cfg.pipeline_depth
+        window = InflightWindow(depth)
+        stats = PipelineStats(depth=depth) if depth > 0 else None
         try:
             for iteration in range(1, cfg.iterations + 1):
-                # Fan the local iterations out through the execution backend;
-                # merge in worker-index order for bitwise-identical seeded
-                # runs across serial/thread/process/resident.
-                active = [
-                    worker
-                    for worker in self.workers
-                    if self.cluster.workers[worker.index].alive
-                ]
+                active = self._active_workers()
                 backend = self.executor
-                if getattr(backend, "supports_resident", False):
-                    items = [
-                        (
-                            worker.index,
-                            lambda w=worker: self._resident_state(w),
-                            None,
-                        )
-                        for worker in active
-                    ]
-                    results = backend.run_steps("flgan", items)
-                else:
-                    tasks = [self._build_local_task(worker) for worker in active]
-                    results = backend.map_ordered(run_flgan_local_task, tasks)
-                gen_losses, disc_losses = [], []
-                for worker, result in zip(active, results):
-                    gen_loss, disc_loss = self._merge_local_result(worker, result)
-                    gen_losses.append(gen_loss)
-                    disc_losses.append(disc_loss)
-                if gen_losses:
-                    self.history.record_losses(
-                        iteration, float(np.mean(gen_losses)), float(np.mean(disc_losses))
+                windowed = depth > 0 and getattr(backend, "supports_resident", False)
+                if windowed:
+                    window.push(
+                        (iteration, active, self._dispatch_local_iteration(active))
                     )
+                    stats.observe_in_flight(len(window))
+                    at_boundary = (
+                        iteration % round_length == 0
+                        or iteration == cfg.iterations
+                        or (
+                            self.evaluator is not None
+                            and cfg.eval_every
+                            and iteration % cfg.eval_every == 0
+                        )
+                    )
+                    for it, act, handle in window.drain(0 if at_boundary else None):
+                        self._merge_local_iteration(it, act, handle.result())
+                else:
+                    handle = self._dispatch_local_iteration(active)
+                    self._merge_local_iteration(iteration, active, handle.result())
                 if iteration % round_length == 0:
                     self._federated_round(iteration)
                 if (
@@ -373,6 +428,8 @@ class FLGANTrainer:
             # worker objects hold the final models, then drop the pool.
             self.sync_worker_state()
             self.close_backend()
+        if stats is not None:
+            self.history.overlap = stats.as_overlap_dict()
         if cfg.record_traffic:
             meter = self.cluster.meter
             self.history.traffic = {

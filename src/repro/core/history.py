@@ -31,6 +31,17 @@ class TrainingHistory:
     events: List[Dict[str, object]] = field(default_factory=list)
     traffic: Dict[str, float] = field(default_factory=dict)
     compute: Dict[str, float] = field(default_factory=dict)
+    #: Per-iteration batch staleness under the pipelined execution mode
+    #: (``TrainingConfig.pipeline_depth > 0``): how many generator updates the
+    #: iteration's generated batches were missing relative to the synchronous
+    #: schedule.  Parallel to :attr:`iterations` when pipelining is active;
+    #: empty for synchronous runs.
+    staleness: List[int] = field(default_factory=list)
+    #: Summary of the pipelined run's achieved overlap (depth, lookahead /
+    #: fan-out generation counts, staleness aggregates, max in-flight window);
+    #: empty for synchronous runs.  See
+    #: :meth:`repro.runtime.pipeline.PipelineStats.as_overlap_dict`.
+    overlap: Dict[str, float] = field(default_factory=dict)
 
     # -- recording -------------------------------------------------------------
     def record_losses(self, iteration: int, gen_loss: float, disc_loss: float) -> None:
@@ -38,6 +49,19 @@ class TrainingHistory:
         self.iterations.append(int(iteration))
         self.generator_loss.append(float(gen_loss))
         self.discriminator_loss.append(float(disc_loss))
+
+    def record_staleness(self, iteration: int, staleness: int) -> None:
+        """Append one pipelined iteration's batch staleness.
+
+        Only called by the pipelined training loops, right after the matching
+        :meth:`record_losses`, so ``staleness[i]`` describes ``iterations[i]``.
+        """
+        if len(self.staleness) >= len(self.iterations):
+            raise ValueError(
+                "record_staleness must follow record_losses for the same "
+                f"iteration (iteration {iteration})"
+            )
+        self.staleness.append(int(staleness))
 
     def record_evaluation(self, result: EvaluationResult) -> None:
         """Append a periodic evaluation result."""
@@ -84,6 +108,10 @@ class TrainingHistory:
         """All recorded events of the given kind."""
         return [e for e in self.events if e["kind"] == kind]
 
+    def mean_staleness(self) -> float:
+        """Mean recorded batch staleness (0.0 for synchronous runs)."""
+        return float(np.mean(self.staleness)) if self.staleness else 0.0
+
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict export (JSON-serialisable) used by the report writers."""
         return {
@@ -96,4 +124,30 @@ class TrainingHistory:
             "events": list(self.events),
             "traffic": dict(self.traffic),
             "compute": dict(self.compute),
+            "staleness": list(self.staleness),
+            "overlap": dict(self.overlap),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TrainingHistory":
+        """Rebuild a history from an :meth:`as_dict` export (JSON round-trip).
+
+        Unknown keys are ignored and missing keys default, so histories
+        serialised by older versions (without the pipeline fields) load
+        cleanly.
+        """
+        return cls(
+            algorithm=str(payload["algorithm"]),
+            config=dict(payload.get("config", {})),
+            iterations=[int(i) for i in payload.get("iterations", [])],
+            generator_loss=[float(v) for v in payload.get("generator_loss", [])],
+            discriminator_loss=[float(v) for v in payload.get("discriminator_loss", [])],
+            evaluations=[
+                EvaluationResult(**e) for e in payload.get("evaluations", [])
+            ],
+            events=[dict(e) for e in payload.get("events", [])],
+            traffic=dict(payload.get("traffic", {})),
+            compute=dict(payload.get("compute", {})),
+            staleness=[int(s) for s in payload.get("staleness", [])],
+            overlap=dict(payload.get("overlap", {})),
+        )

@@ -39,7 +39,8 @@ from ..datasets.sampler import EpochSampler
 from ..metrics.evaluator import GeneratorEvaluator
 from ..models.base import GANFactory, generator_input
 from ..nn.model import Sequential
-from ..runtime.backend import ExecutorBackend
+from ..runtime.backend import ExecutorBackend, PendingResult
+from ..runtime.pipeline import BatchAheadQueue, PipelineStats, fan_out_generation
 from ..runtime.resident import ResidentBackend
 from ..runtime.tasks import (
     MDGANResidentState,
@@ -121,6 +122,9 @@ class MDGANTrainer:
         self._dtype = config.dtype
         self.generator: Sequential = factory.make_generator(self._rng, dtype=self._dtype)
         self._gen_opt = config.generator_opt.build()
+        #: Number of iterations whose feedback has been applied to the
+        #: generator; the pipelined mode derives batch staleness from it.
+        self._gen_update_count = 0
 
         # Worker-side discriminators.
         self.workers: List[MDGANWorkerState] = []
@@ -153,6 +157,7 @@ class MDGANTrainer:
                 "per_feedback_updates": per_feedback_updates,
                 "participation_fraction": config.participation_fraction,
                 "architecture": factory.name,
+                "pipeline_depth": config.pipeline_depth,
             },
         )
 
@@ -194,6 +199,24 @@ class MDGANTrainer:
         return self.generator.predict(g_input)
 
     # -- server side --------------------------------------------------------------
+    def _charge_generation(self, k: int) -> None:
+        """Record the server's cost model for generating ``k`` batches.
+
+        Cost model of Section IV-B3: generating a batch costs O(b |w|).  The
+        stored batches occupy b*d floats each (d = object size), the same
+        convention ``_aggregate_feedback`` uses for the received feedbacks —
+        generating them costs O(b |w|) ops, but holding them does not take
+        |w| floats per image.  Shared by the serial and fanned-out generation
+        paths so their ledgers can never drift apart.
+        """
+        for _ in range(k):
+            self.cluster.server.compute.charge(
+                "batch_generation", self.config.batch_size * self.generator.num_parameters
+            )
+        self.cluster.server.compute.observe_memory(
+            k * self.config.batch_size * self.factory.object_size
+        )
+
     def _generate_batches(self, k: int) -> List[GeneratedBatch]:
         """Step 1: the server generates ``k`` batches of size ``b``."""
         batches = []
@@ -207,17 +230,7 @@ class MDGANTrainer:
                     batch_index=j,
                 )
             )
-            # Cost model of Section IV-B3: generating a batch costs O(b |w|).
-            self.cluster.server.compute.charge(
-                "batch_generation", self.config.batch_size * self.generator.num_parameters
-            )
-        # The stored batches occupy b*d floats each (d = object size), the
-        # same convention `_aggregate_feedback` uses for the received
-        # feedbacks — generating them costs O(b |w|) ops, but holding them
-        # does not take |w| floats per image.
-        self.cluster.server.compute.observe_memory(
-            k * self.config.batch_size * self.factory.object_size
-        )
+        self._charge_generation(k)
         return batches
 
     def _distribute_batches(
@@ -267,6 +280,7 @@ class MDGANTrainer:
         messages = self.cluster.server.receive(MessageKind.ERROR_FEEDBACK)
         if not messages:
             return 0
+        self._gen_update_count += 1
         self.cluster.server.compute.observe_memory(
             len(messages) * self.config.batch_size * self.factory.object_size
         )
@@ -393,24 +407,59 @@ class MDGANTrainer:
             batch_index_g=message.metadata.get("batch_index_g", 0),
         )
 
-    def _compute_resident(
-        self, backend: ResidentBackend, participants: List[MDGANWorkerState]
-    ) -> tuple:
-        """Compute phase on the resident pool: ship only per-iteration inputs."""
-        live, items = [], []
-        for worker in participants:
-            message = self._receive_generated(worker)
-            if message is None:
-                continue
-            live.append(worker)
-            items.append(
-                (
-                    worker.index,
-                    lambda w=worker: self._resident_state(w),
-                    self._resident_step_input(message),
+    def _dispatch_worker_phase(
+        self, participants: List[MDGANWorkerState]
+    ) -> tuple[List[MDGANWorkerState], PendingResult]:
+        """Dispatch the per-worker phase (Algorithm 1 steps 2-3) asynchronously.
+
+        Drains each participant's mailbox (serial build phase), then hands
+        the per-worker work to the backend without blocking: resident
+        backends get only the per-iteration step inputs via ``start_steps``,
+        stateless backends get full-snapshot tasks via ``submit_ordered``.
+        Returns ``(live_workers, handle)``; ``handle.result()`` yields the
+        results in worker-index order.  The synchronous loop collects the
+        handle immediately; the pipelined loop generates future batch sets in
+        between.
+        """
+        backend = self.executor
+        if getattr(backend, "supports_resident", False):
+            live, items = [], []
+            for worker in participants:
+                message = self._receive_generated(worker)
+                if message is None:
+                    continue
+                live.append(worker)
+                items.append(
+                    (
+                        worker.index,
+                        lambda w=worker: self._resident_state(w),
+                        self._resident_step_input(message),
+                    )
                 )
-            )
-        return live, backend.run_steps("mdgan", items)
+            return live, backend.start_steps("mdgan", items)
+        pending = [
+            (worker, self._build_worker_task(worker)) for worker in participants
+        ]
+        live_pairs = [(worker, task) for worker, task in pending if task is not None]
+        handle = backend.submit_ordered(
+            run_mdgan_worker_task, [task for _, task in live_pairs]
+        )
+        return [worker for worker, _ in live_pairs], handle
+
+    def _merge_worker_phase(
+        self,
+        iteration: int,
+        live_workers: List[MDGANWorkerState],
+        handle: PendingResult,
+    ) -> tuple[List[float], List[float]]:
+        """Collect a dispatched worker phase and merge it in worker-index order."""
+        gen_losses: List[float] = []
+        disc_losses: List[float] = []
+        for worker, result in zip(live_workers, handle.result()):
+            stats = self._merge_worker_result(iteration, worker, result)
+            gen_losses.append(stats["gen_loss"])
+            disc_losses.append(stats["disc_loss"])
+        return gen_losses, disc_losses
 
     def sync_worker_state(
         self, workers: Optional[Sequence[MDGANWorkerState]] = None
@@ -523,66 +572,164 @@ class MDGANTrainer:
             self.history.record_event(iteration, "swap", exchanged=len(parameter_vectors))
 
     # -- main loop -------------------------------------------------------------------
-    def train_iteration(self, iteration: int) -> None:
-        """Run one global MD-GAN iteration (Algorithm 1 body)."""
+    def _begin_iteration(self, iteration: int) -> List[MDGANWorkerState]:
+        """Apply scheduled crashes and select this iteration's participants.
+
+        Crashed workers leave the pool permanently: their last resident state
+        is reclaimed so the trainer's view of them stays exact.  Returns the
+        participating workers (possibly empty).
+        """
         crashed = self.cluster.apply_crashes(iteration)
         for name in crashed:
             self.history.record_event(iteration, "crash", worker=name)
         if crashed:
-            # Crashed workers leave the pool permanently: reclaim their last
-            # resident state so the trainer's view of them stays exact.
             names = set(crashed)
             self.sync_worker_state(
                 [w for w in self.workers if self.cluster.workers[w.index].name in names]
             )
+        return self._participating_workers()
 
-        participants = self._participating_workers()
-        if not participants:
-            return
-        k = min(self.num_batches, len(participants))
-        batches = self._generate_batches(k)
-        self._distribute_batches(iteration, batches, participants)
-
-        # Fan the per-worker phase out through the execution backend; merge
-        # in participant (= worker-index) order so seeded runs are bitwise
-        # identical across serial/thread/process/resident.
-        backend = self.executor
-        if getattr(backend, "supports_resident", False):
-            live_workers, results = self._compute_resident(backend, participants)
-        else:
-            pending = [
-                (worker, self._build_worker_task(worker)) for worker in participants
-            ]
-            live = [(worker, task) for worker, task in pending if task is not None]
-            live_workers = [worker for worker, _ in live]
-            results = backend.map_ordered(
-                run_mdgan_worker_task, [task for _, task in live]
-            )
-        gen_losses, disc_losses = [], []
-        for worker, result in zip(live_workers, results):
-            stats = self._merge_worker_result(iteration, worker, result)
-            gen_losses.append(stats["gen_loss"])
-            disc_losses.append(stats["disc_loss"])
-
+    def _finish_iteration(
+        self,
+        iteration: int,
+        batches: List[GeneratedBatch],
+        gen_losses: List[float],
+        disc_losses: List[float],
+        staleness: Optional[int] = None,
+    ) -> None:
+        """Aggregate feedback, record losses (and staleness), swap if due."""
         self._aggregate_feedback(iteration, batches)
         if gen_losses:
             self.history.record_losses(
                 iteration, float(np.mean(gen_losses)), float(np.mean(disc_losses))
             )
-
+            if staleness is not None:
+                self.history.record_staleness(iteration, staleness)
         period = self.swap_period
         if period and iteration % period == 0:
             self._swap_discriminators(iteration)
 
-    def train(self) -> TrainingHistory:
-        """Train for ``config.iterations`` global iterations and return the history."""
+    def train_iteration(self, iteration: int) -> None:
+        """Run one global MD-GAN iteration (Algorithm 1 body, synchronous).
+
+        The per-worker phase fans out through the execution backend and
+        merges in participant (= worker-index) order, so seeded runs are
+        bitwise identical across serial/thread/process/resident.
+        """
+        participants = self._begin_iteration(iteration)
+        if not participants:
+            return
+        k = min(self.num_batches, len(participants))
+        batches = self._generate_batches(k)
+        self._distribute_batches(iteration, batches, participants)
+        live_workers, handle = self._dispatch_worker_phase(participants)
+        gen_losses, disc_losses = self._merge_worker_phase(
+            iteration, live_workers, handle
+        )
+        self._finish_iteration(iteration, batches, gen_losses, disc_losses)
+
+    def _generate_batches_fanned(self, k: int) -> tuple[List[GeneratedBatch], bool]:
+        """Generate ``k`` batches, fanned across backend slots when possible.
+
+        Bitwise identical to :meth:`_generate_batches` (noise-draw order,
+        images, BatchNorm running stats and the server's cost-model charges
+        all match); falls back to the serial loop when exact fan-out is not
+        possible.  Returns ``(batches, fanned)``.
+        """
+        batches = fan_out_generation(
+            self.executor,
+            self.generator,
+            self.factory,
+            self.config.batch_size,
+            k,
+            self._rng,
+        )
+        if batches is None:
+            return self._generate_batches(k), False
+        # Same cost model as the serial path: the work still happens on the
+        # (simulated) server, wherever the host ran it.
+        self._charge_generation(k)
+        return batches, True
+
+    def _train_iteration_pipelined(
+        self, iteration: int, queue: BatchAheadQueue, stats: PipelineStats
+    ) -> None:
+        """One global iteration under the pipelined schedule (depth > 0).
+
+        Identical to :meth:`train_iteration` except for *when* batches are
+        generated: the iteration consumes the batch set pre-generated for it
+        (recording the realised staleness), dispatches the workers
+        asynchronously, and fills the lookahead queue for future iterations
+        **while the workers compute** — that overlap is the wall-clock win.
+        On a queue miss (cold start, post-skip) the batches are generated on
+        the spot — the pool is idle at that moment, so on backends with a
+        concurrent map (``thread``/``process``) the generation is fanned out
+        across the slots; ``serial``/``resident`` generate inline (resident
+        slots only speak the resident step protocol — resident-side k-batch
+        generation is a ROADMAP follow-up).
+        """
         cfg = self.config
+        participants = self._begin_iteration(iteration)
+        if not participants:
+            return
+        entry = queue.pop(iteration)
+        if entry is None:
+            k = min(self.num_batches, len(participants))
+            batches, fanned = self._generate_batches_fanned(k)
+            staleness = 0
+            stats.immediate_generations += 1
+            if fanned:
+                stats.fanout_generations += 1
+        else:
+            batches, generated_at_update = entry
+            staleness = self._gen_update_count - generated_at_update
+        self._distribute_batches(iteration, batches, participants)
+        live_workers, handle = self._dispatch_worker_phase(participants)
+        stats.observe_in_flight(1)
+        # Overlap window: while the workers compute iteration t, generate
+        # the batch sets for iterations t+1 .. t+depth.  k is resolved from
+        # the population alive *now* — crashes inside the lookahead window
+        # leave some batches unused, which is sound (workers share batches
+        # round-robin mod k and the aggregation only touches batches that
+        # actually received feedback).
+        while (
+            len(queue) < stats.depth
+            and max(queue.last_target, iteration) < cfg.iterations
+        ):
+            target = max(queue.last_target, iteration) + 1
+            k_ahead = min(self.num_batches, max(1, len(self._alive_workers())))
+            queue.put(target, self._generate_batches(k_ahead), self._gen_update_count)
+            stats.lookahead_generations += 1
+        gen_losses, disc_losses = self._merge_worker_phase(
+            iteration, live_workers, handle
+        )
+        stats.record_staleness(staleness)
+        self._finish_iteration(
+            iteration, batches, gen_losses, disc_losses, staleness=staleness
+        )
+
+    def train(self) -> TrainingHistory:
+        """Train for ``config.iterations`` global iterations and return the history.
+
+        With ``config.pipeline_depth == 0`` every iteration runs the
+        synchronous :meth:`train_iteration`; a positive depth switches to the
+        pipelined schedule (see :mod:`repro.runtime.pipeline`), which records
+        per-iteration staleness and an overlap summary in the history.
+        """
+        cfg = self.config
+        pipelined = cfg.pipeline_depth > 0
+        if pipelined:
+            queue = BatchAheadQueue()
+            stats = PipelineStats(depth=cfg.pipeline_depth)
         try:
             for iteration in range(1, cfg.iterations + 1):
                 if not self._alive_workers():
                     self.history.record_event(iteration, "all_workers_crashed")
                     break
-                self.train_iteration(iteration)
+                if pipelined:
+                    self._train_iteration_pipelined(iteration, queue, stats)
+                else:
+                    self.train_iteration(iteration)
                 if (
                     self.evaluator is not None
                     and cfg.eval_every
@@ -595,6 +742,8 @@ class MDGANTrainer:
             # worker objects hold the final models, then drop the pool.
             self.sync_worker_state()
             self.close_backend()
+        if pipelined:
+            self.history.overlap = stats.as_overlap_dict()
         if cfg.record_traffic:
             meter = self.cluster.meter
             self.history.traffic = {

@@ -100,6 +100,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="pool size for the thread/process backends (default: cores - 1)",
     )
+    parser.add_argument(
+        "--pipeline-depth",
+        type=int,
+        default=0,
+        metavar="D",
+        help=(
+            "pipelined execution depth (0 = synchronous, the default): the "
+            "server runs up to D iterations ahead of the workers, overlapping "
+            "batch generation/aggregation with worker compute; D > 0 "
+            "introduces a bounded, per-iteration-recorded batch staleness for "
+            "MD-GAN (FL-GAN pipelining stays bitwise identical)"
+        ),
+    )
     parser.add_argument("--dataset", default="mnist")
     parser.add_argument("--architecture", default="mnist-mlp")
     parser.add_argument("--json", help="write the result rows to a JSON file")
@@ -114,7 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _backend_kwargs(runner: Callable, args: argparse.Namespace) -> Dict[str, object]:
-    """Backend selection kwargs, for runners whose sweeps support them."""
+    """Backend/pipeline selection kwargs, for runners whose sweeps support them."""
     accepted = inspect.signature(runner).parameters
     kwargs: Dict[str, object] = {}
     if "backend" in accepted:
@@ -124,6 +137,14 @@ def _backend_kwargs(runner: Callable, args: argparse.Namespace) -> Dict[str, obj
     elif args.backend != "serial":
         print(
             f"note: {runner.__name__} does not take --backend; running serial",
+            file=sys.stderr,
+        )
+    if "pipeline_depth" in accepted:
+        kwargs["pipeline_depth"] = args.pipeline_depth
+    elif args.pipeline_depth:
+        print(
+            f"note: {runner.__name__} does not take --pipeline-depth; "
+            "running synchronously",
             file=sys.stderr,
         )
     return kwargs

@@ -33,12 +33,17 @@ def run_fig5(
     scale: ExperimentScale | str = "smoke",
     backend: str = "serial",
     max_workers: Optional[int] = None,
+    pipeline_depth: int = 0,
 ) -> ExperimentResult:
     """Reproduce Figure 5: scores vs iterations with a rolling crash schedule.
 
     ``backend``/``max_workers`` select the :mod:`repro.runtime` execution
     backend; crash handling is backend-independent (crashes apply at
     iteration boundaries, before the per-worker fan-out).
+    ``pipeline_depth > 0`` runs the MD-GAN competitors under the pipelined
+    schedule, so this figure doubles as the staleness-vs-convergence probe:
+    each history records the realised per-iteration batch staleness
+    alongside the scores.
     """
     scale = get_scale(scale)
     train, test = prepare_dataset(dataset, scale)
@@ -59,6 +64,7 @@ def run_fig5(
         seed=scale.seed,
         backend=backend,
         max_workers=max_workers,
+        pipeline_depth=pipeline_depth,
     )
     crash_schedule = CrashSchedule.uniform(
         [worker_name(i) for i in range(scale.num_workers)], scale.iterations

@@ -50,6 +50,7 @@ def run_fig4(
     swap_settings: Sequence[bool] = (True, False),
     backend: str = "serial",
     max_workers: Optional[int] = None,
+    pipeline_depth: int = 0,
 ) -> ExperimentResult:
     """Reproduce Figure 4: final MD-GAN scores as a function of ``N``.
 
@@ -57,6 +58,9 @@ def run_fig4(
     per-worker phase — results are bitwise identical across backends, but
     ``thread``/``process`` let the large-``N`` points of the sweep use the
     host's cores instead of running every worker sequentially.
+    ``pipeline_depth > 0`` additionally overlaps the server's batch
+    generation with worker compute (bounded staleness, recorded per
+    iteration in each history).
     """
     scale = get_scale(scale)
     if worker_counts is None:
@@ -98,6 +102,7 @@ def run_fig4(
                     seed=scale.seed,
                     backend=backend,
                     max_workers=max_workers,
+                    pipeline_depth=pipeline_depth,
                 )
                 trainer = MDGANTrainer(
                     factory,

@@ -12,7 +12,9 @@ runners touch no shared state.
 
 from .backend import (
     BACKENDS,
+    CompletedResult,
     ExecutorBackend,
+    PendingResult,
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
@@ -20,7 +22,14 @@ from .backend import (
     default_max_workers,
     register_backend,
 )
+from .pipeline import (
+    BatchAheadQueue,
+    InflightWindow,
+    PipelineStats,
+    fan_out_generation,
+)
 from .resident import (
+    PendingSteps,
     ResidentBackend,
     ResidentProgram,
     get_program,
@@ -45,11 +54,18 @@ from .tasks import (
 __all__ = [
     "BACKENDS",
     "ExecutorBackend",
+    "PendingResult",
+    "CompletedResult",
+    "PendingSteps",
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
     "ResidentBackend",
     "ResidentProgram",
+    "BatchAheadQueue",
+    "InflightWindow",
+    "PipelineStats",
+    "fan_out_generation",
     "create_backend",
     "register_backend",
     "register_program",

@@ -48,6 +48,8 @@ from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 __all__ = [
     "BACKENDS",
     "ExecutorBackend",
+    "PendingResult",
+    "CompletedResult",
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
@@ -76,6 +78,65 @@ def default_max_workers() -> int:
     return max(1, (os.cpu_count() or 1) - 1)
 
 
+class PendingResult:
+    """Handle for an asynchronously dispatched ordered map.
+
+    Returned by :meth:`ExecutorBackend.submit_ordered`; :meth:`result` blocks
+    until every task has finished and returns the results **in task order**,
+    exactly like :meth:`ExecutorBackend.map_ordered` would have.  The
+    pipelined training mode (:mod:`repro.runtime.pipeline`) dispatches the
+    per-worker phase through these handles so the server can keep computing
+    while the workers run.
+    """
+
+    def result(self) -> List:
+        """Block until every task has finished; return results in task order."""
+        raise NotImplementedError
+
+    @property
+    def done(self) -> bool:
+        """Whether :meth:`result` would return without blocking."""
+        return False
+
+
+class CompletedResult(PendingResult):
+    """A :class:`PendingResult` whose values are already available.
+
+    Used by backends without real asynchrony (``serial``; single-task fast
+    paths): the work ran eagerly at submit time, so ``result`` just hands the
+    stored values back.  Numerics are identical either way — only the overlap
+    with the caller's own compute is lost.
+    """
+
+    def __init__(self, values: List) -> None:
+        self._values = values
+
+    def result(self) -> List:
+        """Return the precomputed values (never blocks)."""
+        return self._values
+
+    @property
+    def done(self) -> bool:
+        """Always ``True`` — the work ran at submit time."""
+        return True
+
+
+class _FuturesResult(PendingResult):
+    """Pending result backed by a list of ``concurrent.futures`` futures."""
+
+    def __init__(self, futures: List) -> None:
+        self._futures = futures
+
+    def result(self) -> List:
+        """Gather every future's result, in submission order."""
+        return [future.result() for future in self._futures]
+
+    @property
+    def done(self) -> bool:
+        """Whether every underlying future has completed."""
+        return all(future.done() for future in self._futures)
+
+
 class ExecutorBackend(ABC):
     """Maps a pure function over independent per-worker tasks.
 
@@ -88,9 +149,24 @@ class ExecutorBackend(ABC):
     #: Human-readable backend name (one of :data:`BACKENDS`).
     name: str = "abstract"
 
+    #: Whether :meth:`submit_ordered` runs tasks concurrently with the
+    #: caller's own thread.  ``False`` means submit executes eagerly inline
+    #: (identical numerics, no overlap) — the pipelined mode consults this
+    #: to decide whether fan-out/overlap can actually pay off.
+    concurrent: bool = False
+
     @abstractmethod
     def map_ordered(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
         """Apply ``fn`` to every task and return the results in task order."""
+
+    def submit_ordered(self, fn: Callable[[T], R], tasks: Sequence[T]) -> PendingResult:
+        """Dispatch ``fn`` over ``tasks`` and return a :class:`PendingResult`.
+
+        ``handle.result()`` is equivalent to ``map_ordered(fn, tasks)``
+        bitwise; concurrent backends overlap the work with the caller between
+        submit and collect.  The default implementation runs eagerly inline.
+        """
+        return CompletedResult(self.map_ordered(fn, tasks))
 
     def close(self) -> None:
         """Release pooled resources; the backend may be reused afterwards."""
@@ -111,11 +187,14 @@ class SerialBackend(ExecutorBackend):
     name = "serial"
 
     def map_ordered(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
+        """Run every task inline, in order."""
         return [fn(task) for task in tasks]
 
 
 class _PooledBackend(ExecutorBackend):
     """Shared lifecycle for the pool-based backends (lazy pool, reusable)."""
+
+    concurrent = True
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
         if max_workers is not None and max_workers < 1:
@@ -134,13 +213,24 @@ class _PooledBackend(ExecutorBackend):
         return self._pool
 
     def map_ordered(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
+        """Map ``fn`` over the tasks through the pool, preserving task order."""
         if len(tasks) <= 1:
             # Nothing to overlap; skip pool dispatch (and, for the process
             # backend, one pickle round-trip of the task payload).
             return [fn(task) for task in tasks]
         return list(self.pool.map(fn, tasks))
 
+    def submit_ordered(self, fn: Callable[[T], R], tasks: Sequence[T]) -> PendingResult:
+        """Submit the tasks to the pool and return a non-blocking handle."""
+        if len(tasks) <= 1:
+            # Mirror map_ordered's fast path: a single task is run inline
+            # (no pool dispatch, no pickle round-trip) — at the cost of not
+            # overlapping with the caller, which one task rarely repays.
+            return CompletedResult([fn(task) for task in tasks])
+        return _FuturesResult([self.pool.submit(fn, task) for task in tasks])
+
     def close(self) -> None:
+        """Shut the pool down; a later use lazily recreates it."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

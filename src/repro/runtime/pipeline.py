@@ -1,0 +1,329 @@
+"""Pipelined execution mode: overlap server work with worker compute.
+
+The synchronous trainers are strictly phase-serial inside one global
+iteration: the server generates ``k`` batches, *waits* for every worker's
+discriminator steps and feedback, then aggregates — so the server sits idle
+while the workers compute and vice versa, on every backend.  This module
+provides the building blocks for the opt-in **pipelined** mode
+(``TrainingConfig(pipeline_depth=d)`` / ``--pipeline-depth d``) in which the
+server runs ahead of the workers by up to ``d`` iterations:
+
+* while the workers compute iteration ``t`` (dispatched asynchronously
+  through :meth:`~repro.runtime.backend.ExecutorBackend.submit_ordered` or
+  :meth:`~repro.runtime.resident.ResidentBackend.start_steps`), the server
+  pre-generates the batches for iterations ``t+1 .. t+d`` into a
+  :class:`BatchAheadQueue`;
+* batches consumed from the queue are **stale**: the batch set for iteration
+  ``t`` was produced by a generator that had only absorbed the feedback of
+  iterations ``1 .. t-1-s`` (``s`` = staleness, ``<= d``), whereas the
+  synchronous schedule always generates with ``s = 0``.  Each iteration's
+  staleness is recorded in :class:`~repro.core.history.TrainingHistory` so
+  convergence-vs-staleness trade-offs (the paper's Section VII-1 asynchronous
+  setting) can be quantified;
+* when the queue misses (cold start, post-crash), the immediate generation is
+  fanned out across the backend's slots via :func:`fan_out_generation`, which
+  is **bitwise identical** to the serial loop (see below).  Only backends
+  with a concurrent map (``thread``/``process``) can fan out;
+  ``serial``/``resident`` fall back to the serial loop on the trainer thread.
+
+``pipeline_depth = 0`` (the default) keeps the synchronous schedule and is
+bitwise identical to all four execution backends' historical behaviour; any
+``d > 0`` relaxes that parity — deliberately, behind the explicit opt-in —
+while remaining deterministic: for a fixed seed *and* fixed depth, every
+backend still produces the same trajectory.
+
+FL-GAN needs no staleness at all: its local iterations between federated
+rounds leave the server model untouched, so pipelining there only overlaps
+the trainer's merge/bookkeeping with the pool's compute (resident backend;
+see :class:`InflightWindow`) and preserves bitwise parity at **every** depth.
+
+Generation fan-out
+------------------
+
+``fan_out_generation`` parallelises the server's ``k``-batch generation
+(`MDGANTrainer._generate_batches`) across backend slots while reproducing the
+serial loop bit for bit:
+
+* all noise/label draws happen first, on the caller's RNG, in the exact order
+  the serial loop would make them (forward passes consume no server RNG);
+* each batch's forward pass runs on a **deep copy** of the generator, so the
+  concurrent passes cannot race on layer activation caches;
+* :class:`~repro.nn.layers.BatchNorm` normalises by *batch* statistics in
+  training mode, so the generated images are independent of the running
+  statistics; the per-batch means/variances are captured by the tasks and
+  folded into the caller's generator serially, in batch order, using the
+  layer's own update expression — reproducing the serial running-stat
+  trajectory exactly.
+
+Generators containing layers whose forward pass consumes a private RNG
+(:class:`~repro.nn.layers.Dropout`) cannot be fanned out exactly; for those
+(and for non-concurrent backends, or ``k < 2``) ``fan_out_generation``
+returns ``None`` and the caller falls back to the serial loop.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.gan_ops import GeneratedBatch
+from ..models.base import generator_input
+from ..nn.layers import BatchNorm, Dropout
+from .backend import ExecutorBackend
+
+__all__ = [
+    "BatchAheadQueue",
+    "PipelineStats",
+    "InflightWindow",
+    "fan_out_generation",
+]
+
+
+# -- lookahead queue ---------------------------------------------------------------
+
+
+@dataclass
+class _QueuedBatches:
+    target_iteration: int
+    batches: List[GeneratedBatch]
+    generated_at_update: int
+
+
+class BatchAheadQueue:
+    """FIFO queue of pre-generated batch sets keyed by target iteration.
+
+    The pipelined MD-GAN loop fills it while workers compute (one batch set
+    per future iteration, up to the configured depth) and pops the entry for
+    iteration ``t`` at the top of iteration ``t``.  Each entry remembers the
+    server's generator-update counter at generation time; the consumer
+    derives the realised staleness as ``updates_now - generated_at_update``
+    (missed updates, which is robust to iterations that applied no update).
+    Entries for iterations that were skipped are discarded on the next pop.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[_QueuedBatches] = []
+        #: Highest iteration a batch set was ever generated for; the filler
+        #: uses it to keep targets contiguous across pops and skips.
+        self.last_target = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(
+        self,
+        target_iteration: int,
+        batches: List[GeneratedBatch],
+        generated_at_update: int,
+    ) -> None:
+        """Queue ``batches`` for ``target_iteration`` (targets must ascend)."""
+        if target_iteration <= self.last_target:
+            raise ValueError(
+                f"lookahead targets must ascend: got {target_iteration} after "
+                f"{self.last_target}"
+            )
+        self._entries.append(_QueuedBatches(target_iteration, batches, generated_at_update))
+        self.last_target = target_iteration
+
+    def pop(self, iteration: int) -> Optional[Tuple[List[GeneratedBatch], int]]:
+        """Return ``(batches, generated_at_update)`` for ``iteration``, or ``None``.
+
+        Entries for earlier iterations are dropped (their iteration never
+        consumed them — e.g. it ran without participants).
+        """
+        while self._entries and self._entries[0].target_iteration < iteration:
+            self._entries.pop(0)
+        if self._entries and self._entries[0].target_iteration == iteration:
+            entry = self._entries.pop(0)
+            return entry.batches, entry.generated_at_update
+        return None
+
+    def clear(self) -> None:
+        """Drop every queued batch set."""
+        self._entries.clear()
+
+
+# -- run statistics ----------------------------------------------------------------
+
+
+@dataclass
+class PipelineStats:
+    """Counters describing how much pipelining a run actually achieved.
+
+    Summarised into ``TrainingHistory.overlap`` at the end of training so
+    experiment reports can tell a genuinely overlapped run from one that
+    degenerated to the synchronous schedule (e.g. depth 0, or a non-resident
+    FL-GAN run).
+    """
+
+    depth: int
+    #: Batch sets generated ahead of time, while workers were computing.
+    lookahead_generations: int = 0
+    #: Batch sets generated on demand at the top of their own iteration
+    #: (cold start, or the queue was invalidated/missed).
+    immediate_generations: int = 0
+    #: Immediate generations that were fanned out across backend slots.
+    fanout_generations: int = 0
+    #: Per-iteration staleness values observed (mirrors the history column).
+    staleness_values: List[int] = field(default_factory=list)
+    #: Largest number of simultaneously in-flight worker step batches.
+    max_in_flight: int = 0
+
+    def observe_in_flight(self, count: int) -> None:
+        """Record an in-flight window size."""
+        self.max_in_flight = max(self.max_in_flight, count)
+
+    def record_staleness(self, staleness: int) -> None:
+        """Record one iteration's batch staleness."""
+        self.staleness_values.append(int(staleness))
+
+    def as_overlap_dict(self) -> Dict[str, float]:
+        """JSON-friendly summary stored in ``TrainingHistory.overlap``."""
+        values = self.staleness_values
+        return {
+            "pipeline_depth": float(self.depth),
+            "lookahead_generations": float(self.lookahead_generations),
+            "immediate_generations": float(self.immediate_generations),
+            "fanout_generations": float(self.fanout_generations),
+            "max_in_flight": float(self.max_in_flight),
+            "mean_staleness": float(np.mean(values)) if values else 0.0,
+            "max_staleness": float(max(values)) if values else 0.0,
+        }
+
+
+# -- in-flight window (FL-GAN) -----------------------------------------------------
+
+
+class InflightWindow:
+    """Bounded FIFO of dispatched-but-unmerged iterations.
+
+    Used by the pipelined FL-GAN loop: up to ``depth`` iterations may stay in
+    flight behind the newest dispatch, so the trainer's merge/bookkeeping for
+    iteration ``t`` overlaps the pool's compute for ``t+1``.  ``drain``
+    yields the oldest entries first, preserving merge order — which is why
+    pipelined FL-GAN remains bitwise identical to the synchronous schedule.
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth < 0:
+            raise ValueError(f"depth must be >= 0, got {depth}")
+        self.depth = depth
+        self._entries: List[Tuple[Any, ...]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, entry: Tuple[Any, ...]) -> None:
+        """Append a dispatched iteration's bookkeeping tuple."""
+        self._entries.append(entry)
+
+    def drain(self, limit: Optional[int] = None):
+        """Yield entries FIFO until ``len() <= limit`` (default: the depth)."""
+        target = self.depth if limit is None else limit
+        while len(self._entries) > target:
+            yield self._entries.pop(0)
+
+
+# -- generation fan-out ------------------------------------------------------------
+
+
+@dataclass
+class _GenerationTask:
+    """One batch's forward pass on a private generator copy (picklable)."""
+
+    generator: Any
+    g_input: np.ndarray
+
+
+def _batchnorm_stats(model, x: np.ndarray) -> Tuple[np.ndarray, List]:
+    """Forward ``x`` through ``model`` capturing each BatchNorm's batch stats.
+
+    Returns ``(output, [(mean, var), ...])`` with one entry per
+    :class:`BatchNorm` layer in layer order.  The mean/var are computed with
+    the exact expressions the layer itself uses, on the exact same inputs, so
+    folding them back reproduces the serial running-stat updates bitwise.
+    """
+    from ..nn.precision import as_dtype
+
+    stats: List[Tuple[np.ndarray, np.ndarray]] = []
+    out = as_dtype(x, model.dtype)
+    for layer in model.layers:
+        if isinstance(layer, BatchNorm):
+            axes = layer._reduce_axes(out.ndim)
+            stats.append((out.mean(axis=axes), out.var(axis=axes)))
+        out = layer.forward(out, training=True)
+    return out, stats
+
+
+def _run_generation_task(task: _GenerationTask) -> Tuple[np.ndarray, List]:
+    """Backend task: forward one batch on the copy, return images + BN stats."""
+    return _batchnorm_stats(task.generator, task.g_input)
+
+
+def _fold_batchnorm_stats(generator, stats_per_batch: List[List]) -> None:
+    """Replay the per-batch BatchNorm running-stat updates in batch order."""
+    bn_layers = [layer for layer in generator.layers if isinstance(layer, BatchNorm)]
+    for stats in stats_per_batch:
+        for layer, (mean, var) in zip(bn_layers, stats):
+            layer.running_mean = layer.momentum * layer.running_mean + (1.0 - layer.momentum) * mean
+            layer.running_var = layer.momentum * layer.running_var + (1.0 - layer.momentum) * var
+
+
+def can_fan_out(backend: ExecutorBackend, generator, k: int) -> bool:
+    """Whether :func:`fan_out_generation` can run exactly for this setup."""
+    if k < 2 or not getattr(backend, "concurrent", False):
+        return False
+    if not getattr(generator, "built", False):
+        return False
+    # Dropout draws masks from a layer-private RNG whose advancement depends
+    # on execution order; copies cannot reproduce the serial stream.
+    return not any(isinstance(layer, Dropout) for layer in generator.layers)
+
+
+def fan_out_generation(
+    backend: ExecutorBackend,
+    generator,
+    factory,
+    batch_size: int,
+    k: int,
+    rng: np.random.Generator,
+) -> Optional[List[GeneratedBatch]]:
+    """Generate ``k`` batches through the backend, bitwise-equal to the serial loop.
+
+    Draws all noise/labels from ``rng`` first (same order as ``k`` serial
+    :func:`~repro.core.gan_ops.sample_generator_images` calls), forwards each
+    batch on a deep copy of ``generator`` via ``backend.map_ordered``, then
+    folds the captured BatchNorm statistics back into ``generator`` in batch
+    order.  Returns ``None`` when exact fan-out is not possible (see
+    :func:`can_fan_out`); the caller then uses the serial path.
+    """
+    if not can_fan_out(backend, generator, k):
+        return None
+    tasks: List[_GenerationTask] = []
+    noises: List[np.ndarray] = []
+    labels_list: List[Optional[np.ndarray]] = []
+    for _ in range(k):
+        noise = rng.normal(0.0, 1.0, size=(batch_size, factory.latent_dim))
+        noise = noise.astype(generator.dtype, copy=False)
+        labels = (
+            rng.integers(0, factory.num_classes, size=batch_size)
+            if factory.conditional
+            else None
+        )
+        noises.append(noise)
+        labels_list.append(labels)
+        tasks.append(
+            _GenerationTask(
+                generator=copy.deepcopy(generator),
+                g_input=generator_input(noise, labels, factory.num_classes),
+            )
+        )
+    outputs = backend.map_ordered(_run_generation_task, tasks)
+    _fold_batchnorm_stats(generator, [stats for _, stats in outputs])
+    return [
+        GeneratedBatch(images=images, noise=noises[j], labels=labels_list[j], batch_index=j)
+        for j, (images, _) in enumerate(outputs)
+    ]

@@ -60,6 +60,7 @@ from .backend import ExecutorBackend, default_max_workers, register_backend
 __all__ = [
     "ResidentBackend",
     "ResidentProgram",
+    "PendingSteps",
     "register_program",
     "get_program",
 ]
@@ -178,6 +179,36 @@ def _slot_main(conn) -> None:
 # -- trainer-side backend ----------------------------------------------------------
 
 
+class PendingSteps:
+    """In-flight resident step batch; ``result()`` collects the slot replies.
+
+    Returned by :meth:`ResidentBackend.start_steps`.  The request bytes were
+    already written to the slot pipes at submit time, so the pool processes
+    compute while the trainer does other work; ``result`` performs only the
+    receives.  Because slot pipes are FIFO, handles **must be collected in
+    dispatch order** — the backend enforces this and raises otherwise.
+    """
+
+    def __init__(self, backend: "ResidentBackend", per_slot, size: int) -> None:
+        self._backend = backend
+        self._per_slot = per_slot
+        self._size = size
+        self._values: Optional[List[Any]] = None
+        #: Set when the pool died/closed before the replies were read.
+        self._dead = False
+
+    @property
+    def done(self) -> bool:
+        """Whether the replies were already collected."""
+        return self._values is not None
+
+    def result(self) -> List[Any]:
+        """Collect the slot replies (in dispatch order) and return the results."""
+        if self._values is None:
+            self._values = self._backend._collect_steps(self)
+        return self._values
+
+
 class ResidentBackend(ExecutorBackend):
     """Persistent process pool with resident per-worker state.
 
@@ -208,6 +239,11 @@ class ResidentBackend(ExecutorBackend):
         #: Pickled bytes shipped to / received from the pool (IPC meter).
         self.ipc_bytes_sent = 0
         self.ipc_bytes_received = 0
+        #: Dispatched-but-uncollected :class:`PendingSteps`, in dispatch
+        #: order.  Slot pipes are FIFO, so replies must be read in this
+        #: order; boundary ops (pull/push) refuse to run while it is
+        #: non-empty.
+        self._pending: List[PendingSteps] = []
 
     # -- generic ExecutorBackend duty ------------------------------------------
     def map_ordered(self, fn, tasks):
@@ -251,6 +287,11 @@ class ResidentBackend(ExecutorBackend):
 
     def close(self) -> None:
         """Shut the pool down; resident state is discarded (trainer re-installs)."""
+        # Any uncollected steps die with the pool; their handles would read
+        # from closed pipes, so mark them dead (``result()`` then raises).
+        for handle in self._pending:
+            handle._dead = True
+        self._pending.clear()
         if self._slots is not None:
             for _, conn in self._slots:
                 try:
@@ -308,6 +349,14 @@ class ResidentBackend(ExecutorBackend):
         if missing:
             raise ValueError(f"{op} requires installed resident state; missing for {missing}")
 
+    def _require_no_inflight(self, op: str) -> None:
+        if self._pending:
+            raise RuntimeError(
+                f"{op} cannot run while {len(self._pending)} step batch(es) are "
+                "in flight; collect the PendingSteps handles (or call "
+                "drain_inflight()) first"
+            )
+
     # -- invalidation protocol --------------------------------------------------
     def installed(self, key) -> bool:
         """Whether the pool holds a *current* resident copy for ``key``."""
@@ -322,21 +371,30 @@ class ResidentBackend(ExecutorBackend):
         self._epochs[key] = self._epochs.get(key, 0) + 1
 
     # -- resident protocol ------------------------------------------------------
-    def run_steps(
+    def start_steps(
         self,
         program: str,
         items: Sequence[Tuple[Any, Callable[[], Any], Any]],
-    ) -> List[Any]:
-        """Run one per-iteration step for every ``(key, state_supplier, payload)``.
+    ) -> PendingSteps:
+        """Dispatch one per-iteration step per ``(key, state_supplier, payload)``.
 
-        ``state_supplier`` is invoked (trainer-side) only when the pool holds
-        no current copy for ``key`` — first participation, after an
-        invalidation, or after a pool restart — and its return value is
-        shipped as the install payload.  Results come back in item order; the
-        per-worker work itself runs concurrently across pool slots.
+        The request is written to the slot pipes immediately and a
+        :class:`PendingSteps` handle is returned; the pool computes while the
+        trainer does other work, and ``handle.result()`` collects the replies
+        (in item order).  Multiple batches may be in flight at once — slots
+        execute them FIFO — but handles must be collected in dispatch order,
+        and boundary ops (pull/push/pull_state) are refused while any step is
+        uncollected.
+
+        ``state_supplier`` is invoked (trainer-side, at dispatch) only when
+        the pool holds no current copy for ``key`` — first participation,
+        after an invalidation, or after a pool restart — and its return value
+        is shipped as the install payload.  The install is recorded at send
+        time, so a later dispatch in the same flight window does not re-ship
+        (and thereby clobber) resident state with the trainer's stale copy.
         """
         if not items:
-            return []
+            return PendingSteps(self, {}, 0)
         self._check_usable()
         per_slot: Dict[int, List[Tuple[int, tuple]]] = defaultdict(list)
         for position, (key, state_supplier, payload) in enumerate(items):
@@ -348,13 +406,63 @@ class ResidentBackend(ExecutorBackend):
             per_slot[self._slot_for(key)].append((position, wire))
         for slot_index, entries in per_slot.items():
             self._send(slot_index, ("run", [wire for _, wire in entries]))
-        results: List[Any] = [None] * len(items)
-        for slot_index, entries in per_slot.items():
-            out = self._recv(slot_index)
-            for (position, (key, _, epoch, _, _)), result in zip(entries, out):
+            for _, (key, _, epoch, _, _) in entries:
                 self._installed[key] = epoch
+        handle = PendingSteps(self, dict(per_slot), len(items))
+        self._pending.append(handle)
+        return handle
+
+    def _collect_steps(self, handle: PendingSteps) -> List[Any]:
+        """Receive the slot replies for ``handle`` (dispatch order enforced)."""
+        if handle._dead:
+            raise RuntimeError(
+                "resident pool was closed or poisoned before these steps were "
+                "collected; their results are lost"
+            )
+        if not handle._per_slot:
+            return []
+        self._check_usable()
+        if not self._pending or self._pending[0] is not handle:
+            raise RuntimeError(
+                "resident step handles must be collected in dispatch order "
+                "(slot pipes are FIFO)"
+            )
+        results: List[Any] = [None] * handle._size
+        for slot_index, entries in handle._per_slot.items():
+            out = self._recv(slot_index)
+            for (position, _), result in zip(entries, out):
                 results[position] = result
+        self._pending.pop(0)
         return results
+
+    def run_steps(
+        self,
+        program: str,
+        items: Sequence[Tuple[Any, Callable[[], Any], Any]],
+    ) -> List[Any]:
+        """Run one per-iteration step for every ``(key, state_supplier, payload)``.
+
+        Synchronous convenience over :meth:`start_steps` — dispatch and
+        collect in one call.  Results come back in item order; the per-worker
+        work itself runs concurrently across pool slots.
+        """
+        return self.start_steps(program, items).result()
+
+    def drain_inflight(self) -> int:
+        """Collect and discard any uncollected step replies; return the count.
+
+        Exception-path safety valve used before boundary ops: the steps *did*
+        execute in the pool (resident state reflects them), only their
+        results are dropped, so a subsequent :meth:`pull_state` observes
+        consistent post-step state.  On the normal training path the trainers
+        always collect every handle, making this a no-op.
+        """
+        drained = 0
+        while self._pending:
+            handle = self._pending[0]
+            handle.result()
+            drained += 1
+        return drained
 
     def pull_params(self, keys: Sequence) -> Dict[Any, Any]:
         """Fetch flat parameter vectors from installed residents (state stays put)."""
@@ -362,6 +470,7 @@ class ResidentBackend(ExecutorBackend):
         if not keys:
             return {}
         self._check_usable()
+        self._require_no_inflight("pull_params")
         self._require_installed(keys, "pull_params")
         grouped = self._grouped(keys)
         for slot_index, slot_keys in grouped.items():
@@ -376,6 +485,7 @@ class ResidentBackend(ExecutorBackend):
         if not params_by_key:
             return
         self._check_usable()
+        self._require_no_inflight("push_params")
         self._require_installed(params_by_key, "push_params")
         grouped = self._grouped(params_by_key)
         for slot_index, slot_keys in grouped.items():
@@ -394,6 +504,7 @@ class ResidentBackend(ExecutorBackend):
         if not keys:
             return {}
         self._check_usable()
+        self._require_no_inflight("pull_state")
         self._require_installed(keys, "pull_state")
         grouped = self._grouped(keys)
         for slot_index, slot_keys in grouped.items():
@@ -416,7 +527,15 @@ class ResidentBackend(ExecutorBackend):
         ``sync_worker_state``: holders whose key is not installed are left
         untouched; for the rest, every named field is copied from the pulled
         state object onto the holder (both sides use the same field names).
+
+        Unlike the raw boundary ops this method first drains any in-flight
+        step batches (discarding their results): it is what the trainers call
+        from their ``finally`` blocks, where an exception may have left
+        pipelined steps uncollected, and the pulled state must reflect the
+        steps the pool actually executed.
         """
+        if self._broken_reason is None:
+            self.drain_inflight()
         keys = [
             getattr(holder, key_attr)
             for holder in holders

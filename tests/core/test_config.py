@@ -41,11 +41,16 @@ class TestTrainingConfig:
             dict(eval_every=-1),
             dict(backend="gpu"),
             dict(max_workers=0),
+            dict(pipeline_depth=-1),
         ],
     )
     def test_invalid_values_rejected(self, kwargs):
         with pytest.raises(ValueError):
             TrainingConfig(**kwargs)
+
+    def test_pipeline_depth_defaults_to_synchronous(self):
+        assert TrainingConfig().pipeline_depth == 0
+        assert TrainingConfig(pipeline_depth=3).pipeline_depth == 3
 
     def test_build_backend_follows_config(self):
         from repro.runtime import SerialBackend, ThreadBackend

@@ -1,6 +1,7 @@
 """Unit tests for the training history container."""
 
 import numpy as np
+import pytest
 
 from repro.core import TrainingHistory
 from repro.metrics import EvaluationResult
@@ -66,3 +67,85 @@ def test_as_dict_is_json_like():
     text = json.dumps(payload)
     assert "md-gan" in text
     assert payload["evaluations"][0]["fid"] == 30.0
+
+
+def test_as_dict_schema_is_stable():
+    # Downstream report writers (and cross-PR benchmark JSON diffs) key on
+    # these names; growing the schema is fine, renaming/removing is not.
+    payload = make_history().as_dict()
+    assert set(payload) == {
+        "algorithm",
+        "config",
+        "iterations",
+        "generator_loss",
+        "discriminator_loss",
+        "evaluations",
+        "events",
+        "traffic",
+        "compute",
+        "staleness",
+        "overlap",
+    }
+    # Synchronous runs serialise the pipeline fields as empty, not absent.
+    assert payload["staleness"] == []
+    assert payload["overlap"] == {}
+
+
+def test_record_staleness_tracks_iterations():
+    history = TrainingHistory(algorithm="md-gan")
+    history.record_losses(1, 0.5, 0.6)
+    history.record_staleness(1, 0)
+    history.record_losses(2, 0.4, 0.5)
+    history.record_staleness(2, 1)
+    assert history.staleness == [0, 1]
+    assert history.mean_staleness() == 0.5
+
+
+def test_record_staleness_without_losses_raises():
+    history = TrainingHistory(algorithm="md-gan")
+    with pytest.raises(ValueError, match="must follow record_losses"):
+        history.record_staleness(1, 0)
+    history.record_losses(1, 0.5, 0.6)
+    history.record_staleness(1, 2)
+    with pytest.raises(ValueError, match="must follow record_losses"):
+        history.record_staleness(1, 2)
+
+
+def test_mean_staleness_empty_is_zero():
+    assert TrainingHistory(algorithm="x").mean_staleness() == 0.0
+
+
+def test_json_round_trip_preserves_pipeline_fields():
+    import json
+
+    history = make_history()
+    history.staleness = [0, 1, 1, 2, 2]
+    history.overlap = {"pipeline_depth": 2.0, "mean_staleness": 1.2}
+    history.traffic = {"total_bytes": 100.0}
+    history.compute = {"server_flops": 5.0}
+
+    restored = TrainingHistory.from_dict(json.loads(json.dumps(history.as_dict())))
+    assert restored.algorithm == history.algorithm
+    assert restored.iterations == history.iterations
+    assert restored.generator_loss == history.generator_loss
+    assert restored.discriminator_loss == history.discriminator_loss
+    assert restored.staleness == history.staleness
+    assert restored.overlap == history.overlap
+    assert restored.traffic == history.traffic
+    assert restored.compute == history.compute
+    assert restored.events == history.events
+    assert [e.as_dict() for e in restored.evaluations] == [
+        e.as_dict() for e in history.evaluations
+    ]
+    # Round-tripping again is a fixed point.
+    assert restored.as_dict() == history.as_dict()
+
+
+def test_from_dict_accepts_legacy_payloads():
+    # Histories serialised before the pipeline fields existed load cleanly.
+    payload = make_history().as_dict()
+    del payload["staleness"]
+    del payload["overlap"]
+    restored = TrainingHistory.from_dict(payload)
+    assert restored.staleness == []
+    assert restored.overlap == {}

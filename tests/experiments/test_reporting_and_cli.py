@@ -158,6 +158,28 @@ class TestCLI:
         assert _backend_kwargs(run_fig4, args) == {
             "backend": "process",
             "max_workers": None,
+            "pipeline_depth": 0,
         }
         # Runners without a backend sweep fall back to serial with a note.
         assert _backend_kwargs(run_table2, args) == {}
+
+    def test_pipeline_depth_kwargs_dispatch(self):
+        from repro.experiments.cli import _backend_kwargs
+        from repro.experiments.fault_tolerance import run_fig5
+        from repro.experiments.tables import run_table2
+
+        args = build_parser().parse_args(
+            ["fig5", "--backend", "resident", "--pipeline-depth", "2"]
+        )
+        assert _backend_kwargs(run_fig5, args) == {
+            "backend": "resident",
+            "max_workers": None,
+            "pipeline_depth": 2,
+        }
+        # Runners without a pipeline knob fall back to synchronous with a note.
+        assert _backend_kwargs(run_table2, args) == {}
+
+    def test_parser_accepts_pipeline_depth(self):
+        args = build_parser().parse_args(["fig4", "--pipeline-depth", "3"])
+        assert args.pipeline_depth == 3
+        assert build_parser().parse_args(["fig4"]).pipeline_depth == 0

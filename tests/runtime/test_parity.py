@@ -195,6 +195,65 @@ class TestFLGANParity:
         assert got["traffic"] == reference["traffic"]
 
 
+class TestPipelineDepthZeroParity:
+    """``pipeline_depth=0`` must be bitwise identical to the default config.
+
+    The pipelined mode is opt-in: passing an explicit depth of zero takes the
+    synchronous code path on every backend, produces no staleness/overlap
+    records, and leaves the trajectory untouched.
+    """
+
+    @pytest.mark.parametrize("backend", ("serial",) + PARALLEL_BACKENDS)
+    def test_mdgan_depth_zero_matches_default(self, backend, small_shards_and_factory):
+        shards, factory = small_shards_and_factory
+        reference = _mdgan_signature(
+            MDGANTrainer(factory, shards, _config("serial"))
+        )
+        got_trainer = MDGANTrainer(
+            factory, shards, _config(backend, pipeline_depth=0)
+        )
+        got = _mdgan_signature(got_trainer)
+        _assert_signatures_equal(got, reference)
+        assert got_trainer.history.staleness == []
+        assert got_trainer.history.overlap == {}
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_mdgan_fixed_positive_depth_is_backend_invariant(
+        self, backend, small_shards_and_factory
+    ):
+        # Depth > 0 deliberately relaxes parity *with the synchronous
+        # schedule* — but for a fixed depth the trajectory (including the
+        # recorded staleness) must still be identical across backends.
+        shards, factory = small_shards_and_factory
+        reference = _mdgan_signature(
+            MDGANTrainer(factory, shards, _config("serial", pipeline_depth=1))
+        )
+        got = _mdgan_signature(
+            MDGANTrainer(factory, shards, _config(backend, pipeline_depth=1))
+        )
+        _assert_signatures_equal(got, reference)
+
+    def test_flgan_any_depth_matches_synchronous(self, small_shards_and_factory):
+        # FL-GAN pipelining (resident window) is parity-preserving at every
+        # depth: local iterations never touch the server model between
+        # rounds, and merges stay in dispatch order.
+        shards, factory = small_shards_and_factory
+        reference = TestFLGANParity._signature(
+            FLGANTrainer(factory, shards, _config("serial", epochs_per_swap=0.4))
+        )
+        got = TestFLGANParity._signature(
+            FLGANTrainer(
+                factory,
+                shards,
+                _config("resident", epochs_per_swap=0.4, pipeline_depth=2),
+            )
+        )
+        assert got["gen_loss"] == reference["gen_loss"]
+        assert got["events"] == reference["events"]
+        assert np.array_equal(got["server_generator"], reference["server_generator"])
+        assert got["traffic"] == reference["traffic"]
+
+
 class TestBackendStateRoundTrip:
     @pytest.mark.parametrize("backend", ("process", "resident"))
     def test_backend_advances_parent_rng_and_sampler(
