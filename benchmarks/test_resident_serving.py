@@ -1,0 +1,247 @@
+"""Benchmark: the persistent resident serving layer (warm reuse + shm install).
+
+Validates the two serving-layer promises added on top of the resident
+backend, on the 8-worker conv model with deliberately large shards (install
+cost must be shard-dominated for the comparison to mean anything):
+
+* **Warm reuse** — the pool now outlives ``train()``: a second ``train()``
+  call on the same trainer must ship **zero** install payloads (state epochs
+  still match) and its per-train pipe traffic must be a small fraction of
+  the cold install cost.  The end-of-train refresh goes through the
+  light-weight mirror op, so it must not re-ship shard bytes either.
+* **Shared-memory install** — with ``shm_install`` the initial shard/model
+  arrays travel through ``multiprocessing.shared_memory`` segments instead
+  of the pool pipes: the install's pipe bytes collapse and the trainer-side
+  dispatch (pickle + transfer) gets faster than the pickled install.
+
+Timing uses best-of-N interleaved ``perf_counter`` runs, as in
+``test_resident_backend.py``; byte figures come from the backend's own
+meters (``ipc_bytes_sent``/``shm_bytes_sent``/``install_count``).  Results
+are attached to ``benchmark.extra_info`` so they land in the CI slow lane's
+``BENCH_<run>_<sha>.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import MDGANTrainer, TrainingConfig
+from repro.datasets import make_mnist_like, partition_iid
+from repro.models import build_architecture
+
+pytestmark = [
+    pytest.mark.slow,  # timing / multi-run benchmark; excluded from the fast lane
+    pytest.mark.paper_artifact("resident-serving"),
+]
+
+_NUM_WORKERS = 8
+_BATCH_SIZE = 16
+# 16384 x (1, 16, 16) float32 = 16 MB total -> 2 MB per worker shard, well
+# above the shm spill threshold and large enough that install transport
+# dominates the cold/warm and shm/pickle comparisons.
+_N_TRAIN = 16384
+
+
+@pytest.fixture(scope="module")
+def conv_setup():
+    """An 8-worker MD-GAN on the conv architecture with 2 MB shards."""
+    train, _ = make_mnist_like(n_train=_N_TRAIN, n_test=64, image_size=16, seed=7)
+    factory = build_architecture(
+        "mnist-cnn",
+        image_shape=train.spec.shape,
+        num_classes=train.num_classes,
+        width_factor=0.5,
+        use_minibatch_discrimination=False,
+    )
+    shards = partition_iid(train, _NUM_WORKERS, np.random.default_rng(3))
+    return factory, shards
+
+
+def _build_trainer(
+    conv_setup, shm_install=None, iterations: int = 2, pipeline_depth: int = 0
+) -> MDGANTrainer:
+    factory, shards = conv_setup
+    config = TrainingConfig(
+        iterations=iterations,
+        batch_size=_BATCH_SIZE,
+        num_batches=_NUM_WORKERS,
+        seed=11,
+        backend="resident",
+        max_workers=_NUM_WORKERS,
+        shm_install=shm_install,
+        pipeline_depth=pipeline_depth,
+    )
+    return MDGANTrainer(factory, shards, config)
+
+
+def test_warm_reuse_second_train_installs_nothing(conv_setup, benchmark):
+    with _build_trainer(conv_setup) as trainer:
+        start = time.perf_counter()
+        trainer.train()
+        cold_time = time.perf_counter() - start
+        backend = trainer._backend
+        cold_installs = backend.install_count
+        cold_total = backend.ipc_bytes_sent + backend.shm_bytes_sent
+        cold_shm = backend.shm_bytes_sent
+        assert cold_installs >= _NUM_WORKERS
+
+        rounds = 3
+        benchmark.pedantic(trainer.train, rounds=rounds, iterations=1)
+
+        # Warm re-entry: the state epochs still match, so not a single
+        # install payload (pipe or shm) is shipped again.
+        assert backend.install_count == cold_installs
+        assert backend.shm_bytes_sent == cold_shm
+        warm_pipe_per_train = (
+            backend.ipc_bytes_sent + backend.shm_bytes_sent - cold_total
+        ) / rounds
+        # Per-train warm traffic (per-iteration deltas + the end-of-train
+        # mirror, which skips the shard) is a small fraction of the cold
+        # install cost.
+        assert warm_pipe_per_train * 3 <= cold_total, (
+            f"warm train shipped {warm_pipe_per_train / 1e6:.2f} MB vs cold "
+            f"install+run {cold_total / 1e6:.2f} MB; expected >= 3x reduction"
+        )
+        benchmark.extra_info["cold_time_s"] = round(cold_time, 4)
+        benchmark.extra_info["cold_installs"] = cold_installs
+        benchmark.extra_info["cold_total_mb"] = round(cold_total / 1e6, 3)
+        benchmark.extra_info["warm_per_train_mb"] = round(warm_pipe_per_train / 1e6, 3)
+        print(
+            f"cold train: {cold_time:.3f}s, {cold_installs} installs, "
+            f"{cold_total / 1e6:.2f} MB shipped; warm train: "
+            f"0 installs, {warm_pipe_per_train / 1e6:.2f} MB/train"
+        )
+
+
+def _timed_pipelined_run(conv_setup, off_thread: bool, iterations: int) -> tuple:
+    """Wall-clock one depth-1 pipelined run; optionally force inline generation.
+
+    ``off_thread=False`` drops the instance's ``supports_resident_generation``
+    capability, which sends lookahead generation down the pre-serving-layer
+    inline path (``_generate_batches`` on the trainer thread) — exactly the
+    schedule this PR replaces — so the two timings isolate the overlap win of
+    resident-side generation.  Returns ``(seconds, overlap_dict)``.
+    """
+    trainer = _build_trainer(conv_setup, iterations=iterations, pipeline_depth=1)
+    try:
+        if not off_thread:
+            trainer.executor.supports_resident_generation = False
+        start = time.perf_counter()
+        history = trainer.train()
+        return time.perf_counter() - start, dict(history.overlap)
+    finally:
+        trainer.close()
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="overlap comparison needs a multi-core host (>= 4 cores)",
+)
+def test_resident_lookahead_beats_inline_generation(conv_setup, benchmark):
+    # Warm the page cache / JIT-ish costs once per mode, then interleave
+    # best-of-N so a background load spike cannot bias one side.
+    iterations = 3
+    _timed_pipelined_run(conv_setup, True, iterations)
+    _timed_pipelined_run(conv_setup, False, iterations)
+    best = {True: float("inf"), False: float("inf")}
+    overlap = {}
+    speedup = 0.0
+    for attempt_reps in (3, 5):
+        for _ in range(attempt_reps):
+            for off_thread in (False, True):
+                elapsed, ov = _timed_pipelined_run(conv_setup, off_thread, iterations)
+                best[off_thread] = min(best[off_thread], elapsed)
+                overlap[off_thread] = ov
+        speedup = best[False] / best[True]
+        if speedup >= 1.05:
+            break
+    # The telemetry proves where generation ran in each mode...
+    assert overlap[True]["resident_generations"] > 0
+    assert overlap[False]["resident_generations"] == 0
+    assert overlap[True]["lookahead_generations"] == overlap[False]["lookahead_generations"]
+    # ...and moving it off the trainer thread wins wall clock.
+    assert speedup > 1.0, (
+        f"resident-side lookahead generation ran in {best[True]:.3f}s vs inline "
+        f"{best[False]:.3f}s (speedup {speedup:.2f}x); expected a win"
+    )
+    benchmark.pedantic(
+        _timed_pipelined_run, args=(conv_setup, True, iterations), rounds=1, iterations=1
+    )
+    benchmark.extra_info["inline_s"] = round(best[False], 4)
+    benchmark.extra_info["resident_generation_s"] = round(best[True], 4)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    print(
+        f"depth-1 pipelined md-gan at {_NUM_WORKERS} workers, k={_NUM_WORKERS}: "
+        f"inline generation {best[False]:.3f}s, resident-side {best[True]:.3f}s "
+        f"({speedup:.2f}x)"
+    )
+
+
+def _cold_install_dispatch(conv_setup, shm: bool):
+    """Time the install-bearing first dispatch of an 8-worker step batch.
+
+    The dispatch is where the trainer-side install cost lives (supplier
+    snapshot + pickle/spill + pipe write); the subsequent compute is
+    identical in both configurations, so it is collected but not timed.
+    Returns ``(dispatch_seconds, pipe_bytes, shm_bytes)``.
+    """
+    trainer = _build_trainer(conv_setup, shm_install=shm, iterations=1)
+    try:
+        participants = trainer._participating_workers()
+        k = min(trainer.num_batches, len(participants))
+        batches = trainer._generate_batches(k)
+        trainer._distribute_batches(1, batches, participants)
+        backend = trainer.executor
+        backend._ensure_slots()  # fork the slot processes outside the timing
+        start = time.perf_counter()
+        live, handle = trainer._dispatch_worker_phase(participants)
+        elapsed = time.perf_counter() - start
+        handle.result()
+        trainer._merge_worker_phase(1, live, handle)
+        return elapsed, backend.ipc_bytes_sent, backend.shm_bytes_sent
+    finally:
+        trainer.close()
+
+
+def test_shm_install_beats_pickled_install(conv_setup, benchmark):
+    # Interleaved best-of-N so a background load spike cannot bias one side.
+    best = {False: float("inf"), True: float("inf")}
+    bytes_seen = {}
+    for _ in range(3):
+        for shm in (False, True):
+            elapsed, pipe, shm_bytes = _cold_install_dispatch(conv_setup, shm)
+            best[shm] = min(best[shm], elapsed)
+            bytes_seen[shm] = (pipe, shm_bytes)
+    plain_pipe, plain_shm = bytes_seen[False]
+    shm_pipe, shm_shm = bytes_seen[True]
+    # Hard pin: the shard/model bytes left the pipes entirely.
+    assert plain_shm == 0
+    assert shm_shm > 0
+    assert shm_pipe * 2 <= plain_pipe, (
+        f"shm install still shipped {shm_pipe / 1e6:.2f} MB through the pipes "
+        f"vs {plain_pipe / 1e6:.2f} MB pickled; expected >= 2x off-pipe"
+    )
+    # Wall clock: spilling to shared memory (one memcpy per array) beats
+    # pickling the same bytes through the pipes.
+    assert best[True] < best[False], (
+        f"shm install dispatch took {best[True] * 1e3:.1f} ms vs pickled "
+        f"{best[False] * 1e3:.1f} ms"
+    )
+    benchmark.pedantic(
+        _cold_install_dispatch, args=(conv_setup, True), rounds=1, iterations=1
+    )
+    benchmark.extra_info["pickled_dispatch_ms"] = round(best[False] * 1e3, 2)
+    benchmark.extra_info["shm_dispatch_ms"] = round(best[True] * 1e3, 2)
+    benchmark.extra_info["pickled_pipe_mb"] = round(plain_pipe / 1e6, 3)
+    benchmark.extra_info["shm_pipe_mb"] = round(shm_pipe / 1e6, 3)
+    benchmark.extra_info["shm_mb"] = round(shm_shm / 1e6, 3)
+    print(
+        f"cold install dispatch at {_NUM_WORKERS} workers: pickled "
+        f"{best[False] * 1e3:.1f} ms ({plain_pipe / 1e6:.2f} MB on pipes), shm "
+        f"{best[True] * 1e3:.1f} ms ({shm_pipe / 1e6:.2f} MB on pipes + "
+        f"{shm_shm / 1e6:.2f} MB in shm)"
+    )

@@ -88,6 +88,15 @@ class TrainingConfig:
     backend: str = "serial"
     #: Pool size for the parallel backends (``None`` = cores - 1).
     max_workers: Optional[int] = None
+    #: Ship resident-pool install payloads (dataset shards, large weight
+    #: tensors) through ``multiprocessing.shared_memory`` instead of the
+    #: pool pipes, so install cost stops scaling with shard bytes.  ``None``
+    #: (the default) follows the process-wide default
+    #: (:func:`repro.runtime.resident.set_shm_install_default`, on unless
+    #: the platform lacks shared memory); ``True``/``False`` force it for
+    #: this run.  Ignored by non-resident backends.  Bitwise-neutral either
+    #: way — the transport moves the same bytes.
+    shm_install: Optional[bool] = None
     #: Pipelined execution depth (:mod:`repro.runtime.pipeline`).  ``0`` (the
     #: default) keeps the strictly phase-serial schedule — bitwise identical
     #: across all backends.  ``d > 0`` lets the server run up to ``d``
@@ -128,6 +137,10 @@ class TrainingConfig:
             )
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.shm_install is not None and not isinstance(self.shm_install, bool):
+            raise ValueError(
+                f"shm_install must be True, False or None, got {self.shm_install!r}"
+            )
         if self.pipeline_depth < 0:
             raise ValueError(
                 f"pipeline_depth must be >= 0 (0 = synchronous), got "
@@ -142,10 +155,18 @@ class TrainingConfig:
         return resolve_dtype(self.precision)
 
     def build_backend(self):
-        """Instantiate the configured :class:`repro.runtime.ExecutorBackend`."""
+        """Instantiate the configured :class:`repro.runtime.ExecutorBackend`.
+
+        An explicit ``shm_install`` opt-in/out is forwarded to backends that
+        understand it (the resident backend, or any third-party backend
+        exposing the attribute); other backends ignore the setting.
+        """
         from ..runtime.backend import create_backend
 
-        return create_backend(self.backend, self.max_workers)
+        backend = create_backend(self.backend, self.max_workers)
+        if self.shm_install is not None and hasattr(backend, "shm_install"):
+            backend.shm_install = self.shm_install
+        return backend
 
     def with_overrides(self, **kwargs) -> "TrainingConfig":
         """Return a copy with the given fields replaced."""

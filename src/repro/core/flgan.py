@@ -24,9 +24,8 @@ from ..metrics.evaluator import GeneratorEvaluator
 from ..models.base import GANFactory, generator_input
 from ..nn.model import Sequential
 from ..nn.serialize import weighted_average_parameters
-from ..runtime.backend import ExecutorBackend
 from ..runtime.pipeline import InflightWindow, PipelineStats
-from ..runtime.resident import ResidentBackend
+from .lifecycle import BackendOwner
 from ..runtime.tasks import (
     FLGANLocalResult,
     FLGANLocalTask,
@@ -59,8 +58,14 @@ class FLGANWorkerState:
     rng: np.random.Generator
 
 
-class FLGANTrainer:
-    """Federated-averaging GAN trainer over ``N`` emulated workers."""
+class FLGANTrainer(BackendOwner):
+    """Federated-averaging GAN trainer over ``N`` emulated workers.
+
+    The trainer owns its execution backend (see
+    :class:`~repro.core.lifecycle.BackendOwner`): warm resident pools
+    survive across ``train()`` calls until :meth:`close` / the
+    context-manager exit.
+    """
 
     def __init__(
         self,
@@ -80,8 +85,8 @@ class FLGANTrainer:
         self.cluster = Cluster(num_workers=len(shards), link_model=link_model)
 
         self._rng = np.random.default_rng(config.seed)
-        #: Execution backend for the local-epoch phase, created lazily.
-        self._backend: Optional[ExecutorBackend] = None
+        # Backend ownership state lives on BackendOwner (lazy build, warm
+        # across train() calls, released by close()/context-manager exit).
         # Built on the factory's picklable spec so worker tasks (which carry
         # the objective) survive the process backend's pickle round-trip.
         self._objective = GANObjective(
@@ -160,25 +165,8 @@ class FLGANTrainer:
     # process once per round era and the per-iteration messages carry nothing
     # at all outbound — only losses and RNG/sampler cursors come back.
 
-    @property
-    def executor(self) -> ExecutorBackend:
-        """The configured execution backend, created on first use."""
-        if self._backend is None:
-            self._backend = self.config.build_backend()
-        return self._backend
-
-    def close_backend(self) -> None:
-        """Shut down the execution backend's pool (recreated lazily if needed)."""
-        if self._backend is not None:
-            self._backend.close()
-            self._backend = None
-
-    def _active_resident(self) -> Optional[ResidentBackend]:
-        """The already-built resident backend, or ``None`` (never builds one)."""
-        backend = self._backend
-        if backend is not None and getattr(backend, "supports_resident", False):
-            return backend
-        return None
+    # Backend ownership (executor property, close/close_backend, context
+    # manager, best-effort failure cleanup) comes from BackendOwner.
 
     def _build_local_task(self, worker: FLGANWorkerState) -> FLGANLocalTask:
         """Build phase (stateless backends): snapshot one local GAN iteration."""
@@ -211,22 +199,45 @@ class FLGANTrainer:
         )
 
     def sync_worker_state(
-        self, workers: Optional[Sequence[FLGANWorkerState]] = None
+        self,
+        workers: Optional[Sequence[FLGANWorkerState]] = None,
+        reclaim: bool = True,
     ) -> None:
         """Pull resident worker state back into the trainer's own objects.
 
-        No-op for stateless backends.  Afterwards the trainer is
-        authoritative (pool copies dropped, state epoch bumped), so worker
-        state may be mutated freely before training resumes.
+        No-op for stateless backends.  With ``reclaim`` (the default) the
+        trainer becomes authoritative (pool copies dropped, state epoch
+        bumped), so worker state may be mutated freely before training
+        resumes.  With ``reclaim=False`` the trainer's objects merely mirror
+        the pool's current state via the program's light-weight mirror
+        payload (final models + optimizers, RNG/sampler cursors — the
+        immutable shard never re-crosses the pipe) and the residents stay
+        warm for the next ``train()`` call.
         """
         resident = self._active_resident()
         if resident is None:
             return
         targets = list(self.workers) if workers is None else list(workers)
-        resident.pull_into(
-            targets,
-            ("generator", "discriminator", "gen_opt", "disc_opt", "sampler", "rng"),
-        )
+        if reclaim:
+            resident.pull_into(
+                targets,
+                ("generator", "discriminator", "gen_opt", "disc_opt", "sampler", "rng"),
+            )
+            return
+        mirrors = resident.pull_mirror([worker.index for worker in targets])
+        for worker in targets:
+            mirror = mirrors.get(worker.index)
+            if mirror is None:
+                continue
+            worker.generator = mirror["generator"]
+            worker.discriminator = mirror["discriminator"]
+            worker.gen_opt = mirror["gen_opt"]
+            worker.disc_opt = mirror["disc_opt"]
+            worker.rng.bit_generator.state = mirror["rng_state"]
+            # Full sampler position (incl. mid-epoch shuffle order): the
+            # mirrored sampler must be complete, so a close_backend()-then-
+            # train() re-install resumes exactly where the pool left off.
+            worker.sampler.restore_cursor_state(mirror["sampler_cursor"])
 
     def _merge_local_result(self, worker: FLGANWorkerState, result) -> tuple:
         """Merge phase: adopt the round-tripped state, or just the cursors.
@@ -384,6 +395,12 @@ class FLGANTrainer:
         positive depth falls back to the synchronous schedule (in-flight
         snapshots of mutable worker state cannot overlap safely); the
         history's ``overlap`` summary records what actually happened.
+
+        ``train()`` does not own the execution backend: on success the
+        trainer's worker objects are refreshed with a non-reclaiming sync
+        and the pool stays warm for re-entry; on failure the cleanup is
+        best-effort and never masks the original exception.  The backend is
+        released by :meth:`close` / context-manager exit.
         """
         cfg = self.config
         round_length = self.iterations_per_round
@@ -423,13 +440,19 @@ class FLGANTrainer:
                 ):
                     result = self.evaluator.evaluate(self.sample_images, iteration)
                     self.history.record_evaluation(result)
+        except BaseException:
+            self._cleanup_after_failure()
+            raise
+        else:
+            # Mirror the final resident state into the trainer's worker
+            # objects without reclaiming authority: the pool stays warm for
+            # the next train() call on this trainer.
+            self.sync_worker_state(reclaim=False)
         finally:
-            # Reclaim any state still resident in the pool so the trainer's
-            # worker objects hold the final models, then drop the pool.
-            self.sync_worker_state()
-            self.close_backend()
-        if stats is not None:
-            self.history.overlap = stats.as_overlap_dict()
+            # Recorded on every exit path (completion, exception) so early
+            # exits keep their overlap summary.
+            if stats is not None:
+                self.history.overlap = stats.as_overlap_dict()
         if cfg.record_traffic:
             meter = self.cluster.meter
             self.history.traffic = {

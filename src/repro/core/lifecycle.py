@@ -1,0 +1,112 @@
+"""Backend-ownership lifecycle shared by the distributed trainers.
+
+Since the persistent-serving-layer change the execution backend is owned by
+the *trainer*, not by an individual ``train()`` call: warm resident pools
+survive across runs until the owner releases them.  This mixin centralises
+that ownership — lazy construction with a garbage-collection finalizer,
+explicit ``close()``, the context-manager form, and the best-effort cleanup
+used on failure paths — so :class:`~repro.core.mdgan.MDGANTrainer` and
+:class:`~repro.core.flgan.FLGANTrainer` cannot drift apart on lifecycle
+semantics.
+
+Subclasses provide ``self.config`` (a :class:`~repro.core.config.
+TrainingConfig`) and ``sync_worker_state(workers=None, reclaim=True)``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Optional
+
+from ..runtime.backend import ExecutorBackend, close_quietly
+from ..runtime.resident import ResidentBackend
+
+__all__ = ["BackendOwner"]
+
+
+class BackendOwner:
+    """Mixin owning an :class:`~repro.runtime.backend.ExecutorBackend`.
+
+    The backend is owner-scoped, not call-scoped: it persists across
+    ``train()`` calls (so a warm resident pool serves consecutive runs
+    without re-installing worker state) until :meth:`close` /
+    :meth:`close_backend` or the context-manager exit.  A garbage-collection
+    finalizer closes it quietly as a safety net when the trainer is dropped
+    without an explicit close.
+    """
+
+    #: Lazily built backend (see :attr:`executor`).
+    _backend: Optional[ExecutorBackend] = None
+    #: GC/exit finalizer for :attr:`_backend`; detached on explicit close.
+    _backend_finalizer: Optional[weakref.finalize] = None
+
+    @property
+    def executor(self) -> ExecutorBackend:
+        """The configured execution backend, created on first use."""
+        if self._backend is None:
+            self._backend = self.config.build_backend()
+            self._backend_finalizer = weakref.finalize(self, close_quietly, self._backend)
+        return self._backend
+
+    def close_backend(self) -> None:
+        """Shut down the execution backend's pool (recreated lazily if needed)."""
+        if self._backend_finalizer is not None:
+            self._backend_finalizer.detach()
+            self._backend_finalizer = None
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+
+    def close(self) -> None:
+        """Reclaim resident worker state and shut the execution backend down.
+
+        After ``close()`` the trainer's own worker objects hold the final
+        state and the trainer remains usable — a later ``train()`` lazily
+        builds a fresh backend and re-installs from those objects.
+        """
+        try:
+            self.sync_worker_state()
+        finally:
+            self.close_backend()
+
+    def _cleanup_after_failure(self) -> None:
+        """Best-effort cleanup for a failed run (never masks the error).
+
+        Reclaims whatever worker state the pool still holds and closes the
+        backend, suppressing secondary failures: a poisoned pool's
+        ``_check_usable`` (or any other cleanup error) must not shadow the
+        original exception.
+        """
+        try:
+            self.sync_worker_state()
+        except Exception:
+            pass
+        try:
+            self.close_backend()
+        except Exception:
+            pass
+
+    def _active_resident(self) -> Optional[ResidentBackend]:
+        """The already-built resident backend, or ``None`` (never builds one)."""
+        backend = self._backend
+        if backend is not None and getattr(backend, "supports_resident", False):
+            return backend
+        return None
+
+    def __enter__(self) -> "BackendOwner":
+        """Context-manager entry: the trainer scopes its backend's lifetime."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: release the backend.
+
+        On a clean exit this is :meth:`close` (reclaiming sync, so the
+        trainer's objects hold the final state).  When an exception is
+        propagating, cleanup is best-effort instead — a secondary failure
+        from an already-broken pool must not replace the original exception
+        as the one the caller sees.
+        """
+        if exc_type is not None:
+            self._cleanup_after_failure()
+        else:
+            self.close()

@@ -39,9 +39,15 @@ from ..datasets.sampler import EpochSampler
 from ..metrics.evaluator import GeneratorEvaluator
 from ..models.base import GANFactory, generator_input
 from ..nn.model import Sequential
-from ..runtime.backend import ExecutorBackend, PendingResult
-from ..runtime.pipeline import BatchAheadQueue, PipelineStats, fan_out_generation
-from ..runtime.resident import ResidentBackend
+from ..runtime.backend import PendingResult
+from ..runtime.pipeline import (
+    BatchAheadQueue,
+    PendingGeneration,
+    PipelineStats,
+    fan_out_generation,
+    start_resident_generation,
+)
+from .lifecycle import BackendOwner
 from ..runtime.tasks import (
     MDGANResidentState,
     MDGANStepInput,
@@ -77,8 +83,14 @@ class MDGANWorkerState:
     rng: np.random.Generator
 
 
-class MDGANTrainer:
-    """MD-GAN trainer: one server-side generator versus ``N`` worker discriminators."""
+class MDGANTrainer(BackendOwner):
+    """MD-GAN trainer: one server-side generator versus ``N`` worker discriminators.
+
+    The trainer owns its execution backend (see
+    :class:`~repro.core.lifecycle.BackendOwner`): warm resident pools
+    survive across ``train()`` calls until :meth:`close` / the
+    context-manager exit.
+    """
 
     def __init__(
         self,
@@ -107,9 +119,8 @@ class MDGANTrainer:
         )
 
         self._rng = np.random.default_rng(config.seed)
-        #: Execution backend for the per-worker phase, created lazily so a
-        #: trainer that never trains does not spin up a pool.
-        self._backend: Optional[ExecutorBackend] = None
+        # Backend ownership state lives on BackendOwner (lazy build, warm
+        # across train() calls, released by close()/context-manager exit).
         # Built on the factory's picklable spec so worker tasks (which carry
         # the objective) survive the process backend's pickle round-trip.
         self._objective = GANObjective(
@@ -331,25 +342,8 @@ class MDGANTrainer:
     # through the pull/push/sync helpers below, which keep the state-epoch
     # protocol honest.
 
-    @property
-    def executor(self) -> ExecutorBackend:
-        """The configured execution backend, created on first use."""
-        if self._backend is None:
-            self._backend = self.config.build_backend()
-        return self._backend
-
-    def close_backend(self) -> None:
-        """Shut down the execution backend's pool (recreated lazily if needed)."""
-        if self._backend is not None:
-            self._backend.close()
-            self._backend = None
-
-    def _active_resident(self) -> Optional[ResidentBackend]:
-        """The already-built resident backend, or ``None`` (never builds one)."""
-        backend = self._backend
-        if backend is not None and getattr(backend, "supports_resident", False):
-            return backend
-        return None
+    # Backend ownership (executor property, close/close_backend, context
+    # manager, best-effort failure cleanup) comes from BackendOwner.
 
     def _receive_generated(self, worker: MDGANWorkerState) -> Optional[Message]:
         """Drain the worker's generated-batch mailbox; latest message wins."""
@@ -462,21 +456,43 @@ class MDGANTrainer:
         return gen_losses, disc_losses
 
     def sync_worker_state(
-        self, workers: Optional[Sequence[MDGANWorkerState]] = None
+        self,
+        workers: Optional[Sequence[MDGANWorkerState]] = None,
+        reclaim: bool = True,
     ) -> None:
         """Pull resident worker state back into the trainer's own objects.
 
-        No-op for stateless backends.  After the pull the trainer is
-        authoritative again (the pool copies are dropped and the state epoch
-        bumped), so callers may freely mutate worker state — e.g.
-        ``worker.sampler.replace_dataset(...)`` — before training resumes;
-        the next participation re-installs the mutated state.
+        No-op for stateless backends.  With ``reclaim`` (the default) the
+        trainer becomes authoritative again (the pool copies are dropped and
+        the state epoch bumped), so callers may freely mutate worker state —
+        e.g. ``worker.sampler.replace_dataset(...)`` — before training
+        resumes; the next participation re-installs the mutated state.  With
+        ``reclaim=False`` the trainer's objects merely *mirror* the pool's
+        current state via the program's light-weight mirror payload (final
+        discriminator + optimizer, RNG/sampler cursors — the immutable shard
+        never re-crosses the pipe): the residents stay warm (a second
+        ``train()`` ships no installs), and any trainer-side mutation still
+        requires a reclaiming sync first, exactly as before.
         """
         resident = self._active_resident()
         if resident is None:
             return
         targets = list(self.workers) if workers is None else list(workers)
-        resident.pull_into(targets, ("discriminator", "disc_opt", "sampler", "rng"))
+        if reclaim:
+            resident.pull_into(targets, ("discriminator", "disc_opt", "sampler", "rng"))
+            return
+        mirrors = resident.pull_mirror([worker.index for worker in targets])
+        for worker in targets:
+            mirror = mirrors.get(worker.index)
+            if mirror is None:
+                continue
+            worker.discriminator = mirror["discriminator"]
+            worker.disc_opt = mirror["disc_opt"]
+            worker.rng.bit_generator.state = mirror["rng_state"]
+            # Full sampler position (incl. mid-epoch shuffle order): the
+            # mirrored sampler must be complete, so a close_backend()-then-
+            # train() re-install resumes exactly where the pool left off.
+            worker.sampler.restore_cursor_state(mirror["sampler_cursor"])
 
     def _merge_worker_result(
         self,
@@ -633,9 +649,23 @@ class MDGANTrainer:
 
         Bitwise identical to :meth:`_generate_batches` (noise-draw order,
         images, BatchNorm running stats and the server's cost-model charges
-        all match); falls back to the serial loop when exact fan-out is not
-        possible.  Returns ``(batches, fanned)``.
+        all match).  Resident backends run the per-batch forwards on their
+        pool slots (dispatch + immediate collect — the pool is idle on a
+        queue miss); ``thread``/``process`` use the map-based fan-out; the
+        serial loop is the fallback.  Returns ``(batches, fanned)``.
         """
+        pending = start_resident_generation(
+            self.executor,
+            self.generator,
+            self.factory,
+            self.config.batch_size,
+            k,
+            self._rng,
+        )
+        if pending is not None:
+            batches = pending.collect()
+            self._charge_generation(k)
+            return batches, True
         batches = fan_out_generation(
             self.executor,
             self.generator,
@@ -661,12 +691,15 @@ class MDGANTrainer:
         (recording the realised staleness), dispatches the workers
         asynchronously, and fills the lookahead queue for future iterations
         **while the workers compute** — that overlap is the wall-clock win.
-        On a queue miss (cold start, post-skip) the batches are generated on
-        the spot — the pool is idle at that moment, so on backends with a
-        concurrent map (``thread``/``process``) the generation is fanned out
-        across the slots; ``serial``/``resident`` generate inline (resident
-        slots only speak the resident step protocol — resident-side k-batch
-        generation is a ROADMAP follow-up).
+        On the ``resident`` backend the lookahead forwards are dispatched
+        onto the pool slots (queued behind this iteration's worker steps) and
+        collected after the merge, so lookahead generation leaves the trainer
+        thread entirely; elsewhere it runs inline as before.  On a queue miss
+        (cold start, post-skip) the batches are generated on the spot — the
+        pool is idle at that moment, so resident backends route the forwards
+        through their slots and backends with a concurrent map
+        (``thread``/``process``) fan the generation out; ``serial`` generates
+        inline.  All paths are bitwise identical.
         """
         cfg = self.config
         participants = self._begin_iteration(iteration)
@@ -685,24 +718,45 @@ class MDGANTrainer:
             staleness = self._gen_update_count - generated_at_update
         self._distribute_batches(iteration, batches, participants)
         live_workers, handle = self._dispatch_worker_phase(participants)
-        stats.observe_in_flight(1)
         # Overlap window: while the workers compute iteration t, generate
         # the batch sets for iterations t+1 .. t+depth.  k is resolved from
         # the population alive *now* — crashes inside the lookahead window
         # leave some batches unused, which is sound (workers share batches
         # round-robin mod k and the aggregation only touches batches that
-        # actually received feedback).
-        while (
-            len(queue) < stats.depth
-            and max(queue.last_target, iteration) < cfg.iterations
-        ):
-            target = max(queue.last_target, iteration) + 1
+        # actually received feedback).  Noise draws happen here, at dispatch,
+        # in the exact serial order; resident-side generations are collected
+        # (and their BatchNorm stats folded, in batch order) after the merge
+        # — the merge never touches the generator, so the trajectory is
+        # bitwise identical to the inline schedule.
+        lookahead: List[tuple] = []
+        next_target = max(queue.last_target, iteration)
+        while len(queue) + len(lookahead) < stats.depth and next_target < cfg.iterations:
+            next_target += 1
             k_ahead = min(self.num_batches, max(1, len(self._alive_workers())))
-            queue.put(target, self._generate_batches(k_ahead), self._gen_update_count)
+            pending = start_resident_generation(
+                self.executor,
+                self.generator,
+                self.factory,
+                cfg.batch_size,
+                k_ahead,
+                self._rng,
+            )
+            if pending is None:
+                pending = self._generate_batches(k_ahead)
+            lookahead.append((next_target, k_ahead, pending, self._gen_update_count))
             stats.lookahead_generations += 1
+        stats.observe_in_flight(1)
         gen_losses, disc_losses = self._merge_worker_phase(
             iteration, live_workers, handle
         )
+        for target, k_ahead, pending, at_update in lookahead:
+            if isinstance(pending, PendingGeneration):
+                batches_ahead = pending.collect()
+                self._charge_generation(k_ahead)
+                stats.resident_generations += 1
+            else:
+                batches_ahead = pending
+            queue.put(target, batches_ahead, at_update)
         stats.record_staleness(staleness)
         self._finish_iteration(
             iteration, batches, gen_losses, disc_losses, staleness=staleness
@@ -715,6 +769,14 @@ class MDGANTrainer:
         synchronous :meth:`train_iteration`; a positive depth switches to the
         pipelined schedule (see :mod:`repro.runtime.pipeline`), which records
         per-iteration staleness and an overlap summary in the history.
+
+        ``train()`` does not own the execution backend: on success the
+        trainer's worker objects are refreshed with a non-reclaiming sync and
+        the pool stays **warm**, so a second ``train()`` on the same trainer
+        re-enters with matching state epochs and ships no install payloads.
+        On failure the cleanup is best-effort (reclaim what the pool still
+        holds, close it) and never masks the original exception.  The
+        backend is released by :meth:`close` / context-manager exit.
         """
         cfg = self.config
         pipelined = cfg.pipeline_depth > 0
@@ -737,13 +799,19 @@ class MDGANTrainer:
                 ):
                     result = self.evaluator.evaluate(self.sample_images, iteration)
                     self.history.record_evaluation(result)
+        except BaseException:
+            self._cleanup_after_failure()
+            raise
+        else:
+            # Mirror the final resident state into the trainer's worker
+            # objects without reclaiming authority: the pool stays warm for
+            # the next train() call on this trainer.
+            self.sync_worker_state(reclaim=False)
         finally:
-            # Reclaim any state still resident in the pool so the trainer's
-            # worker objects hold the final models, then drop the pool.
-            self.sync_worker_state()
-            self.close_backend()
-        if pipelined:
-            self.history.overlap = stats.as_overlap_dict()
+            # Recorded on every exit path (completion, all-crash break,
+            # exception) so early exits keep their overlap/staleness summary.
+            if pipelined:
+                self.history.overlap = stats.as_overlap_dict()
         if cfg.record_traffic:
             meter = self.cluster.meter
             self.history.traffic = {

@@ -124,3 +124,19 @@ class StandaloneGANTrainer:
                 result = self.evaluator.evaluate(self.sample_images, iteration)
                 self.history.record_evaluation(result)
         return self.history
+
+    def close(self) -> None:
+        """Release resources — a no-op, for parity with the distributed trainers.
+
+        The standalone trainer holds no execution backend or process pool;
+        ``close`` (and the context-manager form) exists so experiment runners
+        can dispose of every trainer uniformly.
+        """
+
+    def __enter__(self) -> "StandaloneGANTrainer":
+        """Context-manager entry (interface parity with the other trainers)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: no resources to release."""
+        self.close()

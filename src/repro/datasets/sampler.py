@@ -76,6 +76,29 @@ class EpochSampler:
         self.samples_drawn += self.batch_size
         return self.dataset.images[idx], self.dataset.labels[idx]
 
+    def cursor_state(self) -> dict:
+        """Snapshot the sampler's position: shuffle order, cursor, counters.
+
+        Everything needed to resume sampling bitwise-exactly on another copy
+        of the same dataset — used by the resident pool's end-of-run mirror
+        (:meth:`repro.runtime.resident.ResidentBackend.pull_mirror`), which
+        must carry the complete sampler position without re-shipping the
+        dataset itself.  Restore with :meth:`restore_cursor_state`.
+        """
+        return {
+            "order": self._order,
+            "cursor": self._cursor,
+            "samples_drawn": self.samples_drawn,
+            "epochs_completed": self.epochs_completed,
+        }
+
+    def restore_cursor_state(self, state: dict) -> None:
+        """Restore a :meth:`cursor_state` snapshot (the dataset is untouched)."""
+        self._order = state["order"]
+        self._cursor = state["cursor"]
+        self.samples_drawn = state["samples_drawn"]
+        self.epochs_completed = state["epochs_completed"]
+
     def replace_dataset(self, dataset: ImageDataset) -> None:
         """Swap the underlying shard (used when reassigning data after churn).
 

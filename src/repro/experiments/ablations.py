@@ -75,8 +75,8 @@ def run_ablation_k(
     )
     for k in k_values:
         config = _base_config(scale).with_overrides(num_batches=int(k))
-        trainer = MDGANTrainer(factory, shards, config, evaluator=evaluator)
-        history = trainer.train()
+        with MDGANTrainer(factory, shards, config, evaluator=evaluator) as trainer:
+            history = trainer.train()
         final = history.final_evaluation
         result.add_row(
             k=int(k),
@@ -118,10 +118,10 @@ def run_ablation_swap(
         config = _base_config(scale).with_overrides(
             epochs_per_swap=epochs if swap_enabled else math.inf
         )
-        trainer = MDGANTrainer(
+        with MDGANTrainer(
             factory, shards, config, evaluator=evaluator, swap_enabled=swap_enabled
-        )
-        history = trainer.train()
+        ) as trainer:
+            history = trainer.train()
         final = history.final_evaluation
         result.add_row(
             epochs_per_swap=("inf" if math.isinf(epochs) else epochs),
@@ -170,7 +170,8 @@ def run_ablation_extensions(
         ),
     }
     for name, trainer in variants.items():
-        history = trainer.train()
+        with trainer:
+            history = trainer.train()
         final = history.final_evaluation
         result.add_row(
             variant=name,

@@ -75,23 +75,23 @@ def run_fig6(
     )
 
     histories: Dict[str, TrainingHistory] = {}
-    standalone = StandaloneGANTrainer(
+    with StandaloneGANTrainer(
         factory, train, base.with_overrides(**standalone_opts), evaluator=evaluator
-    )
-    histories["standalone"] = standalone.train()
+    ) as standalone:
+        histories["standalone"] = standalone.train()
 
-    flgan = FLGANTrainer(
+    with FLGANTrainer(
         factory, shards, base.with_overrides(**standalone_opts), evaluator=evaluator
-    )
-    histories[f"fl-gan-N{num_workers}"] = flgan.train()
+    ) as flgan:
+        histories[f"fl-gan-N{num_workers}"] = flgan.train()
 
-    mdgan = MDGANTrainer(
+    with MDGANTrainer(
         factory,
         shards,
         base.with_overrides(batch_size=mdgan_batch, **mdgan_opts),
         evaluator=evaluator,
-    )
-    histories[f"md-gan-N{num_workers}"] = mdgan.train()
+    ) as mdgan:
+        histories[f"md-gan-N{num_workers}"] = mdgan.train()
 
     result = ExperimentResult(
         name="Figure 6",

@@ -101,6 +101,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="pool size for the thread/process backends (default: cores - 1)",
     )
     parser.add_argument(
+        "--shm-install",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "ship resident-pool install payloads (dataset shards, large "
+            "weight tensors) via POSIX shared memory instead of the pool "
+            "pipes (--no-shm-install falls back to plain pickling; only "
+            "meaningful with --backend resident; results are bitwise "
+            "identical either way)"
+        ),
+    )
+    parser.add_argument(
         "--pipeline-depth",
         type=int,
         default=0,
@@ -189,8 +201,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     from ..nn.precision import set_default_precision
+    from ..runtime.resident import set_shm_install_default
 
     set_default_precision(args.precision)
+    # Process-wide default (mirrors the precision policy): every resident
+    # backend the experiment runners build below follows it, without having
+    # to thread the flag through each runner's signature.
+    set_shm_install_default(args.shm_install)
     names = sorted(ARTIFACTS) if args.artefact == "all" else [args.artefact]
     for name in names:
         result = _run_one(name, args)

@@ -108,7 +108,10 @@ def _run_competitor(
         trainer = MDGANTrainer(factory, shards, config, evaluator=evaluator)
     else:  # pragma: no cover - defensive
         raise ValueError(f"Unknown competitor kind {kind!r}")
-    history = trainer.train()
+    # The backend is trainer-owned since the serving-layer change: close it
+    # (uniform across all trainer kinds) so sweep runs don't pile up pools.
+    with trainer:
+        history = trainer.train()
     history.config["competitor"] = name
     return history
 

@@ -72,18 +72,18 @@ def run_fig5(
 
     histories: Dict[str, TrainingHistory] = {}
 
-    trainer = MDGANTrainer(
+    with MDGANTrainer(
         factory, shards, base_config, evaluator=evaluator, crash_schedule=crash_schedule
-    )
-    histories["md-gan-crashes"] = trainer.train()
+    ) as trainer:
+        histories["md-gan-crashes"] = trainer.train()
 
-    trainer = MDGANTrainer(factory, shards, base_config, evaluator=evaluator)
-    histories["md-gan-no-crash"] = trainer.train()
+    with MDGANTrainer(factory, shards, base_config, evaluator=evaluator) as trainer:
+        histories["md-gan-no-crash"] = trainer.train()
 
     for batch_size in (scale.batch_size_small, scale.batch_size_large):
         config = base_config.with_overrides(batch_size=batch_size, num_batches=None)
-        standalone = StandaloneGANTrainer(factory, train, config, evaluator=evaluator)
-        histories[f"standalone-b{batch_size}"] = standalone.train()
+        with StandaloneGANTrainer(factory, train, config, evaluator=evaluator) as standalone:
+            histories[f"standalone-b{batch_size}"] = standalone.train()
 
     result = ExperimentResult(
         name="Figure 5",

@@ -84,7 +84,8 @@ def run_ablation_noniid(
         if "fl-gan" in algorithms:
             trainers["fl-gan"] = FLGANTrainer(factory, shards, config, evaluator=evaluator)
         for name, trainer in trainers.items():
-            history = trainer.train()
+            with trainer:
+                history = trainer.train()
             final = history.final_evaluation
             result.add_row(
                 scheme=scheme,

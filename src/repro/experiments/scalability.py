@@ -104,14 +104,14 @@ def run_fig4(
                     max_workers=max_workers,
                     pipeline_depth=pipeline_depth,
                 )
-                trainer = MDGANTrainer(
+                with MDGANTrainer(
                     factory,
                     shards,
                     config,
                     evaluator=evaluator,
                     swap_enabled=swap,
-                )
-                history = trainer.train()
+                ) as trainer:
+                    history = trainer.train()
                 final = history.final_evaluation
                 result.add_row(
                     num_workers=num_workers,

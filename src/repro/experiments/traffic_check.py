@@ -71,6 +71,7 @@ def run_traffic_check(
     # --- MD-GAN ---------------------------------------------------------------
     mdgan = MDGANTrainer(factory, shards, config)
     mdgan.train()
+    mdgan.close()
     meter = mdgan.cluster.meter
     measured_c_to_w = meter.total_bytes(MessageKind.GENERATED_BATCHES)
     measured_w_to_c = meter.total_bytes(MessageKind.ERROR_FEEDBACK)
@@ -123,6 +124,7 @@ def run_traffic_check(
     # --- FL-GAN ---------------------------------------------------------------
     flgan = FLGANTrainer(factory, shards, config)
     flgan.train()
+    flgan.close()
     meter = flgan.cluster.meter
     rounds = len(flgan.history.events_of_kind("federated_round"))
     measured_updates = meter.total_bytes(MessageKind.MODEL_UPDATE)

@@ -18,6 +18,7 @@ from .backend import (
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
+    close_quietly,
     create_backend,
     default_max_workers,
     register_backend,
@@ -25,8 +26,11 @@ from .backend import (
 from .pipeline import (
     BatchAheadQueue,
     InflightWindow,
+    PendingGeneration,
     PipelineStats,
+    can_generate_resident,
     fan_out_generation,
+    start_resident_generation,
 )
 from .resident import (
     PendingSteps,
@@ -34,6 +38,9 @@ from .resident import (
     ResidentProgram,
     get_program,
     register_program,
+    set_shm_install_default,
+    shm_install_default,
+    stable_key_hash,
 )
 from .tasks import (
     FLGANLocalResult,
@@ -65,12 +72,19 @@ __all__ = [
     "BatchAheadQueue",
     "InflightWindow",
     "PipelineStats",
+    "PendingGeneration",
     "fan_out_generation",
+    "start_resident_generation",
+    "can_generate_resident",
     "create_backend",
     "register_backend",
     "register_program",
     "get_program",
     "default_max_workers",
+    "close_quietly",
+    "set_shm_install_default",
+    "shm_install_default",
+    "stable_key_hash",
     "MDGANWorkerTask",
     "MDGANWorkerResult",
     "MDGANResidentState",

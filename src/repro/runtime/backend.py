@@ -56,7 +56,24 @@ __all__ = [
     "create_backend",
     "register_backend",
     "default_max_workers",
+    "close_quietly",
 ]
+
+
+def close_quietly(backend: "ExecutorBackend") -> None:
+    """Close a backend, suppressing any error.
+
+    Used as the trainers' garbage-collection / interpreter-exit finalizer:
+    backends now outlive individual ``train()`` calls (the resident pool is
+    a persistent serving layer owned by the trainer), so a trainer that is
+    dropped without an explicit ``close()`` still releases its pool
+    processes and shared-memory segments — and a shutdown-time failure must
+    never surface as a spurious error.
+    """
+    try:
+        backend.close()
+    except Exception:
+        pass
 
 T = TypeVar("T")
 R = TypeVar("R")

@@ -22,9 +22,13 @@ server runs ahead of the workers by up to ``d`` iterations:
   setting) can be quantified;
 * when the queue misses (cold start, post-crash), the immediate generation is
   fanned out across the backend's slots via :func:`fan_out_generation`, which
-  is **bitwise identical** to the serial loop (see below).  Only backends
-  with a concurrent map (``thread``/``process``) can fan out;
-  ``serial``/``resident`` fall back to the serial loop on the trainer thread.
+  is **bitwise identical** to the serial loop (see below).  Backends with a
+  concurrent map (``thread``/``process``) fan out through ``map_ordered``;
+  the ``resident`` backend routes both its immediate *and* its lookahead
+  generation through the pool's dedicated generation op
+  (:func:`start_resident_generation`, same bitwise contract, asynchronous),
+  so on ``--backend resident`` lookahead generation leaves the trainer
+  thread entirely; ``serial`` falls back to the inline loop.
 
 ``pipeline_depth = 0`` (the default) keeps the synchronous schedule and is
 bitwise identical to all four execution backends' historical behaviour; any
@@ -79,6 +83,9 @@ __all__ = [
     "PipelineStats",
     "InflightWindow",
     "fan_out_generation",
+    "PendingGeneration",
+    "start_resident_generation",
+    "can_generate_resident",
 ]
 
 
@@ -142,8 +149,19 @@ class BatchAheadQueue:
         return None
 
     def clear(self) -> None:
-        """Drop every queued batch set."""
+        """Drop every queued batch set and reset the target high-water mark.
+
+        A cleared queue behaves exactly like a freshly constructed one:
+        ``last_target`` returns to 0, so a crash-path clear followed by a
+        refill at an *earlier* target than the pre-clear high-water mark is
+        legitimate and no longer trips the ascending-target check.  (The
+        check exists to stop a filler from double-generating a target within
+        one queue generation; after a clear there is nothing left to
+        double-generate against.)  Pinned by
+        ``tests/runtime/test_pipeline_mode.py::TestBatchAheadQueue``.
+        """
         self._entries.clear()
+        self.last_target = 0
 
 
 # -- run statistics ----------------------------------------------------------------
@@ -167,6 +185,9 @@ class PipelineStats:
     immediate_generations: int = 0
     #: Immediate generations that were fanned out across backend slots.
     fanout_generations: int = 0
+    #: Lookahead batch sets whose forward passes ran inside resident pool
+    #: slots (off the trainer thread) via :func:`start_resident_generation`.
+    resident_generations: int = 0
     #: Per-iteration staleness values observed (mirrors the history column).
     staleness_values: List[int] = field(default_factory=list)
     #: Largest number of simultaneously in-flight worker step batches.
@@ -188,6 +209,7 @@ class PipelineStats:
             "lookahead_generations": float(self.lookahead_generations),
             "immediate_generations": float(self.immediate_generations),
             "fanout_generations": float(self.fanout_generations),
+            "resident_generations": float(self.resident_generations),
             "max_in_flight": float(self.max_in_flight),
             "mean_staleness": float(np.mean(values)) if values else 0.0,
             "max_staleness": float(max(values)) if values else 0.0,
@@ -327,3 +349,116 @@ def fan_out_generation(
         GeneratedBatch(images=images, noise=noises[j], labels=labels_list[j], batch_index=j)
         for j, (images, _) in enumerate(outputs)
     ]
+
+
+# -- resident-side generation ------------------------------------------------------
+#
+# The resident pool's slots only speak the resident protocol, so the map-based
+# fan-out above cannot reach them.  ``start_resident_generation`` uses the
+# pool's dedicated generation op instead (a generator copy installed once per
+# slot, current parameters re-shipped per request, per-batch forwards on the
+# slots) while reproducing ``fan_out_generation``'s bitwise contract exactly:
+# serial noise draws on the caller's RNG, forwards on generator copies, and
+# BatchNorm batch statistics folded back into the caller's generator in batch
+# order at collect time.  Unlike the map fan-out it is *asynchronous* — the
+# returned handle lets the pipelined MD-GAN loop keep lookahead generation in
+# flight while it merges worker results — which is what finally moves
+# lookahead generation off the trainer thread on ``--backend resident``.
+
+#: Well-known resident key under which the server generator is installed.
+GENERATOR_KEY = "__server_generator__"
+
+
+def can_generate_resident(backend, generator, k: int) -> bool:
+    """Whether :func:`start_resident_generation` can run exactly for this setup.
+
+    Mirrors :func:`can_fan_out` except that a single batch (``k == 1``)
+    still qualifies — even one forward pass is worth moving off the trainer
+    thread when it can overlap the merge/aggregation work.
+    """
+    if k < 1 or not getattr(backend, "supports_resident_generation", False):
+        return False
+    if not getattr(generator, "built", False):
+        return False
+    # Dropout draws masks from a layer-private RNG whose advancement depends
+    # on execution order; copies cannot reproduce the serial stream.
+    return not any(isinstance(layer, Dropout) for layer in generator.layers)
+
+
+class PendingGeneration:
+    """In-flight resident k-batch generation; ``collect()`` finishes it.
+
+    Wraps the backend's :class:`~repro.runtime.resident.PendingSteps` handle
+    together with the trainer-side halves of the bitwise contract: the noise
+    and labels (drawn serially at dispatch, on the caller's RNG) and the
+    deferred BatchNorm fold.  ``collect()`` receives the per-batch
+    ``(images, batchnorm_stats)`` replies, folds the statistics into the
+    caller's generator in batch order, and returns the finished
+    :class:`~repro.core.gan_ops.GeneratedBatch` list — bit-for-bit what the
+    serial loop would have produced.
+    """
+
+    def __init__(self, handle, generator, noises, labels_list) -> None:
+        self._handle = handle
+        self._generator = generator
+        self._noises = noises
+        self._labels = labels_list
+
+    def collect(self) -> List[GeneratedBatch]:
+        """Receive the slot replies, fold BatchNorm stats, build the batches."""
+        outputs = self._handle.result()
+        _fold_batchnorm_stats(self._generator, [stats for _, stats in outputs])
+        return [
+            GeneratedBatch(
+                images=images,
+                noise=self._noises[j],
+                labels=self._labels[j],
+                batch_index=j,
+            )
+            for j, (images, _) in enumerate(outputs)
+        ]
+
+
+def start_resident_generation(
+    backend,
+    generator,
+    factory,
+    batch_size: int,
+    k: int,
+    rng: np.random.Generator,
+) -> Optional[PendingGeneration]:
+    """Dispatch ``k``-batch generation onto resident pool slots, non-blocking.
+
+    Draws all noise/labels from ``rng`` first (same order as ``k`` serial
+    :func:`~repro.core.gan_ops.sample_generator_images` calls), ships the
+    generator inputs to the pool via
+    :meth:`~repro.runtime.resident.ResidentBackend.start_generation` (batch
+    ``j`` on slot ``j mod pool size``, current parameters attached), and
+    returns a :class:`PendingGeneration` whose ``collect()`` yields batches
+    bitwise identical to the serial loop.  Returns ``None`` when exact
+    resident generation is not possible (see :func:`can_generate_resident`);
+    the caller then falls back to the inline/fan-out paths.
+    """
+    if not can_generate_resident(backend, generator, k):
+        return None
+    noises: List[np.ndarray] = []
+    labels_list: List[Optional[np.ndarray]] = []
+    g_inputs: List[np.ndarray] = []
+    for _ in range(k):
+        noise = rng.normal(0.0, 1.0, size=(batch_size, factory.latent_dim))
+        noise = noise.astype(generator.dtype, copy=False)
+        labels = (
+            rng.integers(0, factory.num_classes, size=batch_size)
+            if factory.conditional
+            else None
+        )
+        noises.append(noise)
+        labels_list.append(labels)
+        g_inputs.append(generator_input(noise, labels, factory.num_classes))
+    handle = backend.start_generation(
+        GENERATOR_KEY,
+        lambda: generator,
+        generator.get_parameters(),
+        g_inputs,
+    )
+    return PendingGeneration(handle, generator, noises, labels_list)

@@ -8,11 +8,12 @@ parallel per-worker phase should deliver.
 
 The ``resident`` backend fixes that by making worker state **resident**: each
 pool process holds the full state of the workers assigned to it (sticky
-``worker index -> slot`` affinity, ``slot = index mod pool size``) across
-iterations, so the trainer ships only the per-iteration *inputs* (generated
-batches for MD-GAN, nothing at all for FL-GAN local epochs) and receives only
-the per-iteration *outputs* (losses, error feedback, compute tapes and the
-RNG/sampler cursors that keep the trainer's accounting exact).
+``worker index -> slot`` affinity via :func:`stable_key_hash`, so the
+assignment is reproducible across interpreter runs) across iterations, so the
+trainer ships only the per-iteration *inputs* (generated batches for MD-GAN,
+nothing at all for FL-GAN local epochs) and receives only the per-iteration
+*outputs* (losses, error feedback, compute tapes and the RNG/sampler cursors
+that keep the trainer's accounting exact).
 
 Because trainers sometimes mutate worker state outside the pool (the SWAP
 gossip, FedAvg broadcasts, crash handling, ``replace_dataset``), the protocol
@@ -40,22 +41,50 @@ pool runs the exact same step functions on state that round-tripped through
 pickle (which preserves float bits and object-graph sharing), and results
 merge in worker-index order exactly like every other backend.
 
+Beyond per-worker steps the pool also serves two protocol extensions:
+
+* **Resident-side generation** (:meth:`ResidentBackend.start_generation`) —
+  slots hold a copy of the *server's* generator and run per-batch forward
+  passes on shipped inputs, returning images plus the per-batch BatchNorm
+  statistics the caller folds back in batch order.  The pipelined MD-GAN
+  loop uses it so lookahead k-batch generation leaves the trainer thread
+  (see :func:`repro.runtime.pipeline.start_resident_generation`).
+* **Shared-memory installs** — install payloads spill their large arrays
+  (dataset shards, conv weight tensors) into ``multiprocessing.shared_memory``
+  segments instead of pushing them through the pipe, so install cost stops
+  scaling with shard bytes.  Toggle per backend (``shm_install``) or process
+  wide (:func:`set_shm_install_default`); unavailable platforms fall back to
+  plain pickling transparently.
+
 The backend also meters its own IPC: :attr:`ResidentBackend.ipc_bytes_sent`
 and :attr:`ResidentBackend.ipc_bytes_received` count the pickled bytes that
-actually crossed the pipes, which is what the resident-vs-process benchmark
-(``benchmarks/test_resident_backend.py``) reports.
+actually crossed the pipes, :attr:`ResidentBackend.shm_bytes_sent` counts the
+bytes that travelled through shared-memory segments instead, and
+:attr:`ResidentBackend.install_count` counts shipped install payloads (the
+warm-reuse benchmark asserts a second ``train()`` ships none).
 """
 
 from __future__ import annotations
 
+import io
 import multiprocessing
 import pickle
+import queue
+import threading
 import traceback
+import zlib
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .backend import ExecutorBackend, default_max_workers, register_backend
+
+try:  # gate: platforms without POSIX shared memory fall back to pickling
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - all supported platforms have it
+    _shared_memory = None
 
 __all__ = [
     "ResidentBackend",
@@ -63,6 +92,9 @@ __all__ = [
     "PendingSteps",
     "register_program",
     "get_program",
+    "stable_key_hash",
+    "set_shm_install_default",
+    "shm_install_default",
 ]
 
 
@@ -76,13 +108,20 @@ class ResidentProgram:
     ``step`` mutates the resident state in place and returns the light-weight
     per-iteration result; ``pull_params``/``push_params`` read/write the flat
     parameter vectors exchanged at swap/round boundaries without disturbing
-    the rest of the resident state.
+    the rest of the resident state.  ``mirror`` (optional) extracts the
+    light-weight end-of-run view served by
+    :meth:`ResidentBackend.pull_mirror` — typically models, optimizer
+    moments and RNG/sampler cursors, but *not* bulky immutable payloads like
+    dataset shards, so refreshing the trainer's objects after a successful
+    ``train()`` does not scale with shard bytes; when ``None`` the full
+    resident state is returned instead.
     """
 
     name: str
     step: Callable[[Any, Any], Any]
     pull_params: Callable[[Any], Any]
     push_params: Callable[[Any, Any], None]
+    mirror: Optional[Callable[[Any], Any]] = None
 
 
 _PROGRAMS: Dict[str, ResidentProgram] = {}
@@ -109,23 +148,222 @@ def get_program(name: str) -> ResidentProgram:
         ) from None
 
 
+# -- stable slot affinity ----------------------------------------------------------
+
+
+def stable_key_hash(key) -> int:
+    """Deterministic hash for worker keys, stable across interpreter runs.
+
+    The builtin ``hash`` is salted by ``PYTHONHASHSEED`` for ``str`` (and any
+    tuple containing one), which would make worker->slot affinity — and every
+    IPC/byte-meter figure keyed on it — irreproducible between runs.  Integer
+    keys map to themselves (preserving the documented ``slot = index mod pool
+    size`` assignment); other keys hash their ``repr`` with CRC-32, so any
+    key with a stable ``repr`` gets a stable slot.
+    """
+    if isinstance(key, (int, np.integer)):
+        return int(key)
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+# -- shared-memory install transport -----------------------------------------------
+
+#: Process-wide default for shipping install payloads via shared memory.
+_SHM_INSTALL_DEFAULT = True
+
+#: Arrays below this many bytes ride the pipe; larger ones go through shm.
+DEFAULT_SHM_MIN_BYTES = 1 << 16
+
+
+def set_shm_install_default(enabled: bool) -> None:
+    """Set the process-wide default for shared-memory installs.
+
+    Backends whose ``shm_install`` attribute is ``None`` (the constructor
+    default) follow this setting, mirroring how the precision policy exposes
+    a process-wide default with per-run overrides.
+    """
+    global _SHM_INSTALL_DEFAULT
+    _SHM_INSTALL_DEFAULT = bool(enabled)
+
+
+def shm_install_default() -> bool:
+    """Return the current process-wide shared-memory-install default."""
+    return _SHM_INSTALL_DEFAULT
+
+
+class _ShmInstall:
+    """Wire wrapper for an install payload pre-pickled with shm spill.
+
+    ``blob`` is the payload's pickle stream in which every large array was
+    replaced by an :func:`_attach_shm_array` call; the slot process unpickles
+    it with :func:`_decode_install`, attaching the segments by name.
+    """
+
+    __slots__ = ("blob",)
+
+    def __init__(self, blob: bytes) -> None:
+        self.blob = blob
+
+
+class _InstallPickler(pickle.Pickler):
+    """Pickler that spills large, C-contiguous arrays to shared memory.
+
+    Every spilled array is copied once into a fresh ``SharedMemory`` segment
+    (recorded in ``segments`` — the caller owns and eventually unlinks them)
+    and pickled as a tiny attach handle instead of its bytes.  Everything
+    else falls through to the default reducers.
+    """
+
+    def __init__(self, buffer, segments: List, min_bytes: int) -> None:
+        super().__init__(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        self._segments = segments
+        self._min_bytes = min_bytes
+
+    def reducer_override(self, obj):
+        """Spill qualifying ndarrays to shm; defer everything else."""
+        if (
+            type(obj) is np.ndarray
+            and obj.nbytes >= self._min_bytes
+            and obj.flags.c_contiguous
+            and not obj.dtype.hasobject
+        ):
+            segment = _shared_memory.SharedMemory(create=True, size=obj.nbytes)
+            self._segments.append(segment)
+            view = np.ndarray(obj.shape, dtype=obj.dtype, buffer=segment.buf)
+            view[...] = obj
+            del view
+            return (_attach_shm_array, (segment.name, obj.shape, obj.dtype.str))
+        return NotImplemented
+
+
+#: Child-process registry of attached segments, keyed by segment name, so the
+#: mapping outlives any individual array view; entries are detached when the
+#: resident that brought them in is replaced or dropped, and the remainder is
+#: cleared when the slot exits.
+_ATTACHED_SHM: Dict[str, Any] = {}
+
+#: While :func:`_decode_install` unpickles one install payload, this is the
+#: set collecting the segment names that payload attached (``None`` outside a
+#: decode); the slot stores the names next to the resident so it can detach
+#: exactly those mappings when the resident goes away.
+_DECODING_SHM_NAMES: Optional[set] = None
+
+
+def _attach_untracked(name: str):
+    """Attach to a named segment without registering it with any tracker.
+
+    The **parent** owns every segment (it registered at create time and
+    unlinks on release); a pool child's attach must therefore not register
+    at all — depending on fork timing the child either shares the parent's
+    tracker (a duplicate registration that the parent's unlink would
+    double-unregister) or has spawned its own (which would then unlink /
+    warn about "leaked" segments it never owned at child exit).  Python
+    3.13 exposes this as ``SharedMemory(track=False)``; on earlier versions
+    the registration call is suppressed around the constructor, the
+    standard workaround.
+    """
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+def _attach_shm_array(name: str, shape, dtype_str: str) -> np.ndarray:
+    """Rebuild an ndarray over the named shared-memory segment (child side)."""
+    segment = _ATTACHED_SHM.get(name)
+    if segment is None:
+        segment = _attach_untracked(name)
+        _ATTACHED_SHM[name] = segment
+    if _DECODING_SHM_NAMES is not None:
+        _DECODING_SHM_NAMES.add(name)
+    return np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=segment.buf)
+
+
+def _decode_install(payload) -> Tuple[Any, set]:
+    """Unwrap an install payload; return ``(state, attached_segment_names)``.
+
+    The names travel with the resident so the slot can detach exactly those
+    shared-memory mappings once the resident is replaced or dropped — without
+    them the mappings (whose names the parent has already unlinked) would pin
+    tmpfs pages for the pool's whole lifetime.
+    """
+    global _DECODING_SHM_NAMES
+    if isinstance(payload, _ShmInstall):
+        _DECODING_SHM_NAMES = names = set()
+        try:
+            state = pickle.loads(payload.blob)
+        finally:
+            _DECODING_SHM_NAMES = None
+        return state, names
+    return payload, set()
+
+
+def _try_detach_shm(names: Iterable[str]) -> List[str]:
+    """Close attached segments whose arrays are gone; return the rest.
+
+    A segment still referenced by a live array view (e.g. the request that
+    dropped the resident is itself still holding the state while its reply is
+    in flight) raises ``BufferError`` on close; such names are returned so
+    the caller retries on a later message, when the references have died.
+    """
+    remaining: List[str] = []
+    for name in names:
+        segment = _ATTACHED_SHM.get(name)
+        if segment is None:
+            continue
+        try:
+            segment.close()
+        except BufferError:
+            remaining.append(name)
+            continue
+        _ATTACHED_SHM.pop(name, None)
+    return remaining
+
+
+def _release_segments(segments: Iterable) -> None:
+    """Close and unlink owned shared-memory segments (best effort)."""
+    for segment in segments:
+        try:
+            segment.close()
+        except Exception:  # pragma: no cover - defensive cleanup
+            pass
+        try:
+            segment.unlink()
+        except Exception:  # pragma: no cover - already unlinked / shutdown
+            pass
+
+
 # -- pool process main loop --------------------------------------------------------
 
 
 def _slot_main(conn) -> None:
     """Serve resident-state requests on ``conn`` until EOF or ``close``.
 
-    Residents are stored as ``key -> [program_name, epoch, state]``.  Every
-    reply is ``("ok", payload)`` or ``("err", traceback_text)``; the parent
-    re-raises errors, so a failure in worker code surfaces in the trainer
-    with the child traceback attached.
+    Residents are stored as ``key -> [program_name, epoch, state,
+    shm_names]``; generator copies for resident-side generation live in a
+    separate ``key -> [generator, shm_names]`` map (they carry no epoch — the
+    caller ships current parameters with every request).  The ``shm_names``
+    record which shared-memory mappings each install brought in, so replacing
+    or dropping a resident detaches them instead of pinning unlinked tmpfs
+    pages for the pool's lifetime.  Every reply is ``("ok", payload)`` or
+    ``("err", traceback_text)``; the parent re-raises errors, so a failure in
+    worker code surfaces in the trainer with the child traceback attached.
     """
     residents: Dict[Any, list] = {}
+    generators: Dict[Any, list] = {}
+    pending_detach: List[str] = []
     while True:
         try:
             raw = conn.recv_bytes()
         except (EOFError, OSError):
             break
+        # Retry mappings whose arrays were still referenced last time (the
+        # dropping request's own reply holds the state until it is sent).
+        pending_detach = _try_detach_shm(pending_detach)
         op, payload = pickle.loads(raw)
         if op == "close":
             break
@@ -134,7 +372,11 @@ def _slot_main(conn) -> None:
                 out = []
                 for key, program_name, epoch, install, step_payload in payload:
                     if install is not None:
-                        residents[key] = [program_name, epoch, install]
+                        state, shm_names = _decode_install(install)
+                        replaced = residents.get(key)
+                        if replaced is not None:
+                            pending_detach.extend(replaced[3])
+                        residents[key] = [program_name, epoch, state, shm_names]
                     entry = residents.get(key)
                     if entry is None:
                         raise RuntimeError(
@@ -149,11 +391,40 @@ def _slot_main(conn) -> None:
                         )
                     out.append(get_program(entry[0]).step(entry[2], step_payload))
                 reply = ("ok", out)
+            elif op == "generate":
+                key, install, params, g_inputs = payload
+                if install is not None:
+                    generator, shm_names = _decode_install(install)
+                    replaced = generators.get(key)
+                    if replaced is not None:
+                        pending_detach.extend(replaced[1])
+                    generators[key] = [generator, shm_names]
+                entry = generators.get(key)
+                if entry is None:
+                    raise RuntimeError(
+                        f"no resident generator {key!r} and no install payload shipped"
+                    )
+                generator = entry[0]
+                if params is not None:
+                    generator.set_parameters(params)
+                # Lazy import: keeps module import light and cycle-free (the
+                # helper lives next to the fan-out path whose bitwise
+                # contract resident-side generation shares).
+                from .pipeline import _batchnorm_stats
+
+                reply = ("ok", [_batchnorm_stats(generator, g_input) for g_input in g_inputs])
             elif op == "pull_params":
                 out = {}
                 for key in payload:
                     entry = residents[key]
                     out[key] = get_program(entry[0]).pull_params(entry[2])
+                reply = ("ok", out)
+            elif op == "pull_mirror":
+                out = {}
+                for key in payload:
+                    entry = residents[key]
+                    mirror = get_program(entry[0]).mirror
+                    out[key] = entry[2] if mirror is None else mirror(entry[2])
                 reply = ("ok", out)
             elif op == "push_params":
                 for key, params in payload.items():
@@ -165,7 +436,9 @@ def _slot_main(conn) -> None:
                 reply = ("ok", {key: residents[key][2] for key in keys})
                 if drop:
                     for key in keys:
-                        residents.pop(key, None)
+                        dropped = residents.pop(key, None)
+                        if dropped is not None:
+                            pending_detach.extend(dropped[3])
             else:
                 raise RuntimeError(f"unknown resident-pool op {op!r}")
         except BaseException:
@@ -174,15 +447,26 @@ def _slot_main(conn) -> None:
             conn.send_bytes(pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL))
         except (BrokenPipeError, OSError):
             break
+    # Drop residents first so no array view still exports the shm buffers,
+    # then detach; the parent owns (and unlinks) the segments themselves.
+    residents.clear()
+    generators.clear()
+    for segment in _ATTACHED_SHM.values():
+        try:
+            segment.close()
+        except Exception:  # pragma: no cover - lingering exports at exit
+            pass
+    _ATTACHED_SHM.clear()
 
 
 # -- trainer-side backend ----------------------------------------------------------
 
 
 class PendingSteps:
-    """In-flight resident step batch; ``result()`` collects the slot replies.
+    """In-flight resident request batch; ``result()`` collects the slot replies.
 
-    Returned by :meth:`ResidentBackend.start_steps`.  The request bytes were
+    Returned by :meth:`ResidentBackend.start_steps` and
+    :meth:`ResidentBackend.start_generation`.  The request bytes were
     already written to the slot pipes at submit time, so the pool processes
     compute while the trainer does other work; ``result`` performs only the
     receives.  Because slot pipes are FIFO, handles **must be collected in
@@ -215,6 +499,12 @@ class ResidentBackend(ExecutorBackend):
     The generic :meth:`map_ordered` contract is honoured (inline, serial) so
     the backend is a drop-in ``ExecutorBackend``; trainers that recognise
     :attr:`supports_resident` use the richer protocol below instead.
+
+    The pool is a long-lived serving layer: its owner (normally the trainer
+    that built it) decides when it dies — ``close()`` or the context-manager
+    exit — and a ``train()`` call neither owns nor tears it down, so warm
+    resident state survives across ``train()`` calls and re-entry ships no
+    install payloads as long as the state epochs still match.
     """
 
     name = "resident"
@@ -223,27 +513,60 @@ class ResidentBackend(ExecutorBackend):
     #: backend that implements this class's protocol methods can set it to
     #: opt into the resident code paths.
     supports_resident = True
+    #: Whether :meth:`start_generation` is available (resident-side k-batch
+    #: generation); consulted by the pipelined MD-GAN loop.
+    supports_resident_generation = True
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        shm_install: Optional[bool] = None,
+        shm_min_bytes: int = DEFAULT_SHM_MIN_BYTES,
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers or default_max_workers()
+        #: Ship install payloads via shared memory?  ``None`` follows the
+        #: process-wide default (:func:`set_shm_install_default`); platforms
+        #: without ``multiprocessing.shared_memory`` fall back to pickling.
+        self.shm_install = shm_install
+        #: Arrays at or above this many bytes are spilled to shared memory.
+        self.shm_min_bytes = shm_min_bytes
         self._slots: Optional[List[tuple]] = None
         #: Trainer-side truth: current state epoch per worker key.
         self._epochs: Dict[Any, int] = {}
         #: Epoch of the copy installed in the pool, per worker key.
         self._installed: Dict[Any, int] = {}
+        #: Slots holding a copy of each resident generator (see
+        #: :meth:`start_generation`); parameters re-ship per request, so no
+        #: epoch is needed — only structure installs are tracked.
+        self._generator_slots: Dict[Any, set] = {}
+        #: Shared-memory segments owned by this backend, keyed by the install
+        #: they carried; released on re-install, reclaim and close.
+        self._shm_segments: Dict[Any, List] = {}
         #: Set when a pool operation failed; the resident state is then lost
         #: and every later protocol call refuses to run (fail-stop).
         self._broken_reason: Optional[str] = None
         #: Pickled bytes shipped to / received from the pool (IPC meter).
         self.ipc_bytes_sent = 0
         self.ipc_bytes_received = 0
+        #: Bytes that travelled through shared-memory segments instead of the
+        #: pipes (one segment copy per spilled array).
+        self.shm_bytes_sent = 0
+        #: Number of install payloads shipped (worker state or generator
+        #: copies); a warm re-entry ships none.
+        self.install_count = 0
         #: Dispatched-but-uncollected :class:`PendingSteps`, in dispatch
         #: order.  Slot pipes are FIFO, so replies must be read in this
         #: order; boundary ops (pull/push) refuse to run while it is
         #: non-empty.
         self._pending: List[PendingSteps] = []
+        #: Async-send machinery (see :meth:`_send_async`): a daemon thread
+        #: drains ``(conn, data)`` items so large dispatches to *busy* slots
+        #: never block the trainer thread on a full pipe buffer.
+        self._write_queue: Optional["queue.Queue"] = None
+        self._writer: Optional[threading.Thread] = None
+        self._writer_error: Optional[str] = None
 
     # -- generic ExecutorBackend duty ------------------------------------------
     def map_ordered(self, fn, tasks):
@@ -287,6 +610,14 @@ class ResidentBackend(ExecutorBackend):
 
     def close(self) -> None:
         """Shut the pool down; resident state is discarded (trainer re-installs)."""
+        # Stop the async writer first: its queued sends either land (children
+        # still drain their pipes until they see the close message) or fail
+        # against an already-dead slot, which is irrelevant mid-teardown.
+        if self._writer is not None:
+            self._write_queue.put(None)
+            self._writer.join(timeout=5)
+            self._writer = None
+            self._write_queue = None
         # Any uncollected steps die with the pool; their handles would read
         # from closed pipes, so mark them dead (``result()`` then raises).
         for handle in self._pending:
@@ -305,13 +636,22 @@ class ResidentBackend(ExecutorBackend):
                     process.join(timeout=5)
                 conn.close()
             self._slots = None
+        # Segments are unlinked only after the slot processes are gone, so a
+        # queued install message can never race its own backing store.
+        for segments in self._shm_segments.values():
+            _release_segments(segments)
+        self._shm_segments.clear()
         self._installed.clear()
+        self._generator_slots.clear()
 
     # -- wire helpers -----------------------------------------------------------
     def _slot_for(self, key) -> int:
-        return hash(key) % len(self._ensure_slots())
+        return stable_key_hash(key) % len(self._ensure_slots())
 
     def _send(self, slot_index: int, message: tuple) -> None:
+        # Queued async sends must land first: pipes are FIFO per slot, and a
+        # direct send overtaking a queued one would corrupt the stream order.
+        self._flush_sends()
         _, conn = self._ensure_slots()[slot_index]
         data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
         self.ipc_bytes_sent += len(data)
@@ -321,9 +661,75 @@ class ResidentBackend(ExecutorBackend):
             self._poison(f"pipe to pool slot {slot_index} broke while sending")
             raise RuntimeError(f"resident pool slot {slot_index} is gone") from exc
 
+    def _writer_loop(self) -> None:
+        """Drain the async-send queue; record (never raise) send failures."""
+        while True:
+            item = self._write_queue.get()
+            try:
+                if item is None:
+                    return
+                slot_index, conn, data = item
+                try:
+                    conn.send_bytes(data)
+                except Exception as exc:
+                    if self._writer_error is None:
+                        self._writer_error = (
+                            f"async send to pool slot {slot_index} failed: {exc!r}"
+                        )
+            finally:
+                self._write_queue.task_done()
+
+    def _send_async(self, slot_index: int, message: tuple) -> None:
+        """Queue a send on the writer thread instead of writing inline.
+
+        Used for dispatches that may target a slot *currently computing* an
+        earlier request (the pipelined lookahead generation): a large
+        payload — generator parameters easily exceed the pipe's socket
+        buffer — would otherwise block the trainer thread in ``send_bytes``
+        while the child is blocked writing its own (large) step reply,
+        neither side reading: a send/send deadlock.  The writer thread takes
+        the blocking write instead, the trainer proceeds to collect replies
+        (which unblocks the child), and per-slot FIFO order is preserved
+        because every direct send first flushes the queue
+        (:meth:`_flush_sends`).
+        """
+        _, conn = self._ensure_slots()[slot_index]
+        data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        self.ipc_bytes_sent += len(data)
+        if self._writer is None or not self._writer.is_alive():
+            self._write_queue = queue.Queue()
+            self._writer = threading.Thread(
+                target=self._writer_loop, name="resident-send", daemon=True
+            )
+            self._writer.start()
+        self._write_queue.put((slot_index, conn, data))
+
+    def _flush_sends(self) -> None:
+        """Block until every queued async send has been written to its pipe."""
+        if self._write_queue is not None:
+            self._write_queue.join()
+        if self._writer_error is not None:
+            reason = self._writer_error
+            self._writer_error = None
+            self._poison(reason)
+            raise RuntimeError(f"resident pool async send failed:\n{reason}")
+
     def _recv(self, slot_index: int):
         _, conn = self._ensure_slots()[slot_index]
         try:
+            # Heartbeat wait: if an *async* send failed (recorded by the
+            # writer thread) the reply we are waiting for may never come —
+            # surface the failure instead of blocking forever.  A full
+            # flush here would deadlock (the writer may legitimately be
+            # blocked behind a busy slot whose reply we are about to read).
+            while not conn.poll(0.05):
+                if self._writer_error is not None:
+                    reason = self._writer_error
+                    self._writer_error = None
+                    self._poison(reason)
+                    raise RuntimeError(
+                        f"resident pool async send failed:\n{reason}"
+                    )
             data = conn.recv_bytes()
         except EOFError as exc:  # pragma: no cover - pool death
             self._poison(f"pool slot {slot_index} died mid-request")
@@ -356,6 +762,46 @@ class ResidentBackend(ExecutorBackend):
                 "in flight; collect the PendingSteps handles (or call "
                 "drain_inflight()) first"
             )
+
+    # -- shared-memory install encoding ----------------------------------------
+    def _shm_active(self) -> bool:
+        """Whether installs should (and can) use shared-memory transport."""
+        if _shared_memory is None:
+            return False
+        enabled = self.shm_install
+        if enabled is None:
+            enabled = _SHM_INSTALL_DEFAULT
+        return bool(enabled)
+
+    def _release_shm(self, segment_key) -> None:
+        """Unlink the segments backing one install (no-op when absent)."""
+        _release_segments(self._shm_segments.pop(segment_key, ()))
+
+    def _encode_install(self, segment_key, payload):
+        """Encode one install payload, spilling its large arrays to shm.
+
+        Returns the payload unchanged when shared memory is disabled or
+        unavailable, or when spilling fails (e.g. ``/dev/shm`` exhausted) —
+        installs must never fail just because the fast path did.  Fresh
+        segments replace (and release) any previous ones recorded under
+        ``segment_key``; by the time any later op touches this resident the
+        new install has superseded the old views, and Linux keeps existing
+        child mappings valid after an unlink.
+        """
+        if not self._shm_active():
+            return payload
+        segments: List = []
+        try:
+            buffer = io.BytesIO()
+            _InstallPickler(buffer, segments, self.shm_min_bytes).dump(payload)
+        except Exception:  # pragma: no cover - spill failure falls back
+            _release_segments(segments)
+            return payload
+        self._release_shm(segment_key)
+        if segments:
+            self._shm_segments[segment_key] = segments
+            self.shm_bytes_sent += sum(segment.size for segment in segments)
+        return _ShmInstall(buffer.getvalue())
 
     # -- invalidation protocol --------------------------------------------------
     def installed(self, key) -> bool:
@@ -402,6 +848,9 @@ class ResidentBackend(ExecutorBackend):
             install = None
             if self._installed.get(key) != epoch:
                 install = state_supplier()
+                if install is not None:
+                    install = self._encode_install(("state", key), install)
+                    self.install_count += 1
             wire = (key, program, epoch, install, payload)
             per_slot[self._slot_for(key)].append((position, wire))
         for slot_index, entries in per_slot.items():
@@ -409,6 +858,57 @@ class ResidentBackend(ExecutorBackend):
             for _, (key, _, epoch, _, _) in entries:
                 self._installed[key] = epoch
         handle = PendingSteps(self, dict(per_slot), len(items))
+        self._pending.append(handle)
+        return handle
+
+    def start_generation(
+        self,
+        key,
+        generator_supplier: Callable[[], Any],
+        params,
+        g_inputs: Sequence[np.ndarray],
+    ) -> PendingSteps:
+        """Dispatch per-batch generator forward passes across the pool slots.
+
+        Batch ``j`` runs on slot ``j mod pool size`` against that slot's
+        resident copy of the generator identified by ``key``:
+        ``generator_supplier()`` is shipped (once per slot, on first use or
+        after a pool restart) as the structural install, and ``params`` — the
+        current flat parameter vector — is written into the copy on every
+        request, so the forwards always use the caller's current weights
+        while the heavyweight structure never re-ships.  Each batch's reply
+        is ``(images, batchnorm_stats)`` exactly as
+        :func:`repro.runtime.pipeline._batchnorm_stats` produces them; the
+        caller folds the statistics back in batch order to reproduce the
+        serial running-stat trajectory bitwise (same contract as
+        ``fan_out_generation``).
+
+        Returns a :class:`PendingSteps` handle whose ``result()`` yields the
+        per-batch replies in batch order; it participates in the same
+        dispatch-order collection discipline as step batches.
+        """
+        if not len(g_inputs):
+            return PendingSteps(self, {}, 0)
+        self._check_usable()
+        nslots = len(self._ensure_slots())
+        per_slot: Dict[int, List[Tuple[int, Any]]] = defaultdict(list)
+        for position, g_input in enumerate(g_inputs):
+            per_slot[position % nslots].append((position, g_input))
+        installed_slots = self._generator_slots.setdefault(key, set())
+        for slot_index, entries in per_slot.items():
+            install = None
+            if slot_index not in installed_slots:
+                install = self._encode_install(
+                    ("generator", key, slot_index),
+                    generator_supplier(),
+                )
+                self.install_count += 1
+            self._send_async(
+                slot_index,
+                ("generate", (key, install, params, [g_input for _, g_input in entries])),
+            )
+            installed_slots.add(slot_index)
+        handle = PendingSteps(self, dict(per_slot), len(g_inputs))
         self._pending.append(handle)
         return handle
 
@@ -494,11 +994,17 @@ class ResidentBackend(ExecutorBackend):
             self._recv(slot_index)
 
     def pull_state(self, keys: Sequence, drop: bool = True) -> Dict[Any, Any]:
-        """Reclaim full resident state for ``keys`` (trainer becomes authoritative).
+        """Fetch full resident state for ``keys``.
 
-        With ``drop`` (the default) the pool forgets the residents and the
-        epoch is bumped, so stale copies can never be stepped again; the next
-        participation re-installs from the trainer's (now current) objects.
+        With ``drop`` (the default) the trainer *reclaims* authority: the
+        pool forgets the residents and the epoch is bumped, so stale copies
+        can never be stepped again; the next participation re-installs from
+        the trainer's (now current) objects.  With ``drop=False`` the call is
+        a non-destructive full-state snapshot — the returned objects are
+        current pickled copies, the pool stays authoritative and warm, and
+        the epoch protocol is untouched.  (For the end-of-``train()``
+        refresh prefer :meth:`pull_mirror`, which skips bulky immutable
+        payloads like dataset shards.)
         """
         keys = list(keys)
         if not keys:
@@ -516,6 +1022,35 @@ class ResidentBackend(ExecutorBackend):
             for key in keys:
                 self._installed.pop(key, None)
                 self.invalidate(key)
+                self._release_shm(("state", key))
+        return merged
+
+    def pull_mirror(self, keys: Sequence) -> Dict[Any, Any]:
+        """Fetch light-weight end-of-run mirror payloads from the residents.
+
+        The pool stays authoritative and **warm** — no resident is dropped,
+        no epoch is bumped, so a later ``train()`` re-enters without any
+        install.  Each program's ``mirror`` callable chooses what the
+        trainer's objects need to reflect the final state (models, optimizer
+        moments, RNG/sampler cursors — not the dataset shard, so the refresh
+        cost does not scale with shard bytes); programs without one return
+        the full resident state.  Keys that are not installed are skipped,
+        and a broken pool yields ``{}`` — the success-path refresh must
+        degrade, never raise.  Any in-flight step batches are drained first,
+        as in :meth:`pull_into`.
+        """
+        if self._broken_reason is not None:
+            return {}
+        self.drain_inflight()
+        keys = [key for key in keys if self.installed(key)]
+        if not keys:
+            return {}
+        grouped = self._grouped(keys)
+        for slot_index, slot_keys in grouped.items():
+            self._send(slot_index, ("pull_mirror", slot_keys))
+        merged: Dict[Any, Any] = {}
+        for slot_index in grouped:
+            merged.update(self._recv(slot_index))
         return merged
 
     def pull_into(
@@ -527,12 +1062,15 @@ class ResidentBackend(ExecutorBackend):
         ``sync_worker_state``: holders whose key is not installed are left
         untouched; for the rest, every named field is copied from the pulled
         state object onto the holder (both sides use the same field names).
+        The pool copies are dropped and the epochs bumped — the trainer
+        becomes authoritative (use :meth:`pull_mirror` for the
+        non-destructive end-of-run refresh).
 
         Unlike the raw boundary ops this method first drains any in-flight
         step batches (discarding their results): it is what the trainers call
-        from their ``finally`` blocks, where an exception may have left
-        pipelined steps uncollected, and the pulled state must reflect the
-        steps the pool actually executed.
+        from their cleanup paths, where an exception may have left pipelined
+        steps uncollected, and the pulled state must reflect the steps the
+        pool actually executed.
         """
         if self._broken_reason is None:
             self.drain_inflight()
@@ -552,4 +1090,7 @@ class ResidentBackend(ExecutorBackend):
                 setattr(holder, field, getattr(state, field))
 
 
-register_backend("resident", lambda max_workers=None: ResidentBackend(max_workers))
+register_backend(
+    "resident",
+    lambda max_workers=None: ResidentBackend(max_workers),
+)

@@ -363,6 +363,37 @@ def run_flgan_resident_step(state: FLGANResidentState, step: None) -> FLGANStepR
 # and RNG state untouched inside the pool.
 
 
+def _mdgan_mirror(state: MDGANResidentState) -> Dict[str, Any]:
+    """Light-weight end-of-run view: model, moments and cursors — no shard.
+
+    Served through :meth:`~repro.runtime.resident.ResidentBackend.pull_mirror`
+    when a ``train()`` call finishes successfully: the trainer's worker
+    objects adopt the final discriminator/optimizer and fold the RNG/sampler
+    cursors (including the mid-epoch shuffle order, so the mirrored sampler
+    is complete and a later re-install resumes bitwise-exactly) back, while
+    the dataset shard (immutable inside the pool, and a copy of what the
+    trainer already holds) never re-crosses the pipe.
+    """
+    return {
+        "discriminator": state.discriminator,
+        "disc_opt": state.disc_opt,
+        "rng_state": state.rng.bit_generator.state,
+        "sampler_cursor": state.sampler.cursor_state(),
+    }
+
+
+def _flgan_mirror(state: FLGANResidentState) -> Dict[str, Any]:
+    """Light-weight end-of-run view of a resident FL-GAN worker (no shard)."""
+    return {
+        "generator": state.generator,
+        "discriminator": state.discriminator,
+        "gen_opt": state.gen_opt,
+        "disc_opt": state.disc_opt,
+        "rng_state": state.rng.bit_generator.state,
+        "sampler_cursor": state.sampler.cursor_state(),
+    }
+
+
 def _mdgan_pull_params(state: MDGANResidentState) -> np.ndarray:
     return state.discriminator.get_parameters()
 
@@ -389,6 +420,7 @@ register_program(
         step=run_mdgan_resident_step,
         pull_params=_mdgan_pull_params,
         push_params=_mdgan_push_params,
+        mirror=_mdgan_mirror,
     )
 )
 register_program(
@@ -397,5 +429,6 @@ register_program(
         step=run_flgan_resident_step,
         pull_params=_flgan_pull_params,
         push_params=_flgan_push_params,
+        mirror=_flgan_mirror,
     )
 )

@@ -70,6 +70,27 @@ class TestEpochSampler:
             x, _ = sampler.next_batch()
             assert x.shape[0] == 7
 
+    def test_cursor_state_round_trip_resumes_exactly(self, small_dataset, rng):
+        # cursor_state()/restore_cursor_state() carry the complete sampling
+        # position (mid-epoch shuffle order, cursor, lifetime counters), so
+        # a fresh sampler over the same data + the same RNG stream resumes
+        # the exact batch sequence — the contract the resident pool's
+        # end-of-run mirror relies on.
+        source = EpochSampler(small_dataset, 8, np.random.default_rng(17))
+        for _ in range(3):  # park mid-epoch
+            source.next_batch()
+        snapshot = source.cursor_state()
+        clone = EpochSampler(small_dataset, 8, np.random.default_rng(17))
+        clone._rng.bit_generator.state = source._rng.bit_generator.state
+        clone.restore_cursor_state(snapshot)
+        assert clone.samples_drawn == source.samples_drawn
+        assert clone.epochs_completed == source.epochs_completed
+        for _ in range(5):  # crosses the epoch boundary: reshuffle replays too
+            got_x, got_y = clone.next_batch()
+            exp_x, exp_y = source.next_batch()
+            assert np.array_equal(got_x, exp_x)
+            assert np.array_equal(got_y, exp_y)
+
     def test_replace_dataset(self, small_dataset, rng):
         sampler = EpochSampler(small_dataset, 8, rng)
         other, _ = make_gaussian_ring(n_train=20, n_test=4, seed=9)

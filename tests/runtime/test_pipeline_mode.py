@@ -16,6 +16,7 @@ import pytest
 
 from repro.core import FLGANTrainer, MDGANTrainer, TrainingConfig
 from repro.core.gan_ops import sample_generator_images
+from repro.core.history import TrainingHistory
 from repro.datasets import make_gaussian_ring, make_mnist_like, partition_iid
 from repro.models import build_architecture, build_toy_gan
 from repro.nn.layers import BatchNorm, Dropout
@@ -25,8 +26,10 @@ from repro.runtime import (
     InflightWindow,
     PipelineStats,
     ResidentBackend,
+    can_generate_resident,
     create_backend,
     fan_out_generation,
+    start_resident_generation,
 )
 from repro.runtime.pipeline import can_fan_out
 from repro.runtime.tasks import MDGANResidentState
@@ -95,6 +98,22 @@ class TestBatchAheadQueue:
         queue.put(1, ["b1"], 0)
         queue.clear()
         assert len(queue) == 0
+
+    def test_clear_resets_target_high_water_mark(self):
+        # Regression: clear() used to keep last_target, so a crash-path
+        # clear followed by a refill at an earlier target than the pre-clear
+        # high-water mark raised the ascending-target ValueError.  A cleared
+        # queue behaves exactly like a new one.
+        queue = BatchAheadQueue()
+        queue.put(5, ["b5"], 2)
+        queue.clear()
+        assert queue.last_target == 0
+        queue.put(3, ["b3"], 2)  # earlier than the pre-clear mark: legitimate
+        assert queue.pop(3) == (["b3"], 2)
+        # The ascending contract still holds within the new generation.
+        queue.put(4, ["b4"], 2)
+        with pytest.raises(ValueError, match="ascend"):
+            queue.put(4, ["again"], 2)
 
 
 class TestInflightWindow:
@@ -315,6 +334,98 @@ class TestGenerationFanOut:
             thread.close()
 
 
+# -- resident-side generation ------------------------------------------------------
+
+
+class TestResidentGeneration:
+    @pytest.fixture(scope="class")
+    def conv_generator(self):
+        """A BatchNorm-bearing conv generator plus its factory."""
+        train, _ = make_mnist_like(n_train=64, n_test=16, image_size=16, seed=7)
+        factory = build_architecture(
+            "mnist-cnn",
+            image_shape=train.spec.shape,
+            num_classes=train.num_classes,
+            width_factor=0.5,
+            use_minibatch_discrimination=False,
+        )
+        generator = factory.make_generator(np.random.default_rng(5))
+        # Warm the BN running stats so the fold-back has non-trivial state.
+        sample_generator_images(generator, factory, 16, np.random.default_rng(1))
+        return generator, factory
+
+    def test_bitwise_identical_to_serial_loop(self, conv_generator):
+        generator, factory = conv_generator
+        gen_serial = copy.deepcopy(generator)
+        gen_resident = copy.deepcopy(generator)
+        rng_serial = np.random.default_rng(42)
+        rng_resident = np.random.default_rng(42)
+        k, batch = 5, 16
+        serial = [
+            sample_generator_images(gen_serial, factory, batch, rng_serial, batch_index=j)
+            for j in range(k)
+        ]
+        backend = ResidentBackend(max_workers=2)
+        try:
+            pending = start_resident_generation(
+                backend, gen_resident, factory, batch, k, rng_resident
+            )
+            assert pending is not None
+            got = pending.collect()
+        finally:
+            backend.close()
+        for ref, out in zip(serial, got):
+            assert np.array_equal(ref.images, out.images)
+            assert np.array_equal(ref.noise, out.noise)
+            assert ref.batch_index == out.batch_index
+            if ref.labels is None:
+                assert out.labels is None
+            else:
+                assert np.array_equal(ref.labels, out.labels)
+        for layer_ref, layer_got in zip(gen_serial.layers, gen_resident.layers):
+            if isinstance(layer_ref, BatchNorm):
+                assert np.array_equal(layer_ref.running_mean, layer_got.running_mean)
+                assert np.array_equal(layer_ref.running_var, layer_got.running_var)
+        assert rng_serial.bit_generator.state == rng_resident.bit_generator.state
+
+    def test_generator_installs_once_then_ships_params_only(self, conv_generator):
+        generator, factory = conv_generator
+        generator = copy.deepcopy(generator)
+        backend = ResidentBackend(max_workers=2)
+        try:
+            rng = np.random.default_rng(3)
+            start_resident_generation(backend, generator, factory, 8, 4, rng).collect()
+            installs = backend.install_count
+            assert installs == 2  # one generator copy per used slot
+            bytes_after_install = backend.ipc_bytes_sent
+            start_resident_generation(backend, generator, factory, 8, 4, rng).collect()
+            assert backend.install_count == installs
+            # The second round ships only parameters + inputs, no structure.
+            assert backend.ipc_bytes_sent - bytes_after_install < bytes_after_install
+        finally:
+            backend.close()
+
+    def test_declined_for_dropout_and_non_resident_backends(self, conv_generator):
+        generator, factory = conv_generator
+        thread = create_backend("thread", 2)
+        backend = ResidentBackend(max_workers=2)
+        try:
+            assert not can_generate_resident(thread, generator, 4)
+            assert can_generate_resident(backend, generator, 1)
+            dropout_gen = copy.deepcopy(generator)
+            dropout_gen.layers.append(Dropout(0.3))
+            assert not can_generate_resident(backend, dropout_gen, 4)
+            assert (
+                start_resident_generation(
+                    backend, dropout_gen, factory, 8, 4, np.random.default_rng(0)
+                )
+                is None
+            )
+        finally:
+            thread.close()
+            backend.close()
+
+
 # -- end-to-end pipelined training -------------------------------------------------
 
 
@@ -402,17 +513,69 @@ class TestPipelinedMDGAN:
         shards, factory = ring_setup
         # k = 4 >= 2 and the toy generator is fan-out-safe (no Dropout), so
         # the thread backend's cold-start generation goes through the fanned
-        # path; the resident backend has no concurrent map and stays inline.
+        # path; the resident backend routes it through its own pool slots
+        # (the dedicated generation op) and counts as fanned out too.
         _, threaded = _mdgan_run(
             factory, shards, _config("thread", pipeline_depth=1, num_batches=4)
         )
         assert threaded.overlap["fanout_generations"] == 1.0
+        assert threaded.overlap["resident_generations"] == 0.0
         _, resident = _mdgan_run(
             factory, shards, _config("resident", pipeline_depth=1, num_batches=4)
         )
-        assert resident.overlap["fanout_generations"] == 0.0
+        assert resident.overlap["fanout_generations"] == 1.0
+        # ...and its lookahead generations all ran off the trainer thread.
+        assert (
+            resident.overlap["resident_generations"]
+            == resident.overlap["lookahead_generations"]
+            > 0
+        )
         # Scheduling, not numerics: both backends still agree bitwise.
         assert threaded.generator_loss == resident.generator_loss
+
+    def test_all_crash_break_still_records_overlap(self, ring_setup):
+        # Early-exit path 1: the all_workers_crashed break must not drop the
+        # overlap/staleness summary, and the history must round-trip.
+        shards, factory = ring_setup
+        trainer = MDGANTrainer(
+            factory,
+            shards,
+            _config("serial", pipeline_depth=1),
+            crash_schedule=CrashSchedule({3: [f"worker-{i}" for i in range(4)]}),
+        )
+        history = trainer.train()
+        assert any(e["kind"] == "all_workers_crashed" for e in history.events)
+        assert history.overlap["pipeline_depth"] == 1.0
+        assert history.staleness  # the pre-crash iterations kept their records
+        restored = TrainingHistory.from_dict(history.as_dict())
+        assert restored.overlap == history.overlap
+        assert restored.staleness == history.staleness
+
+    @pytest.mark.parametrize("backend", ("serial", "resident"))
+    def test_exception_still_records_overlap(self, backend, ring_setup):
+        # Early-exit path 2: an exception mid-run (here: the evaluator)
+        # surfaces unchanged while the overlap summary is still recorded.
+        shards, factory = ring_setup
+
+        class _ExplodingEvaluator:
+            def evaluate(self, sample_fn, iteration):
+                raise ValueError("evaluation exploded")
+
+        trainer = MDGANTrainer(
+            factory,
+            shards,
+            _config(backend, pipeline_depth=1, eval_every=3),
+            evaluator=_ExplodingEvaluator(),
+        )
+        with pytest.raises(ValueError, match="evaluation exploded"):
+            trainer.train()
+        assert trainer.history.overlap["pipeline_depth"] == 1.0
+        assert len(trainer.history.staleness) == 3
+        restored = TrainingHistory.from_dict(trainer.history.as_dict())
+        assert restored.overlap == trainer.history.overlap
+        assert restored.staleness == trainer.history.staleness
+        # The failed run's cleanup closed the backend (best effort).
+        assert trainer._backend is None
 
     def test_staleness_counts_missed_updates(self, ring_setup):
         shards, factory = ring_setup
@@ -454,6 +617,25 @@ class TestPipelinedFLGAN:
             assert got[3] == ref[3]
             # The window genuinely overlapped (> 1 in flight at the peak).
             assert got[4]["max_in_flight"] >= 2
+
+    def test_exception_still_records_overlap(self, ring_setup):
+        shards, factory = ring_setup
+
+        class _ExplodingEvaluator:
+            def evaluate(self, sample_fn, iteration):
+                raise ValueError("evaluation exploded")
+
+        trainer = FLGANTrainer(
+            factory,
+            shards,
+            _config("resident", epochs_per_swap=0.4, pipeline_depth=2, eval_every=3),
+            evaluator=_ExplodingEvaluator(),
+        )
+        with pytest.raises(ValueError, match="evaluation exploded"):
+            trainer.train()
+        assert trainer.history.overlap["pipeline_depth"] == 2.0
+        restored = TrainingHistory.from_dict(trainer.history.as_dict())
+        assert restored.overlap == trainer.history.overlap
 
     def test_non_resident_depth_falls_back_to_sync(self, ring_setup):
         shards, factory = ring_setup

@@ -3,11 +3,15 @@
 Bitwise parity with the serial reference is covered by ``test_parity.py``;
 these tests pin the resident-specific machinery — state installs once and
 then only deltas cross the IPC boundary, the state-epoch counter invalidates
-stale residents, sync returns authority to the trainer, and child-side
-failures surface with their traceback.
+stale residents, sync returns authority to the trainer, child-side failures
+surface with their traceback, the pool survives (and is exactly reused
+across) consecutive ``train()`` calls, installs can ride shared memory, and
+slot affinity is reproducible across interpreter runs.
 """
 
 from __future__ import annotations
+
+import zlib
 
 import numpy as np
 import pytest
@@ -15,7 +19,7 @@ import pytest
 from repro.core import FLGANTrainer, MDGANTrainer, TrainingConfig
 from repro.datasets import make_gaussian_ring, partition_iid
 from repro.models import build_toy_gan
-from repro.runtime import ResidentBackend
+from repro.runtime import ResidentBackend, stable_key_hash
 
 
 @pytest.fixture(scope="module")
@@ -59,10 +63,18 @@ class TestInstallOnceThenDeltas:
     def test_flgan_steps_ship_no_state_at_all(self, small_shards_and_factory):
         shards, factory = small_shards_and_factory
         trainer = FLGANTrainer(factory, shards, _config("resident", iterations=6))
-        trainer.train()
-        # After train() the pool is closed and the trainer holds final state.
+        try:
+            trainer.train()
+            # The pool outlives train() (persistent serving layer): the
+            # residents stay installed and warm for a later call, while the
+            # trainer's objects mirror the final state.
+            backend = trainer._backend
+            assert isinstance(backend, ResidentBackend)
+            assert all(backend.installed(w.index) for w in trainer.workers)
+            assert all(np.isfinite(trainer.history.generator_loss))
+        finally:
+            trainer.close()
         assert trainer._backend is None
-        assert all(np.isfinite(trainer.history.generator_loss))
 
 
 class TestSyncAndInvalidation:
@@ -214,3 +226,289 @@ class TestLifecycle:
         finally:
             trainer.sync_worker_state()
             trainer.close_backend()
+
+
+class TestPersistentServing:
+    """The pool is a serving layer owned by the trainer, warm across train()s."""
+
+    def test_second_train_reuses_warm_slots(self, small_shards_and_factory):
+        shards, factory = small_shards_and_factory
+        with MDGANTrainer(factory, shards, _config("resident")) as trainer:
+            trainer.train()
+            backend = trainer._backend
+            assert isinstance(backend, ResidentBackend)
+            installs_cold = backend.install_count
+            assert installs_cold >= len(trainer.workers)
+            bytes_after_cold = backend.ipc_bytes_sent
+            trainer.train()
+            # Same pool, same residents: re-entry ships zero install
+            # payloads, only the per-iteration deltas.
+            assert trainer._backend is backend
+            assert backend.install_count == installs_cold
+            assert backend.ipc_bytes_sent - bytes_after_cold < bytes_after_cold
+        assert trainer._backend is None
+
+    def test_sequential_trains_match_serial(self, small_shards_and_factory):
+        # Warm reuse is not just cheap, it is exact: two back-to-back
+        # train() calls on one trainer stay bitwise identical to the serial
+        # reference doing the same thing.
+        shards, factory = small_shards_and_factory
+
+        def run(backend_name):
+            with MDGANTrainer(factory, shards, _config(backend_name)) as trainer:
+                trainer.train()
+                trainer.train()
+                return trainer
+
+        serial = run("serial")
+        resident = run("resident")
+        assert np.array_equal(
+            serial.generator.get_parameters(), resident.generator.get_parameters()
+        )
+        for s_worker, r_worker in zip(serial.workers, resident.workers):
+            assert np.array_equal(
+                s_worker.discriminator.get_parameters(),
+                r_worker.discriminator.get_parameters(),
+            )
+            assert s_worker.rng.bit_generator.state == r_worker.rng.bit_generator.state
+
+    def test_train_mirrors_state_without_reclaiming(self, small_shards_and_factory):
+        shards, factory = small_shards_and_factory
+        serial = MDGANTrainer(factory, shards, _config("serial"))
+        serial.train()
+        with MDGANTrainer(factory, shards, _config("resident")) as resident:
+            resident.train()
+            backend = resident._backend
+            # The trainer's objects hold the final models (mirror) while the
+            # pool remains authoritative and installed (no epoch bump).
+            for s_worker, r_worker in zip(serial.workers, resident.workers):
+                assert np.array_equal(
+                    s_worker.discriminator.get_parameters(),
+                    r_worker.discriminator.get_parameters(),
+                )
+                assert r_worker.sampler._rng is r_worker.rng
+            assert all(backend.installed(w.index) for w in resident.workers)
+
+    def test_mutation_between_trains_goes_through_reclaim(
+        self, small_shards_and_factory
+    ):
+        # The documented mutation contract survives the persistent pool:
+        # reclaim authority (sync), mutate, train again — bitwise equal to a
+        # serial trainer doing the same.
+        shards, factory = small_shards_and_factory
+        replacement, _ = make_gaussian_ring(n_train=48, n_test=8, image_size=8, seed=29)
+
+        def run(backend_name):
+            with MDGANTrainer(factory, shards, _config(backend_name)) as trainer:
+                trainer.train()
+                trainer.sync_worker_state([trainer.workers[1]])
+                trainer.workers[1].sampler.replace_dataset(replacement)
+                trainer.train()
+                return trainer
+
+        serial = run("serial")
+        resident = run("resident")
+        assert np.array_equal(
+            serial.generator.get_parameters(), resident.generator.get_parameters()
+        )
+        for s_worker, r_worker in zip(serial.workers, resident.workers):
+            assert np.array_equal(
+                s_worker.discriminator.get_parameters(),
+                r_worker.discriminator.get_parameters(),
+            )
+
+    def test_close_backend_between_trains_matches_serial(
+        self, small_shards_and_factory
+    ):
+        # Regression: the end-of-train mirror must leave the trainer's
+        # objects *complete* (including the sampler's mid-epoch shuffle
+        # order/cursor), so dropping the pool and re-installing from them is
+        # still bitwise-exact — not just warm reuse.
+        shards, factory = small_shards_and_factory
+
+        def run(backend_name):
+            with MDGANTrainer(factory, shards, _config(backend_name)) as trainer:
+                trainer.train()
+                trainer.close_backend()  # cold restart: next train re-installs
+                trainer.train()
+                return trainer
+
+        serial = run("serial")
+        resident = run("resident")
+        assert np.array_equal(
+            serial.generator.get_parameters(), resident.generator.get_parameters()
+        )
+        for s_worker, r_worker in zip(serial.workers, resident.workers):
+            assert np.array_equal(
+                s_worker.discriminator.get_parameters(),
+                r_worker.discriminator.get_parameters(),
+            )
+            assert s_worker.sampler.samples_drawn == r_worker.sampler.samples_drawn
+            assert s_worker.rng.bit_generator.state == r_worker.rng.bit_generator.state
+
+    def test_flgan_second_train_reuses_warm_slots(self, small_shards_and_factory):
+        shards, factory = small_shards_and_factory
+        with FLGANTrainer(factory, shards, _config("resident")) as trainer:
+            trainer.train()
+            backend = trainer._backend
+            installs_cold = backend.install_count
+            trainer.train()
+            assert trainer._backend is backend
+            assert backend.install_count == installs_cold
+
+    def test_mirror_payload_carries_no_dataset(self, small_shards_and_factory):
+        # The end-of-train refresh must not re-ship the shard: the mirror op
+        # returns exactly the model/optimizer/cursor view, nothing bulkier.
+        shards, factory = small_shards_and_factory
+        with MDGANTrainer(factory, shards, _config("resident")) as trainer:
+            trainer.train_iteration(1)
+            backend = trainer._backend
+            mirrors = backend.pull_mirror([w.index for w in trainer.workers])
+            assert set(mirrors) == {w.index for w in trainer.workers}
+            for payload in mirrors.values():
+                assert set(payload) == {
+                    "discriminator",
+                    "disc_opt",
+                    "rng_state",
+                    "sampler_cursor",
+                }
+            # Mirroring kept the pool warm and authoritative.
+            assert all(backend.installed(w.index) for w in trainer.workers)
+
+    def test_close_is_idempotent_and_reclaims(self, small_shards_and_factory):
+        shards, factory = small_shards_and_factory
+        trainer = MDGANTrainer(factory, shards, _config("resident"))
+        trainer.train_iteration(1)
+        trainer.close()
+        assert trainer._backend is None
+        trainer.close()  # second close is a no-op
+        # The trainer stays usable: a later call rebuilds the pool lazily.
+        trainer.train_iteration(2)
+        trainer.close()
+        assert trainer._backend is None
+
+
+class TestCleanupErrorMasking:
+    def test_original_exception_survives_poisoned_pool_cleanup(
+        self, small_shards_and_factory
+    ):
+        # Regression: train()'s cleanup used to call sync_worker_state()
+        # unguarded, and on a pool whose broken flag was raised mid-failure
+        # (install bookkeeping still naming residents) the secondary
+        # RuntimeError from _check_usable shadowed the original training
+        # exception.  Cleanup must be best-effort: original error surfaces,
+        # backend still gets closed.
+        shards, factory = small_shards_and_factory
+
+        class _PoisonThenExplode:
+            """Evaluator stub that half-poisons the pool, then raises."""
+
+            def __init__(self, trainer):
+                self.trainer = trainer
+
+            def evaluate(self, sample_fn, iteration):
+                self.trainer._backend._broken_reason = "injected mid-run failure"
+                raise ValueError("original training failure")
+
+        trainer = MDGANTrainer(factory, shards, _config("resident", eval_every=2))
+        trainer.evaluator = _PoisonThenExplode(trainer)
+        with pytest.raises(ValueError, match="original training failure"):
+            trainer.train()
+        assert trainer._backend is None
+
+
+class TestSharedMemoryInstall:
+    def _run(self, shards, factory, shm: bool):
+        config = _config("resident").with_overrides(shm_install=shm)
+        with MDGANTrainer(factory, shards, config) as trainer:
+            if shm:
+                # Force even the toy arrays through shared memory so the
+                # transport is genuinely exercised at test scale.
+                trainer.executor.shm_min_bytes = 1
+            trainer.train()
+            backend = trainer._backend
+            meters = (
+                backend.ipc_bytes_sent,
+                backend.shm_bytes_sent,
+                backend.install_count,
+            )
+        return trainer, meters
+
+    def test_shm_install_is_bitwise_neutral_and_off_pipe(
+        self, small_shards_and_factory
+    ):
+        shards, factory = small_shards_and_factory
+        plain, (plain_pipe, plain_shm, plain_installs) = self._run(
+            shards, factory, shm=False
+        )
+        shm, (shm_pipe, shm_shm, shm_installs) = self._run(shards, factory, shm=True)
+        # Same installs, same numerics — but the shard/model bytes moved off
+        # the pipes and through shared memory.
+        assert plain_shm == 0
+        assert shm_shm > 0
+        assert shm_installs == plain_installs
+        assert shm_pipe < plain_pipe
+        assert plain.history.generator_loss == shm.history.generator_loss
+        assert np.array_equal(
+            plain.generator.get_parameters(), shm.generator.get_parameters()
+        )
+        for p_worker, s_worker in zip(plain.workers, shm.workers):
+            assert np.array_equal(
+                p_worker.discriminator.get_parameters(),
+                s_worker.discriminator.get_parameters(),
+            )
+
+    def test_segments_are_unlinked_on_close(self, small_shards_and_factory):
+        from multiprocessing import shared_memory
+
+        shards, factory = small_shards_and_factory
+        config = _config("resident").with_overrides(shm_install=True)
+        trainer = MDGANTrainer(factory, shards, config)
+        trainer.executor.shm_min_bytes = 1
+        trainer.train_iteration(1)
+        backend = trainer._backend
+        names = [
+            segment.name
+            for segments in backend._shm_segments.values()
+            for segment in segments
+        ]
+        assert names, "expected shm-backed installs"
+        trainer.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_disabled_shm_ships_plain_payloads(self, small_shards_and_factory):
+        shards, factory = small_shards_and_factory
+        config = _config("resident").with_overrides(shm_install=False)
+        with MDGANTrainer(factory, shards, config) as trainer:
+            trainer.train_iteration(1)
+            backend = trainer._backend
+            assert backend.shm_bytes_sent == 0
+            assert not backend._shm_segments
+
+
+class TestStableSlotAffinity:
+    def test_integer_keys_keep_positional_affinity(self):
+        assert stable_key_hash(5) == 5
+        assert stable_key_hash(np.int64(7)) == 7
+
+    def test_non_integer_keys_are_seed_independent(self):
+        # Pinned against the CRC of the key's repr: any interpreter run (any
+        # PYTHONHASHSEED) must produce exactly these values, which is what
+        # makes worker->slot affinity and the IPC meters reproducible.
+        assert stable_key_hash("worker-a") == zlib.crc32(b"'worker-a'")
+        assert stable_key_hash(("generator", 3)) == zlib.crc32(
+            repr(("generator", 3)).encode("utf-8")
+        )
+
+    def test_slot_assignment_uses_stable_hash(self, small_shards_and_factory):
+        backend = ResidentBackend(max_workers=2)
+        try:
+            assert backend._slot_for(3) == 1
+            assert (
+                backend._slot_for("__server_generator__")
+                == zlib.crc32(b"'__server_generator__'") % 2
+            )
+        finally:
+            backend.close()
