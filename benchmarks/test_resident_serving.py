@@ -196,7 +196,7 @@ def _cold_install_dispatch(conv_setup, shm: bool):
         batches = trainer._generate_batches(k)
         trainer._distribute_batches(1, batches, participants)
         backend = trainer.executor
-        backend._ensure_slots()  # fork the slot processes outside the timing
+        backend._ensure_transport()  # fork the slot processes outside the timing
         start = time.perf_counter()
         live, handle = trainer._dispatch_worker_phase(participants)
         elapsed = time.perf_counter() - start

@@ -37,7 +37,13 @@ def test_table3_measured_vs_analytic(benchmark, bench_scale):
     )
     record_rows(benchmark, result)
     for row in result.rows:
-        if "bytes" in row["quantity"] and not row["quantity"].startswith("swap"):
+        if row["quantity"].startswith(("swap", "resident")):
+            # swap rows cover a different boundary; the resident rows are
+            # *measured* transport payloads (pickle overhead, object-graph
+            # dedup below k = N), pinned in benchmarks/test_socket_transport.py
+            # under an exact geometry instead of asserted at ratio 1 here.
+            continue
+        if "bytes" in row["quantity"]:
             assert row["ratio"] == pytest.approx(1.0, rel=1e-6), row
     print()
     print(result.to_text())

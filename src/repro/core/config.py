@@ -97,6 +97,19 @@ class TrainingConfig:
     #: this run.  Ignored by non-resident backends.  Bitwise-neutral either
     #: way — the transport moves the same bytes.
     shm_install: Optional[bool] = None
+    #: Transport carrying the resident pool's wire protocol: ``"pipe"``
+    #: (local child processes over ``multiprocessing`` pipes), ``"tcp"``
+    #: (length-prefixed frames over one socket per slot — loopback workers,
+    #: or real machines running ``python -m repro.runtime.worker_host``), or
+    #: ``None`` to follow the process-wide default
+    #: (:func:`repro.runtime.set_transport_default`, normally ``pipe``; the
+    #: CLI's ``--transport`` flag sets it).  Bitwise-neutral: seeded runs are
+    #: identical over either transport.  Ignored by non-resident backends.
+    transport: Optional[str] = None
+    #: ``"HOST:PORT"`` the tcp transport should listen on for externally
+    #: started worker hosts; ``None`` (with ``transport="tcp"``) binds
+    #: loopback and spawns local workers.  Ignored by ``pipe``.
+    transport_address: Optional[str] = None
     #: Pipelined execution depth (:mod:`repro.runtime.pipeline`).  ``0`` (the
     #: default) keeps the strictly phase-serial schedule — bitwise identical
     #: across all backends.  ``d > 0`` lets the server run up to ``d``
@@ -141,6 +154,22 @@ class TrainingConfig:
             raise ValueError(
                 f"shm_install must be True, False or None, got {self.shm_install!r}"
             )
+        if self.transport is not None:
+            from ..runtime.transport import TRANSPORTS
+
+            if self.transport not in TRANSPORTS:
+                raise ValueError(
+                    f"transport must be one of {TRANSPORTS} or None, got "
+                    f"{self.transport!r}"
+                )
+        if self.transport_address is not None:
+            from ..runtime.transport import parse_address
+
+            parse_address(self.transport_address)  # raises ValueError if malformed
+            if self.transport == "pipe":
+                raise ValueError(
+                    "transport_address is only meaningful with transport='tcp'"
+                )
         if self.pipeline_depth < 0:
             raise ValueError(
                 f"pipeline_depth must be >= 0 (0 = synchronous), got "
@@ -157,15 +186,22 @@ class TrainingConfig:
     def build_backend(self):
         """Instantiate the configured :class:`repro.runtime.ExecutorBackend`.
 
-        An explicit ``shm_install`` opt-in/out is forwarded to backends that
-        understand it (the resident backend, or any third-party backend
-        exposing the attribute); other backends ignore the setting.
+        Explicit ``shm_install`` / ``transport`` / ``transport_address``
+        settings are forwarded to backends that understand them (the resident
+        backend, or any third-party backend exposing the attributes) by
+        assignment after construction, so the factory signature of other
+        backends never has to change; backends without the attributes ignore
+        the settings.
         """
         from ..runtime.backend import create_backend
 
         backend = create_backend(self.backend, self.max_workers)
         if self.shm_install is not None and hasattr(backend, "shm_install"):
             backend.shm_install = self.shm_install
+        if self.transport is not None and hasattr(backend, "transport"):
+            backend.transport = self.transport
+        if self.transport_address is not None and hasattr(backend, "transport_address"):
+            backend.transport_address = self.transport_address
         return backend
 
     def with_overrides(self, **kwargs) -> "TrainingConfig":

@@ -29,6 +29,7 @@ from .fault_tolerance import run_fig5
 from .noniid import run_ablation_noniid
 from .reporting import ascii_chart, save_csv, save_json, series_from_rows, to_markdown
 from ..runtime.backend import BACKENDS
+from ..runtime.transport import TRANSPORTS
 from .scalability import run_fig4
 from .tables import run_fig2, run_table2, run_table3, run_table4
 from .timing import run_timing_estimate
@@ -110,6 +111,28 @@ def build_parser() -> argparse.ArgumentParser:
             "pipes (--no-shm-install falls back to plain pickling; only "
             "meaningful with --backend resident; results are bitwise "
             "identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--transport",
+        default="pipe",
+        choices=TRANSPORTS,
+        help=(
+            "transport carrying the resident pool's wire protocol: 'pipe' "
+            "(local child processes, the default) or 'tcp' (one socket per "
+            "pool slot — loopback workers, or remote hosts running "
+            "python -m repro.runtime.worker_host); only meaningful with "
+            "--backend resident; results are bitwise identical either way"
+        ),
+    )
+    parser.add_argument(
+        "--transport-address",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "with --transport tcp: listen on HOST:PORT and wait for "
+            "externally started worker hosts to connect (default: bind "
+            "loopback and spawn local workers)"
         ),
     )
     parser.add_argument(
@@ -202,12 +225,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     from ..nn.precision import set_default_precision
     from ..runtime.resident import set_shm_install_default
+    from ..runtime.transport import set_transport_default
 
     set_default_precision(args.precision)
-    # Process-wide default (mirrors the precision policy): every resident
-    # backend the experiment runners build below follows it, without having
-    # to thread the flag through each runner's signature.
+    # Process-wide defaults (mirroring the precision policy): every resident
+    # backend the experiment runners build below follows them, without having
+    # to thread the flags through each runner's signature.
     set_shm_install_default(args.shm_install)
+    if args.transport_address is not None and args.transport != "tcp":
+        print("error: --transport-address requires --transport tcp", file=sys.stderr)
+        return 2
+    set_transport_default(args.transport, args.transport_address)
     names = sorted(ARTIFACTS) if args.artefact == "all" else [args.artefact]
     for name in names:
         result = _run_one(name, args)

@@ -8,6 +8,12 @@ isolation) or ``resident`` (persistent pool holding worker state across
 iterations; only per-iteration deltas cross the IPC boundary).  All backends
 are bitwise-deterministic: results merge in worker-index order and the task
 runners touch no shared state.
+
+The resident pool's wire protocol is transport-agnostic
+(:mod:`repro.runtime.transport`): ``transport="pipe"`` keeps the local
+process pool, ``transport="tcp"`` serves the same protocol over sockets —
+loopback, or real worker machines running
+``python -m repro.runtime.worker_host --connect HOST:PORT``.
 """
 
 from .backend import (
@@ -38,9 +44,21 @@ from .resident import (
     ResidentProgram,
     get_program,
     register_program,
+    serve_slot,
     set_shm_install_default,
     shm_install_default,
     stable_key_hash,
+)
+from .transport import (
+    TRANSPORTS,
+    LocalPipeTransport,
+    TcpTransport,
+    Transport,
+    TransportError,
+    create_transport,
+    register_transport,
+    set_transport_default,
+    transport_default,
 )
 from .tasks import (
     FLGANLocalResult,
@@ -60,6 +78,7 @@ from .tasks import (
 
 __all__ = [
     "BACKENDS",
+    "TRANSPORTS",
     "ExecutorBackend",
     "PendingResult",
     "CompletedResult",
@@ -76,14 +95,23 @@ __all__ = [
     "fan_out_generation",
     "start_resident_generation",
     "can_generate_resident",
+    "Transport",
+    "TransportError",
+    "LocalPipeTransport",
+    "TcpTransport",
     "create_backend",
     "register_backend",
+    "create_transport",
+    "register_transport",
     "register_program",
     "get_program",
+    "serve_slot",
     "default_max_workers",
     "close_quietly",
     "set_shm_install_default",
     "shm_install_default",
+    "set_transport_default",
+    "transport_default",
     "stable_key_hash",
     "MDGANWorkerTask",
     "MDGANWorkerResult",

@@ -283,14 +283,18 @@ register_backend("process", lambda max_workers=None: ProcessBackend(max_workers=
 
 
 def create_backend(
-    name: str = "serial", max_workers: Optional[int] = None
+    name: str = "serial", max_workers: Optional[int] = None, **options
 ) -> ExecutorBackend:
     """Instantiate an execution backend by name (via the registry).
 
     ``max_workers`` bounds the pool size for ``thread``/``process``/
     ``resident`` (``None`` picks :func:`default_max_workers`); it is accepted
     and ignored for ``serial`` so call sites can thread the setting through
-    unconditionally.
+    unconditionally.  Extra keyword ``options`` are forwarded to the factory
+    verbatim — the resident backend accepts ``transport=``/
+    ``transport_address=`` (and the shm/timeout knobs) this way; a backend
+    whose factory does not take an option rejects it with a ``TypeError``
+    rather than silently dropping it.
     """
     factory = _REGISTRY.get(name)
     if factory is None and name in BACKENDS:
@@ -301,4 +305,4 @@ def create_backend(
         factory = _REGISTRY.get(name)
     if factory is None:
         raise ValueError(f"Unknown backend {name!r}; expected one of {BACKENDS}")
-    return factory(max_workers)
+    return factory(max_workers, **options)

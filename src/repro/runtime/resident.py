@@ -56,10 +56,26 @@ Beyond per-worker steps the pool also serves two protocol extensions:
   wide (:func:`set_shm_install_default`); unavailable platforms fall back to
   plain pickling transparently.
 
+Since the transport split (:mod:`repro.runtime.transport`) this module is the
+**protocol layer** only: it speaks pickled ``(op, payload)`` messages over a
+:class:`~repro.runtime.transport.SlotChannel` per slot and never cares what
+moves the bytes.  ``transport="pipe"`` (the default) keeps today's local pool
+— child processes over ``multiprocessing`` pipes, bitwise unchanged — while
+``transport="tcp"`` puts each slot behind a socket, served either by
+loopback processes the transport spawns itself or by
+``python -m repro.runtime.worker_host --connect HOST:PORT`` running on
+another machine.  Any wire-level failure raises
+:class:`~repro.runtime.transport.TransportError` naming the slot index and
+the in-flight op, and poisons the pool fail-stop.
+
 The backend also meters its own IPC: :attr:`ResidentBackend.ipc_bytes_sent`
 and :attr:`ResidentBackend.ipc_bytes_received` count the pickled bytes that
-actually crossed the pipes, :attr:`ResidentBackend.shm_bytes_sent` counts the
-bytes that travelled through shared-memory segments instead, and
+actually crossed the transport (broken down per protocol op in
+:attr:`ResidentBackend.op_bytes_sent` / :attr:`ResidentBackend.op_bytes_received`,
+with wall-clock write/read times in :attr:`ResidentBackend.op_transfer_seconds`
+so the ``LinkModel`` cost model can be checked against measured traffic),
+:attr:`ResidentBackend.shm_bytes_sent` counts the bytes that travelled
+through shared-memory segments instead, and
 :attr:`ResidentBackend.install_count` counts shipped install payloads (the
 warm-reuse benchmark asserts a second ``train()`` ships none).
 """
@@ -67,19 +83,18 @@ warm-reuse benchmark asserts a second ``train()`` ships none).
 from __future__ import annotations
 
 import io
-import multiprocessing
 import pickle
-import queue
-import threading
+import time
 import traceback
 import zlib
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .backend import ExecutorBackend, default_max_workers, register_backend
+from .transport import Transport, TransportError, create_transport, transport_default
 
 try:  # gate: platforms without POSIX shared memory fall back to pickling
     from multiprocessing import shared_memory as _shared_memory
@@ -90,8 +105,10 @@ __all__ = [
     "ResidentBackend",
     "ResidentProgram",
     "PendingSteps",
+    "TransportError",
     "register_program",
     "get_program",
+    "serve_slot",
     "stable_key_hash",
     "set_shm_install_default",
     "shm_install_default",
@@ -337,11 +354,16 @@ def _release_segments(segments: Iterable) -> None:
             pass
 
 
-# -- pool process main loop --------------------------------------------------------
+# -- slot serving loop (runs in pool processes / remote worker hosts) --------------
 
 
-def _slot_main(conn) -> None:
-    """Serve resident-state requests on ``conn`` until EOF or ``close``.
+def serve_slot(channel) -> None:
+    """Serve resident-state requests on ``channel`` until EOF or ``close``.
+
+    The slot side of the wire protocol, transport-agnostic: ``channel`` is
+    any :class:`~repro.runtime.transport.SlotChannel` — the child end of a
+    ``multiprocessing`` pipe for the local pool, a framed TCP connection for
+    :mod:`repro.runtime.worker_host`.
 
     Residents are stored as ``key -> [program_name, epoch, state,
     shm_names]``; generator copies for resident-side generation live in a
@@ -349,16 +371,17 @@ def _slot_main(conn) -> None:
     caller ships current parameters with every request).  The ``shm_names``
     record which shared-memory mappings each install brought in, so replacing
     or dropping a resident detaches them instead of pinning unlinked tmpfs
-    pages for the pool's lifetime.  Every reply is ``("ok", payload)`` or
-    ``("err", traceback_text)``; the parent re-raises errors, so a failure in
-    worker code surfaces in the trainer with the child traceback attached.
+    pages for the pool's lifetime (over TCP installs never carry shm, so the
+    sets are simply empty).  Every reply is ``("ok", payload)`` or
+    ``("err", traceback_text)``; the server re-raises errors, so a failure in
+    worker code surfaces in the trainer with the slot traceback attached.
     """
     residents: Dict[Any, list] = {}
     generators: Dict[Any, list] = {}
     pending_detach: List[str] = []
     while True:
         try:
-            raw = conn.recv_bytes()
+            raw = channel.recv_bytes()
         except (EOFError, OSError):
             break
         # Retry mappings whose arrays were still referenced last time (the
@@ -444,7 +467,7 @@ def _slot_main(conn) -> None:
         except BaseException:
             reply = ("err", traceback.format_exc())
         try:
-            conn.send_bytes(pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL))
+            channel.send_bytes(pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL))
         except (BrokenPipeError, OSError):
             break
     # Drop residents first so no array view still exports the shm buffers,
@@ -467,16 +490,21 @@ class PendingSteps:
 
     Returned by :meth:`ResidentBackend.start_steps` and
     :meth:`ResidentBackend.start_generation`.  The request bytes were
-    already written to the slot pipes at submit time, so the pool processes
+    already written to the slot channels at submit time, so the pool slots
     compute while the trainer does other work; ``result`` performs only the
-    receives.  Because slot pipes are FIFO, handles **must be collected in
-    dispatch order** — the backend enforces this and raises otherwise.
+    receives.  Because slot channels are FIFO, handles **must be collected
+    in dispatch order** — the backend enforces this and raises otherwise.
     """
 
-    def __init__(self, backend: "ResidentBackend", per_slot, size: int) -> None:
+    def __init__(
+        self, backend: "ResidentBackend", per_slot, size: int, op: str = "run"
+    ) -> None:
         self._backend = backend
         self._per_slot = per_slot
         self._size = size
+        #: Protocol op in flight (``"run"``/``"generate"``); named by any
+        #: :class:`TransportError` raised while collecting.
+        self._op = op
         self._values: Optional[List[Any]] = None
         #: Set when the pool died/closed before the replies were read.
         self._dead = False
@@ -522,17 +550,36 @@ class ResidentBackend(ExecutorBackend):
         max_workers: Optional[int] = None,
         shm_install: Optional[bool] = None,
         shm_min_bytes: int = DEFAULT_SHM_MIN_BYTES,
+        transport: Optional[Union[str, Transport]] = None,
+        transport_address: Optional[str] = None,
+        connect_timeout: float = 30.0,
+        read_timeout: Optional[float] = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers or default_max_workers()
         #: Ship install payloads via shared memory?  ``None`` follows the
         #: process-wide default (:func:`set_shm_install_default`); platforms
-        #: without ``multiprocessing.shared_memory`` fall back to pickling.
+        #: without ``multiprocessing.shared_memory`` — and transports whose
+        #: endpoints don't share a kernel (``tcp``) — fall back to pickling.
         self.shm_install = shm_install
         #: Arrays at or above this many bytes are spilled to shared memory.
         self.shm_min_bytes = shm_min_bytes
-        self._slots: Optional[List[tuple]] = None
+        #: Transport carrying the slot channels: a name (``"pipe"``/
+        #: ``"tcp"``), a pre-built :class:`~repro.runtime.transport.Transport`
+        #: instance (tests inject fault wrappers this way), or ``None`` to
+        #: follow the process-wide default
+        #: (:func:`repro.runtime.transport.set_transport_default`).
+        self.transport = transport
+        #: ``"HOST:PORT"`` for the ``tcp`` transport's external mode
+        #: (``None`` = loopback with spawned workers); ignored by ``pipe``.
+        self.transport_address = transport_address
+        #: Seconds to wait for worker connections when opening a ``tcp`` pool.
+        self.connect_timeout = connect_timeout
+        #: Max seconds to wait for any single slot reply (``None`` = forever);
+        #: how a dropped/truncated frame surfaces as an error, not a hang.
+        self.read_timeout = read_timeout
+        self._transport: Optional[Transport] = None
         #: Trainer-side truth: current state epoch per worker key.
         self._epochs: Dict[Any, int] = {}
         #: Epoch of the copy installed in the pool, per worker key.
@@ -550,23 +597,25 @@ class ResidentBackend(ExecutorBackend):
         #: Pickled bytes shipped to / received from the pool (IPC meter).
         self.ipc_bytes_sent = 0
         self.ipc_bytes_received = 0
+        #: The same bytes broken down per protocol op (``"run"``,
+        #: ``"generate"``, ``"pull_params"``, ...), plus the wall-clock
+        #: seconds the trainer thread spent writing/reading each op's frames.
+        #: ``experiments/traffic_check.py`` compares these against the
+        #: ``LinkModel`` cost model's predictions.
+        self.op_bytes_sent: Dict[str, int] = defaultdict(int)
+        self.op_bytes_received: Dict[str, int] = defaultdict(int)
+        self.op_transfer_seconds: Dict[str, float] = defaultdict(float)
         #: Bytes that travelled through shared-memory segments instead of the
-        #: pipes (one segment copy per spilled array).
+        #: slot channels (one segment copy per spilled array).
         self.shm_bytes_sent = 0
         #: Number of install payloads shipped (worker state or generator
         #: copies); a warm re-entry ships none.
         self.install_count = 0
         #: Dispatched-but-uncollected :class:`PendingSteps`, in dispatch
-        #: order.  Slot pipes are FIFO, so replies must be read in this
+        #: order.  Slot channels are FIFO, so replies must be read in this
         #: order; boundary ops (pull/push) refuse to run while it is
         #: non-empty.
         self._pending: List[PendingSteps] = []
-        #: Async-send machinery (see :meth:`_send_async`): a daemon thread
-        #: drains ``(conn, data)`` items so large dispatches to *busy* slots
-        #: never block the trainer thread on a full pipe buffer.
-        self._write_queue: Optional["queue.Queue"] = None
-        self._writer: Optional[threading.Thread] = None
-        self._writer_error: Optional[str] = None
 
     # -- generic ExecutorBackend duty ------------------------------------------
     def map_ordered(self, fn, tasks):
@@ -574,18 +623,37 @@ class ResidentBackend(ExecutorBackend):
         return [fn(task) for task in tasks]
 
     # -- pool lifecycle ---------------------------------------------------------
-    def _ensure_slots(self) -> List[tuple]:
-        if self._slots is None:
-            ctx = multiprocessing.get_context()
-            slots = []
-            for _ in range(self.max_workers):
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                process = ctx.Process(target=_slot_main, args=(child_conn,), daemon=True)
-                process.start()
-                child_conn.close()
-                slots.append((process, parent_conn))
-            self._slots = slots
-        return self._slots
+    def _ensure_transport(self) -> Transport:
+        """Open the pool's transport (and its slot channels) on first use.
+
+        A ``transport`` given as a string (or left ``None`` — the process-wide
+        default) is built via the transport registry with this backend's
+        address/timeout settings; a pre-built :class:`Transport` instance is
+        adopted as-is, which is how tests inject fault-wrapped channels and
+        how callers hand over a ``tcp`` transport that is already listening
+        for external worker hosts.
+        """
+        if self._transport is None:
+            transport = self.transport
+            if transport is None or isinstance(transport, str):
+                name, address = (
+                    (transport, self.transport_address)
+                    if transport is not None
+                    else transport_default()
+                )
+                if self.transport_address is not None:
+                    address = self.transport_address
+                transport = create_transport(
+                    name,
+                    slot_main=serve_slot,
+                    address=address,
+                    connect_timeout=self.connect_timeout,
+                    read_timeout=self.read_timeout,
+                )
+            self._transport = transport
+        if not self._transport.started:
+            self._transport.open(self.max_workers)
+        return self._transport
 
     def _poison(self, reason: str) -> None:
         """Fail-stop after a pool error: discard the pool and refuse to go on.
@@ -610,32 +678,31 @@ class ResidentBackend(ExecutorBackend):
 
     def close(self) -> None:
         """Shut the pool down; resident state is discarded (trainer re-installs)."""
-        # Stop the async writer first: its queued sends either land (children
-        # still drain their pipes until they see the close message) or fail
-        # against an already-dead slot, which is irrelevant mid-teardown.
-        if self._writer is not None:
-            self._write_queue.put(None)
-            self._writer.join(timeout=5)
-            self._writer = None
-            self._write_queue = None
-        # Any uncollected steps die with the pool; their handles would read
-        # from closed pipes, so mark them dead (``result()`` then raises).
-        for handle in self._pending:
-            handle._dead = True
-        self._pending.clear()
-        if self._slots is not None:
-            for _, conn in self._slots:
+        if self._transport is not None:
+            transport = self._transport
+            # Stop the async writer first: its queued sends either land
+            # (slots still drain their channels until they see the close
+            # message) or fail against an already-dead slot, which is
+            # irrelevant mid-teardown.
+            transport.stop_writer()
+            # Any uncollected steps die with the pool; their handles would
+            # read from closed channels, so mark them dead (``result()``
+            # then raises).
+            for handle in self._pending:
+                handle._dead = True
+            self._pending.clear()
+            close_frame = pickle.dumps(("close", None), protocol=pickle.HIGHEST_PROTOCOL)
+            for slot_index in range(transport.num_slots):
                 try:
-                    conn.send_bytes(pickle.dumps(("close", None), protocol=pickle.HIGHEST_PROTOCOL))
-                except (BrokenPipeError, OSError):
+                    transport.channel(slot_index).send_bytes(close_frame)
+                except (TransportError, OSError):
                     pass
-            for process, conn in self._slots:
-                process.join(timeout=5)
-                if process.is_alive():  # pragma: no cover - defensive cleanup
-                    process.terminate()
-                    process.join(timeout=5)
-                conn.close()
-            self._slots = None
+            transport.close()
+            self._transport = None
+        else:
+            for handle in self._pending:
+                handle._dead = True
+            self._pending.clear()
         # Segments are unlinked only after the slot processes are gone, so a
         # queued install message can never race its own backing store.
         for segments in self._shm_segments.values():
@@ -646,100 +713,123 @@ class ResidentBackend(ExecutorBackend):
 
     # -- wire helpers -----------------------------------------------------------
     def _slot_for(self, key) -> int:
-        return stable_key_hash(key) % len(self._ensure_slots())
+        return stable_key_hash(key) % self._ensure_transport().num_slots
+
+    def _meter_sent(self, op: str, nbytes: int) -> None:
+        self.ipc_bytes_sent += nbytes
+        self.op_bytes_sent[op] += nbytes
 
     def _send(self, slot_index: int, message: tuple) -> None:
-        # Queued async sends must land first: pipes are FIFO per slot, and a
-        # direct send overtaking a queued one would corrupt the stream order.
+        # Queued async sends must land first: channels are FIFO per slot, and
+        # a direct send overtaking a queued one would corrupt the stream
+        # order.
         self._flush_sends()
-        _, conn = self._ensure_slots()[slot_index]
+        op = message[0]
+        transport = self._ensure_transport()
         data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-        self.ipc_bytes_sent += len(data)
+        self._meter_sent(op, len(data))
+        started = time.perf_counter()
         try:
-            conn.send_bytes(data)
-        except (BrokenPipeError, OSError) as exc:  # pragma: no cover - pool death
-            self._poison(f"pipe to pool slot {slot_index} broke while sending")
-            raise RuntimeError(f"resident pool slot {slot_index} is gone") from exc
-
-    def _writer_loop(self) -> None:
-        """Drain the async-send queue; record (never raise) send failures."""
-        while True:
-            item = self._write_queue.get()
-            try:
-                if item is None:
-                    return
-                slot_index, conn, data = item
-                try:
-                    conn.send_bytes(data)
-                except Exception as exc:
-                    if self._writer_error is None:
-                        self._writer_error = (
-                            f"async send to pool slot {slot_index} failed: {exc!r}"
-                        )
-            finally:
-                self._write_queue.task_done()
+            transport.channel(slot_index).send_bytes(data)
+        except (BrokenPipeError, OSError) as exc:
+            self._poison(
+                f"transport to pool slot {slot_index} failed while sending "
+                f"{op!r}: {exc!r}"
+            )
+            raise TransportError(
+                f"resident pool slot {slot_index} is gone "
+                f"(transport send failed; in-flight op {op!r})",
+                slot_index=slot_index,
+                op=op,
+            ) from exc
+        self.op_transfer_seconds[op] += time.perf_counter() - started
 
     def _send_async(self, slot_index: int, message: tuple) -> None:
-        """Queue a send on the writer thread instead of writing inline.
+        """Queue a send on the transport's writer thread instead of inline.
 
         Used for dispatches that may target a slot *currently computing* an
         earlier request (the pipelined lookahead generation): a large
-        payload — generator parameters easily exceed the pipe's socket
-        buffer — would otherwise block the trainer thread in ``send_bytes``
-        while the child is blocked writing its own (large) step reply,
-        neither side reading: a send/send deadlock.  The writer thread takes
-        the blocking write instead, the trainer proceeds to collect replies
-        (which unblocks the child), and per-slot FIFO order is preserved
-        because every direct send first flushes the queue
-        (:meth:`_flush_sends`).
+        payload — generator parameters easily exceed the channel's buffer —
+        would otherwise block the trainer thread in ``send_bytes`` while the
+        slot is blocked writing its own (large) step reply, neither side
+        reading: a send/send deadlock.  The writer thread takes the blocking
+        write instead, the trainer proceeds to collect replies (which
+        unblocks the slot), and per-slot FIFO order is preserved because
+        every direct send first flushes the queue (:meth:`_flush_sends`).
         """
-        _, conn = self._ensure_slots()[slot_index]
+        op = message[0]
+        transport = self._ensure_transport()
         data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-        self.ipc_bytes_sent += len(data)
-        if self._writer is None or not self._writer.is_alive():
-            self._write_queue = queue.Queue()
-            self._writer = threading.Thread(
-                target=self._writer_loop, name="resident-send", daemon=True
-            )
-            self._writer.start()
-        self._write_queue.put((slot_index, conn, data))
+        self._meter_sent(op, len(data))
+        transport.send_async(slot_index, data)
+
+    def _writer_failure(self, error: tuple, op: Optional[str]) -> TransportError:
+        """Poison the pool for a recorded async-send failure; build the error."""
+        slot_index, reason = error
+        self._poison(reason)
+        return TransportError(
+            f"resident pool async send failed:\n{reason}",
+            slot_index=slot_index,
+            op=op,
+        )
 
     def _flush_sends(self) -> None:
-        """Block until every queued async send has been written to its pipe."""
-        if self._write_queue is not None:
-            self._write_queue.join()
-        if self._writer_error is not None:
-            reason = self._writer_error
-            self._writer_error = None
-            self._poison(reason)
-            raise RuntimeError(f"resident pool async send failed:\n{reason}")
+        """Block until every queued async send has been written to its channel."""
+        if self._transport is not None:
+            self._transport.flush_sends()
+            error = self._transport.take_writer_error()
+            if error is not None:
+                raise self._writer_failure(error, op=None)
 
-    def _recv(self, slot_index: int):
-        _, conn = self._ensure_slots()[slot_index]
+    def _recv(self, slot_index: int, op: str):
+        transport = self._ensure_transport()
+        channel = transport.channel(slot_index)
+        timeout = transport.read_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
         try:
             # Heartbeat wait: if an *async* send failed (recorded by the
             # writer thread) the reply we are waiting for may never come —
             # surface the failure instead of blocking forever.  A full
             # flush here would deadlock (the writer may legitimately be
             # blocked behind a busy slot whose reply we are about to read).
-            while not conn.poll(0.05):
-                if self._writer_error is not None:
-                    reason = self._writer_error
-                    self._writer_error = None
-                    self._poison(reason)
-                    raise RuntimeError(
-                        f"resident pool async send failed:\n{reason}"
+            # The same loop enforces the transport's read timeout, so a
+            # dropped frame surfaces as a TransportError instead of a hang.
+            while not channel.poll(0.05):
+                error = transport.take_writer_error()
+                if error is not None:
+                    raise self._writer_failure(error, op=op)
+                if deadline is not None and time.monotonic() > deadline:
+                    self._poison(
+                        f"timed out after {timeout}s waiting for pool slot "
+                        f"{slot_index} to answer {op!r}"
                     )
-            data = conn.recv_bytes()
-        except EOFError as exc:  # pragma: no cover - pool death
-            self._poison(f"pool slot {slot_index} died mid-request")
-            raise RuntimeError(f"resident pool slot {slot_index} died") from exc
+                    raise TransportError(
+                        f"timed out after {timeout}s waiting for pool slot "
+                        f"{slot_index} to answer {op!r} (frame dropped, or "
+                        "read_timeout shorter than the slot's compute time)",
+                        slot_index=slot_index,
+                        op=op,
+                    )
+            # Timed from first-byte-ready, so the figure is frame transfer,
+            # not the slot's compute time (the poll loop above absorbs that).
+            started = time.perf_counter()
+            data = channel.recv_bytes()
+        except (EOFError, OSError) as exc:
+            self._poison(f"pool slot {slot_index} died mid-request ({op!r}): {exc!r}")
+            raise TransportError(
+                f"resident pool slot {slot_index} died "
+                f"(in-flight op {op!r}: {exc!r})",
+                slot_index=slot_index,
+                op=op,
+            ) from exc
+        self.op_transfer_seconds[op] += time.perf_counter() - started
         self.ipc_bytes_received += len(data)
+        self.op_bytes_received[op] += len(data)
         status, payload = pickle.loads(data)
         if status != "ok":
             # The slot may have executed part of a batch before failing, and
             # other slots may still have unread replies in flight: both leave
-            # state/pipes inconsistent, so fail stop rather than desync.
+            # state/channels inconsistent, so fail stop rather than desync.
             self._poison(payload)
             raise RuntimeError(f"resident worker program failed:\n{payload}")
         return payload
@@ -765,8 +855,16 @@ class ResidentBackend(ExecutorBackend):
 
     # -- shared-memory install encoding ----------------------------------------
     def _shm_active(self) -> bool:
-        """Whether installs should (and can) use shared-memory transport."""
+        """Whether installs should (and can) use shared-memory transport.
+
+        Requires the platform to have ``multiprocessing.shared_memory`` *and*
+        the pool's transport to keep both endpoints on one kernel
+        (``supports_shm`` — pipes yes, sockets no); otherwise installs ride
+        the slot channels as plain pickled bytes.
+        """
         if _shared_memory is None:
+            return False
+        if not self._ensure_transport().supports_shm:
             return False
         enabled = self.shm_install
         if enabled is None:
@@ -857,7 +955,7 @@ class ResidentBackend(ExecutorBackend):
             self._send(slot_index, ("run", [wire for _, wire in entries]))
             for _, (key, _, epoch, _, _) in entries:
                 self._installed[key] = epoch
-        handle = PendingSteps(self, dict(per_slot), len(items))
+        handle = PendingSteps(self, dict(per_slot), len(items), op="run")
         self._pending.append(handle)
         return handle
 
@@ -890,7 +988,7 @@ class ResidentBackend(ExecutorBackend):
         if not len(g_inputs):
             return PendingSteps(self, {}, 0)
         self._check_usable()
-        nslots = len(self._ensure_slots())
+        nslots = self._ensure_transport().num_slots
         per_slot: Dict[int, List[Tuple[int, Any]]] = defaultdict(list)
         for position, g_input in enumerate(g_inputs):
             per_slot[position % nslots].append((position, g_input))
@@ -908,7 +1006,7 @@ class ResidentBackend(ExecutorBackend):
                 ("generate", (key, install, params, [g_input for _, g_input in entries])),
             )
             installed_slots.add(slot_index)
-        handle = PendingSteps(self, dict(per_slot), len(g_inputs))
+        handle = PendingSteps(self, dict(per_slot), len(g_inputs), op="generate")
         self._pending.append(handle)
         return handle
 
@@ -929,7 +1027,7 @@ class ResidentBackend(ExecutorBackend):
             )
         results: List[Any] = [None] * handle._size
         for slot_index, entries in handle._per_slot.items():
-            out = self._recv(slot_index)
+            out = self._recv(slot_index, handle._op)
             for (position, _), result in zip(entries, out):
                 results[position] = result
         self._pending.pop(0)
@@ -977,7 +1075,7 @@ class ResidentBackend(ExecutorBackend):
             self._send(slot_index, ("pull_params", slot_keys))
         merged: Dict[Any, Any] = {}
         for slot_index in grouped:
-            merged.update(self._recv(slot_index))
+            merged.update(self._recv(slot_index, "pull_params"))
         return merged
 
     def push_params(self, params_by_key: Dict[Any, Any]) -> None:
@@ -991,7 +1089,7 @@ class ResidentBackend(ExecutorBackend):
         for slot_index, slot_keys in grouped.items():
             self._send(slot_index, ("push_params", {key: params_by_key[key] for key in slot_keys}))
         for slot_index in grouped:
-            self._recv(slot_index)
+            self._recv(slot_index, "push_params")
 
     def pull_state(self, keys: Sequence, drop: bool = True) -> Dict[Any, Any]:
         """Fetch full resident state for ``keys``.
@@ -1017,7 +1115,7 @@ class ResidentBackend(ExecutorBackend):
             self._send(slot_index, ("pull_state", (slot_keys, drop)))
         merged: Dict[Any, Any] = {}
         for slot_index in grouped:
-            merged.update(self._recv(slot_index))
+            merged.update(self._recv(slot_index, "pull_state"))
         if drop:
             for key in keys:
                 self._installed.pop(key, None)
@@ -1050,7 +1148,7 @@ class ResidentBackend(ExecutorBackend):
             self._send(slot_index, ("pull_mirror", slot_keys))
         merged: Dict[Any, Any] = {}
         for slot_index in grouped:
-            merged.update(self._recv(slot_index))
+            merged.update(self._recv(slot_index, "pull_mirror"))
         return merged
 
     def pull_into(
@@ -1092,5 +1190,5 @@ class ResidentBackend(ExecutorBackend):
 
 register_backend(
     "resident",
-    lambda max_workers=None: ResidentBackend(max_workers),
+    lambda max_workers=None, **options: ResidentBackend(max_workers, **options),
 )

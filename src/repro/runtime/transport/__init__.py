@@ -1,0 +1,100 @@
+"""``repro.runtime.transport`` — pluggable transports for the resident pool.
+
+The resident protocol (install / step / pull / push / generate / mirror ops
+with state-epoch invalidation and fail-stop poisoning, see
+:mod:`repro.runtime.resident`) is transport-agnostic: it speaks pickled
+``(op, payload)`` messages over a :class:`SlotChannel` per pool slot and
+never cares what moves the bytes.  This package supplies the channels:
+
+``pipe``
+    :class:`LocalPipeTransport` — daemon child processes over
+    ``multiprocessing`` pipes; today's local pool, bitwise unchanged, with
+    shared-memory install spill available.
+``tcp``
+    :class:`TcpTransport` — length-prefixed frames over one TCP connection
+    per slot, either spawning loopback workers itself or accepting
+    ``python -m repro.runtime.worker_host --connect HOST:PORT`` processes
+    from other machines.
+
+The process-wide default (:func:`set_transport_default`) mirrors the shm
+install and precision policies: backends constructed without an explicit
+``transport=`` follow it, and the CLI's ``--transport`` flag sets it once
+for a whole experiment run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .base import (
+    TRANSPORTS,
+    SlotChannel,
+    Transport,
+    TransportError,
+    create_transport,
+    register_transport,
+)
+from .local import LocalPipeTransport
+from .tcp import PROTOCOL_VERSION, TcpChannel, TcpTransport, parse_address
+
+__all__ = [
+    "TRANSPORTS",
+    "SlotChannel",
+    "Transport",
+    "TransportError",
+    "LocalPipeTransport",
+    "TcpChannel",
+    "TcpTransport",
+    "PROTOCOL_VERSION",
+    "parse_address",
+    "create_transport",
+    "register_transport",
+    "set_transport_default",
+    "transport_default",
+]
+
+
+def _pipe_factory(slot_main=None, **options) -> LocalPipeTransport:
+    if slot_main is None:
+        # Lazy: the protocol layer imports this package; resolving its
+        # serving loop at build time keeps the imports acyclic.
+        from ..resident import serve_slot as slot_main
+    options.pop("address", None)  # pipes are always local; accepted, ignored
+    options.pop("connect_timeout", None)
+    return LocalPipeTransport(slot_main, **options)
+
+
+def _tcp_factory(slot_main=None, address=None, **options) -> TcpTransport:
+    # ``slot_main`` is pipe-specific (TCP workers run the serving loop in
+    # worker_host); accepted and dropped so factories share a signature.
+    return TcpTransport(address=address, **options)
+
+
+register_transport("pipe", _pipe_factory)
+register_transport("tcp", _tcp_factory)
+
+
+#: Process-wide ``(transport_name, address)`` default for resident backends
+#: built without an explicit ``transport=``.
+_TRANSPORT_DEFAULT: Tuple[str, Optional[str]] = ("pipe", None)
+
+
+def set_transport_default(name: str, address: Optional[str] = None) -> None:
+    """Set the process-wide default transport (and address) for new pools.
+
+    Mirrors :func:`repro.runtime.resident.set_shm_install_default`: backends
+    whose ``transport`` attribute is ``None`` follow this setting when they
+    first open their pool.  ``address`` only makes sense for ``tcp`` (where
+    ``None`` means loopback with spawned workers).
+    """
+    global _TRANSPORT_DEFAULT
+    if name not in TRANSPORTS:
+        raise ValueError(f"Unknown transport {name!r}; expected one of {TRANSPORTS}")
+    if address is not None:
+        parse_address(address)  # validation only
+    _TRANSPORT_DEFAULT = (name, address)
+
+
+def transport_default() -> Tuple[str, Optional[str]]:
+    """Return the current process-wide ``(transport, address)`` default."""
+    return _TRANSPORT_DEFAULT

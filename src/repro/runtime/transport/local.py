@@ -1,0 +1,69 @@
+"""Local pipe transport: the pre-refactor resident pool, verbatim.
+
+One daemon child process per slot, connected over a duplex
+``multiprocessing.Pipe``.  The parent-side ``Connection`` objects are handed
+out as the slot channels directly — ``Connection`` implements the
+:class:`~repro.runtime.transport.base.SlotChannel` contract structurally
+(``send_bytes``/``recv_bytes``/``poll``/``close`` with the same framing and
+error semantics) — so the bytes on the wire, the process topology and the
+failure modes are bit-for-bit those of the pipe-welded backend this package
+was split out of.
+
+The serving-loop target is *injected* (``slot_main``) rather than imported:
+the protocol layer lives in :mod:`repro.runtime.resident`, which imports this
+module, and the transport must not import it back.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, List, Optional
+
+from .base import Transport, register_transport
+
+__all__ = ["LocalPipeTransport"]
+
+
+class LocalPipeTransport(Transport):
+    """Pool slots as local child processes over ``multiprocessing`` pipes.
+
+    ``slot_main`` is the child's serving loop, called with the child end of
+    the pipe; :func:`repro.runtime.resident.serve_slot` in production, a
+    stub in transport tests.  Shared-memory installs are supported — both
+    endpoints share a kernel, so segment names shipped over the pipe resolve
+    on the other side.
+    """
+
+    name = "pipe"
+    supports_shm = True
+
+    def __init__(
+        self,
+        slot_main: Callable,
+        read_timeout: Optional[float] = None,
+    ) -> None:
+        super().__init__(read_timeout=read_timeout)
+        self._slot_main = slot_main
+        self._processes: List = []
+
+    def _open_channels(self, num_slots: int) -> List:
+        ctx = multiprocessing.get_context()
+        channels = []
+        for _ in range(num_slots):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=self._slot_main, args=(child_conn,), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            self._processes.append(process)
+            channels.append(parent_conn)
+        return channels
+
+    def _shutdown(self, channels: List) -> None:
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive cleanup
+                process.terminate()
+                process.join(timeout=5)
+        self._processes = []

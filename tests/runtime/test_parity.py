@@ -24,7 +24,11 @@ from repro.datasets import make_gaussian_ring, partition_iid
 from repro.models import build_toy_gan
 from repro.simulation import CrashSchedule
 
-PARALLEL_BACKENDS = ("thread", "process", "resident")
+#: Backend specs for parametrized parity tests.  ``"resident-tcp"`` is a
+#: pseudo-backend spec: :func:`_config` maps it to the resident backend with
+#: ``transport="tcp"``, so every parity scenario also pins that seeded runs
+#: over loopback sockets are bitwise identical to pipes and to serial.
+PARALLEL_BACKENDS = ("thread", "process", "resident", "resident-tcp")
 
 
 @pytest.fixture(scope="module")
@@ -43,6 +47,8 @@ def small_shards_and_factory():
 
 def _config(backend: str, **overrides) -> TrainingConfig:
     base = dict(iterations=5, batch_size=8, seed=11, backend=backend, max_workers=2)
+    if backend == "resident-tcp":
+        base.update(backend="resident", transport="tcp")
     base.update(overrides)
     return TrainingConfig(**base)
 
@@ -255,7 +261,7 @@ class TestPipelineDepthZeroParity:
 
 
 class TestBackendStateRoundTrip:
-    @pytest.mark.parametrize("backend", ("process", "resident"))
+    @pytest.mark.parametrize("backend", ("process", "resident", "resident-tcp"))
     def test_backend_advances_parent_rng_and_sampler(
         self, backend, small_shards_and_factory
     ):

@@ -106,18 +106,21 @@ class TestSyncAndInvalidation:
             resident.close_backend()
             serial.close_backend()
 
+    @pytest.mark.parametrize("transport", ("pipe", "tcp"))
     def test_replace_dataset_after_sync_matches_serial(
-        self, small_shards_and_factory
+        self, transport, small_shards_and_factory
     ):
         # The invalidation protocol end-to-end: train, reclaim one worker's
         # state, mutate it outside the pool (replace_dataset), train on.
         # The trajectory must stay bitwise identical to a serial run that
-        # performs the same mutation at the same point.
+        # performs the same mutation at the same point — over either
+        # transport (the state-epoch counter rides the wire protocol, so tcp
+        # must honour it exactly like the pipes do).
         shards, factory = small_shards_and_factory
         replacement, _ = make_gaussian_ring(n_train=48, n_test=8, image_size=8, seed=23)
 
-        def run(backend_name):
-            trainer = MDGANTrainer(factory, shards, _config(backend_name))
+        def run(backend_name, **overrides):
+            trainer = MDGANTrainer(factory, shards, _config(backend_name, **overrides))
             for iteration in (1, 2):
                 trainer.train_iteration(iteration)
             trainer.sync_worker_state([trainer.workers[0]])
@@ -129,7 +132,7 @@ class TestSyncAndInvalidation:
             return trainer
 
         serial = run("serial")
-        resident = run("resident")
+        resident = run("resident", transport=transport)
         for s_worker, r_worker in zip(serial.workers, resident.workers):
             assert np.array_equal(
                 s_worker.discriminator.get_parameters(),
@@ -140,9 +143,12 @@ class TestSyncAndInvalidation:
             serial.generator.get_parameters(), resident.generator.get_parameters()
         )
 
-    def test_stale_epoch_is_rejected_by_the_pool(self, small_shards_and_factory):
+    @pytest.mark.parametrize("transport", ("pipe", "tcp"))
+    def test_stale_epoch_is_rejected_by_the_pool(
+        self, transport, small_shards_and_factory
+    ):
         shards, factory = small_shards_and_factory
-        trainer = MDGANTrainer(factory, shards, _config("resident"))
+        trainer = MDGANTrainer(factory, shards, _config("resident", transport=transport))
         try:
             trainer.train_iteration(1)
             backend = trainer._backend
@@ -172,7 +178,7 @@ class TestSyncAndInvalidation:
             with pytest.raises(RuntimeError, match="stale resident state"):
                 trainer.train_iteration(2)
             # The pool is gone and nothing counts as installed any more...
-            assert backend._slots is None
+            assert backend._transport is None
             assert not any(backend.installed(w.index) for w in trainer.workers)
             # ...sync_worker_state degrades to a no-op (never pulls junk)...
             trainer.sync_worker_state()
