@@ -1,0 +1,58 @@
+"""Benchmark: serving latency percentiles and throughput on the warm pool.
+
+Runs the ``serve-bench`` experiment (``repro.experiments.serve_bench``) at
+the configured scale: concurrent clients issuing generation requests against
+a :class:`~repro.serving.GeneratorService` on both resident transports plus
+the serial inline reference.  Pins the serving layer's core claims —
+
+* both transports answer every request and report ordered p50/p95/p99
+  latency percentiles and non-zero throughput;
+* after the all-slot warm-up the versioned param cache ships **zero**
+  generator parameter bytes for the entire measured window (the generator
+  never changes mid-benchmark);
+* requests coalesce (mean k per dispatch >= 1).
+
+The latency/throughput rows land in ``benchmark.extra_info`` for the CI
+slow lane's ``BENCH_<run>_<sha>.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record_rows
+
+from repro.experiments import run_serve_bench
+
+pytestmark = [
+    pytest.mark.slow,  # spins up pipe + tcp pools under threaded load
+    pytest.mark.paper_artifact("serve-bench"),
+]
+
+
+def test_serve_bench_percentiles_and_param_cache(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_serve_bench,
+        kwargs=dict(scale=bench_scale, num_clients=4, requests_per_client=8),
+        rounds=1,
+        iterations=1,
+    )
+    rows = {row["config"]: row for row in result.rows}
+    assert {"resident/pipe", "resident/tcp", "serial-inline"} <= set(rows)
+    for config in ("resident/pipe", "resident/tcp"):
+        row = rows[config]
+        assert row["requests"] >= 32, f"{config} dropped requests: {row['requests']}"
+        assert row["samples_per_s"] > 0 and row["requests_per_s"] > 0
+        assert (
+            row["latency_p50_ms"]
+            <= row["latency_p95_ms"]
+            <= row["latency_p99_ms"]
+        ), f"{config} percentiles out of order"
+        # The byte-meter claim: an unchanged generator ships zero parameter
+        # bytes per request once the slots are warm.
+        assert row["steady_param_bytes"] == 0.0, (
+            f"{config} shipped {row['steady_param_bytes']} param bytes after "
+            "warm-up; the versioned cache should have skipped them all"
+        )
+        assert row["mean_coalesce"] >= 1.0
+    record_rows(benchmark, result)

@@ -42,6 +42,7 @@ from ..nn.model import Sequential
 from ..runtime.backend import PendingResult
 from ..runtime.pipeline import (
     BatchAheadQueue,
+    GeneratorHandle,
     PendingGeneration,
     PipelineStats,
     fan_out_generation,
@@ -136,6 +137,10 @@ class MDGANTrainer(BackendOwner):
         #: Number of iterations whose feedback has been applied to the
         #: generator; the pipelined mode derives batch staleness from it.
         self._gen_update_count = 0
+        #: Versioned identity of the server generator on resident pool slots:
+        #: bumped on every parameter update, so repeat generation dispatches
+        #: against an unchanged generator ship zero parameter bytes.
+        self._generator_handle = GeneratorHandle(version=0)
 
         # Worker-side discriminators.
         self.workers: List[MDGANWorkerState] = []
@@ -292,6 +297,9 @@ class MDGANTrainer(BackendOwner):
         if not messages:
             return 0
         self._gen_update_count += 1
+        # The generator's parameters are about to change: invalidate the
+        # per-slot param cache before the next generation dispatch.
+        self._generator_handle.bump()
         self.cluster.server.compute.observe_memory(
             len(messages) * self.config.batch_size * self.factory.object_size
         )
@@ -661,6 +669,7 @@ class MDGANTrainer(BackendOwner):
             self.config.batch_size,
             k,
             self._rng,
+            handle=self._generator_handle,
         )
         if pending is not None:
             batches = pending.collect()
@@ -740,6 +749,7 @@ class MDGANTrainer(BackendOwner):
                 cfg.batch_size,
                 k_ahead,
                 self._rng,
+                handle=self._generator_handle,
             )
             if pending is None:
                 pending = self._generate_batches(k_ahead)

@@ -15,6 +15,7 @@ k ablation (Section IV-B4)   :func:`run_ablation_k`
 swap ablation (Section IV-C) :func:`run_ablation_swap`
 Section VII extensions       :func:`run_ablation_extensions`
 traffic cross-check          :func:`run_traffic_check`
+serving benchmark            :func:`run_serve_bench`
 ===========================  ====================================
 """
 
@@ -35,6 +36,7 @@ from .common import (
 from .convergence import FIG3_CELLS, fig3_competitors, run_fig3
 from .fault_tolerance import run_fig5
 from .scalability import run_fig4
+from .serve_bench import run_serve_bench
 from .tables import (
     PAPER_PARAM_COUNTS,
     paper_architecture_params,
@@ -70,6 +72,7 @@ __all__ = [
     "run_ablation_extensions",
     "run_ablation_noniid",
     "run_traffic_check",
+    "run_serve_bench",
     "run_timing_estimate",
     "FIG3_CELLS",
     "fig3_competitors",

@@ -11,7 +11,8 @@ Usage::
 
 where ``<artefact>`` is one of ``table2``, ``table3``, ``table4``, ``fig2``,
 ``fig3``, ``fig4``, ``fig5``, ``fig6``, ``ablation-k``, ``ablation-swap``,
-``ablation-extensions``, ``ablation-noniid``, ``traffic-check`` or ``all``.
+``ablation-extensions``, ``ablation-noniid``, ``traffic-check``,
+``serve-bench`` or ``all``.
 """
 
 from __future__ import annotations
@@ -31,6 +32,7 @@ from .reporting import ascii_chart, save_csv, save_json, series_from_rows, to_ma
 from ..runtime.backend import BACKENDS
 from ..runtime.transport import TRANSPORTS
 from .scalability import run_fig4
+from .serve_bench import run_serve_bench
 from .tables import run_fig2, run_table2, run_table3, run_table4
 from .timing import run_timing_estimate
 from .traffic_check import run_traffic_check
@@ -52,6 +54,7 @@ ARTIFACTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ablation-extensions": run_ablation_extensions,
     "ablation-noniid": run_ablation_noniid,
     "traffic-check": run_traffic_check,
+    "serve-bench": run_serve_bench,
     "timing": run_timing_estimate,
 }
 
@@ -65,6 +68,7 @@ _TRAINING_ARTIFACTS = {
     "ablation-extensions",
     "ablation-noniid",
     "traffic-check",
+    "serve-bench",
 }
 #: artefacts that take only a scale.
 _SCALE_ONLY_ARTIFACTS = {"fig6"}
@@ -162,13 +166,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _backend_kwargs(runner: Callable, args: argparse.Namespace) -> Dict[str, object]:
-    """Backend/pipeline selection kwargs, for runners whose sweeps support them."""
+    """Backend/pipeline selection kwargs, for runners whose sweeps support them.
+
+    Backend tuning flags travel *explicitly* — from the parsed arguments into
+    the runner signature and from there into ``TrainingConfig`` — instead of
+    mutating process-wide defaults, so concurrent runs in one process cannot
+    observe each other's settings.
+    """
     accepted = inspect.signature(runner).parameters
     kwargs: Dict[str, object] = {}
+    # Resident tuning flags travel independently of --backend: some runners
+    # (traffic-check, serve-bench) drive a resident pool regardless of the
+    # backend selection and still honour the transport/shm choice.
+    for flag in ("max_workers", "shm_install", "transport", "transport_address"):
+        if flag in accepted:
+            kwargs[flag] = getattr(args, flag)
     if "backend" in accepted:
         kwargs["backend"] = args.backend
-        if "max_workers" in accepted:
-            kwargs["max_workers"] = args.max_workers
     elif args.backend != "serial":
         print(
             f"note: {runner.__name__} does not take --backend; running serial",
@@ -224,18 +238,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     from ..nn.precision import set_default_precision
-    from ..runtime.resident import set_shm_install_default
-    from ..runtime.transport import set_transport_default
 
     set_default_precision(args.precision)
-    # Process-wide defaults (mirroring the precision policy): every resident
-    # backend the experiment runners build below follows them, without having
-    # to thread the flags through each runner's signature.
-    set_shm_install_default(args.shm_install)
     if args.transport_address is not None and args.transport != "tcp":
         print("error: --transport-address requires --transport tcp", file=sys.stderr)
         return 2
-    set_transport_default(args.transport, args.transport_address)
     names = sorted(ARTIFACTS) if args.artefact == "all" else [args.artefact]
     for name in names:
         result = _run_one(name, args)

@@ -33,13 +33,18 @@ def run_fig5(
     scale: ExperimentScale | str = "smoke",
     backend: str = "serial",
     max_workers: Optional[int] = None,
+    shm_install: Optional[bool] = None,
+    transport: Optional[str] = None,
+    transport_address: Optional[str] = None,
     pipeline_depth: int = 0,
 ) -> ExperimentResult:
     """Reproduce Figure 5: scores vs iterations with a rolling crash schedule.
 
     ``backend``/``max_workers`` select the :mod:`repro.runtime` execution
-    backend; crash handling is backend-independent (crashes apply at
-    iteration boundaries, before the per-worker fan-out).
+    backend (``shm_install``/``transport``/``transport_address`` tune the
+    resident one, threaded explicitly through the config); crash handling is
+    backend-independent (crashes apply at iteration boundaries, before the
+    per-worker fan-out).
     ``pipeline_depth > 0`` runs the MD-GAN competitors under the pipelined
     schedule, so this figure doubles as the staleness-vs-convergence probe:
     each history records the realised per-iteration batch staleness
@@ -64,6 +69,9 @@ def run_fig5(
         seed=scale.seed,
         backend=backend,
         max_workers=max_workers,
+        shm_install=shm_install,
+        transport=transport,
+        transport_address=transport_address,
         pipeline_depth=pipeline_depth,
     )
     crash_schedule = CrashSchedule.uniform(

@@ -50,6 +50,9 @@ def run_fig4(
     swap_settings: Sequence[bool] = (True, False),
     backend: str = "serial",
     max_workers: Optional[int] = None,
+    shm_install: Optional[bool] = None,
+    transport: Optional[str] = None,
+    transport_address: Optional[str] = None,
     pipeline_depth: int = 0,
 ) -> ExperimentResult:
     """Reproduce Figure 4: final MD-GAN scores as a function of ``N``.
@@ -58,6 +61,9 @@ def run_fig4(
     per-worker phase — results are bitwise identical across backends, but
     ``thread``/``process`` let the large-``N`` points of the sweep use the
     host's cores instead of running every worker sequentially.
+    ``shm_install``/``transport``/``transport_address`` tune the resident
+    backend and are threaded explicitly into each sweep point's
+    :class:`TrainingConfig` (no process-global defaults are touched).
     ``pipeline_depth > 0`` additionally overlaps the server's batch
     generation with worker compute (bounded staleness, recorded per
     iteration in each history).
@@ -102,6 +108,9 @@ def run_fig4(
                     seed=scale.seed,
                     backend=backend,
                     max_workers=max_workers,
+                    shm_install=shm_install,
+                    transport=transport,
+                    transport_address=transport_address,
                     pipeline_depth=pipeline_depth,
                 )
                 with MDGANTrainer(

@@ -38,8 +38,17 @@ def run_traffic_check(
     dataset: str = "mnist",
     architecture: str = "mnist-mlp",
     scale: ExperimentScale | str = "smoke",
+    shm_install: bool | None = None,
+    transport: str | None = None,
+    transport_address: str | None = None,
 ) -> ExperimentResult:
-    """Compare measured per-iteration traffic to the analytic formulas."""
+    """Compare measured per-iteration traffic to the analytic formulas.
+
+    ``shm_install``/``transport``/``transport_address`` tune the resident
+    cross-check section and are threaded explicitly into its
+    :class:`TrainingConfig` — ``transport="tcp"`` makes the per-op rows
+    measure real socket traffic.
+    """
     scale = get_scale(scale)
     train, _ = prepare_dataset(dataset, scale)
     factory = prepare_factory(architecture, train, scale)
@@ -76,9 +85,8 @@ def run_traffic_check(
     )
 
     # --- MD-GAN ---------------------------------------------------------------
-    mdgan = MDGANTrainer(factory, shards, config)
-    mdgan.train()
-    mdgan.close()
+    with MDGANTrainer(factory, shards, config) as mdgan:
+        mdgan.train()
     meter = mdgan.cluster.meter
     measured_c_to_w = meter.total_bytes(MessageKind.GENERATED_BATCHES)
     measured_w_to_c = meter.total_bytes(MessageKind.ERROR_FEEDBACK)
@@ -129,9 +137,8 @@ def run_traffic_check(
     )
 
     # --- FL-GAN ---------------------------------------------------------------
-    flgan = FLGANTrainer(factory, shards, config)
-    flgan.train()
-    flgan.close()
+    with FLGANTrainer(factory, shards, config) as flgan:
+        flgan.train()
     meter = flgan.cluster.meter
     rounds = len(flgan.history.events_of_kind("federated_round"))
     measured_updates = meter.total_bytes(MessageKind.MODEL_UPDATE)
@@ -165,33 +172,34 @@ def run_traffic_check(
     # request carries the generated batches (the analytic 2*b*d floats per
     # worker per iteration) and its reply the error feedback (b*d floats per
     # worker), so the measured warm-iteration bytes should sit a small pickle
-    # overhead above the Table III prediction.  The transport follows the
-    # process-wide default, so ``--transport tcp`` makes these rows measure
-    # real socket traffic.
+    # overhead above the Table III prediction.  ``transport="tcp"`` makes
+    # these rows measure real socket traffic.
     resident_iterations = min(iterations, 5)
     resident_config = config.with_overrides(
         backend="resident",
         max_workers=min(4, scale.num_workers),
         iterations=resident_iterations,
+        shm_install=shm_install,
+        transport=transport,
+        transport_address=transport_address,
     )
-    resident = MDGANTrainer(factory, shards, resident_config)
-    resident.train_iteration(1)  # cold iteration: install payloads ship
-    backend = resident.executor
-    warm_sent = backend.op_bytes_sent["run"]
-    warm_received = backend.op_bytes_received["run"]
-    warm_seconds = backend.op_transfer_seconds["run"]
-    for iteration in range(2, resident_iterations + 1):
-        resident.train_iteration(iteration)
-    warm_iters = resident_iterations - 1
-    run_sent = (backend.op_bytes_sent["run"] - warm_sent) / max(1, warm_iters)
-    run_received = (backend.op_bytes_received["run"] - warm_received) / max(
-        1, warm_iters
-    )
-    run_seconds = (backend.op_transfer_seconds["run"] - warm_seconds) / max(
-        1, warm_iters
-    )
-    transport_name = getattr(backend._transport, "name", "pipe")
-    resident.close()
+    with MDGANTrainer(factory, shards, resident_config) as resident:
+        resident.train_iteration(1)  # cold iteration: install payloads ship
+        backend = resident.executor
+        warm_sent = backend.op_bytes_sent["run"]
+        warm_received = backend.op_bytes_received["run"]
+        warm_seconds = backend.op_transfer_seconds["run"]
+        for iteration in range(2, resident_iterations + 1):
+            resident.train_iteration(iteration)
+        warm_iters = resident_iterations - 1
+        run_sent = (backend.op_bytes_sent["run"] - warm_sent) / max(1, warm_iters)
+        run_received = (backend.op_bytes_received["run"] - warm_received) / max(
+            1, warm_iters
+        )
+        run_seconds = (backend.op_transfer_seconds["run"] - warm_seconds) / max(
+            1, warm_iters
+        )
+        transport_name = getattr(backend._transport, "name", "pipe")
     model_sent = analytic["server_to_worker_at_server"]["md-gan"] * FLOAT_BYTES
     model_received = analytic["worker_to_server_at_server"]["md-gan"] * FLOAT_BYTES
     link = LinkModel.datacenter()

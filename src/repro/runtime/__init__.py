@@ -31,6 +31,7 @@ from .backend import (
 )
 from .pipeline import (
     BatchAheadQueue,
+    GeneratorHandle,
     InflightWindow,
     PendingGeneration,
     PipelineStats,
@@ -89,6 +90,7 @@ __all__ = [
     "ResidentBackend",
     "ResidentProgram",
     "BatchAheadQueue",
+    "GeneratorHandle",
     "InflightWindow",
     "PipelineStats",
     "PendingGeneration",

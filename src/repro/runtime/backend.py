@@ -61,15 +61,23 @@ __all__ = [
 
 
 def close_quietly(backend: "ExecutorBackend") -> None:
-    """Close a backend, suppressing any error.
+    """Deprecated alias for :func:`repro.core.lifecycle.close_quietly`.
 
-    Used as the trainers' garbage-collection / interpreter-exit finalizer:
-    backends now outlive individual ``train()`` calls (the resident pool is
-    a persistent serving layer owned by the trainer), so a trainer that is
-    dropped without an explicit ``close()`` still releases its pool
-    processes and shared-memory segments — and a shutdown-time failure must
-    never surface as a spurious error.
+    The quiet-close now lives with the :class:`~repro.core.lifecycle.
+    BackendOwner` lifecycle mixin, the one documented open/close contract
+    shared by trainers, the serving layer and the experiment runners.  The
+    body is duplicated here (rather than imported) because ``repro.runtime``
+    must not import ``repro.core``.
     """
+    import warnings
+
+    warnings.warn(
+        "repro.runtime.backend.close_quietly is deprecated; use "
+        "repro.core.lifecycle.close_quietly (or own the backend through the "
+        "BackendOwner mixin / a context manager)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     try:
         backend.close()
     except Exception:

@@ -68,6 +68,7 @@ returns ``None`` and the caller falls back to the serial loop.
 from __future__ import annotations
 
 import copy
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -83,6 +84,7 @@ __all__ = [
     "PipelineStats",
     "InflightWindow",
     "fan_out_generation",
+    "GeneratorHandle",
     "PendingGeneration",
     "start_resident_generation",
     "can_generate_resident",
@@ -356,8 +358,9 @@ def fan_out_generation(
 # The resident pool's slots only speak the resident protocol, so the map-based
 # fan-out above cannot reach them.  ``start_resident_generation`` uses the
 # pool's dedicated generation op instead (a generator copy installed once per
-# slot, current parameters re-shipped per request, per-batch forwards on the
-# slots) while reproducing ``fan_out_generation``'s bitwise contract exactly:
+# slot, current parameters shipped only when the handle's version says the
+# slot copy is stale, per-batch forwards on the slots) while reproducing
+# ``fan_out_generation``'s bitwise contract exactly:
 # serial noise draws on the caller's RNG, forwards on generator copies, and
 # BatchNorm batch statistics folded back into the caller's generator in batch
 # order at collect time.  Unlike the map fan-out it is *asynchronous* — the
@@ -365,8 +368,53 @@ def fan_out_generation(
 # flight while it merges worker results — which is what finally moves
 # lookahead generation off the trainer thread on ``--backend resident``.
 
-#: Well-known resident key under which the server generator is installed.
-GENERATOR_KEY = "__server_generator__"
+#: Well-known resident key under which the server generator is installed
+#: (internal; the public surface is :class:`GeneratorHandle`).
+_GENERATOR_KEY = "__server_generator__"
+
+
+def __getattr__(name: str):
+    """Deprecation shim: ``GENERATOR_KEY`` is now :class:`GeneratorHandle`."""
+    if name == "GENERATOR_KEY":
+        warnings.warn(
+            "repro.runtime.pipeline.GENERATOR_KEY is deprecated; pass a "
+            "GeneratorHandle to start_generation()/start_resident_generation() "
+            "instead of the magic string",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _GENERATOR_KEY
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+@dataclass
+class GeneratorHandle:
+    """Typed, versioned identity of a generator installed on pool slots.
+
+    Replaces the old ``GENERATOR_KEY`` magic string.  ``key`` names the
+    resident generator copy on each slot (structure installs are tracked per
+    slot under it); ``version`` is a monotonic counter identifying the
+    current *parameters* of the generator the handle describes.
+
+    The resident backend caches, per ``(key, slot)``, the version whose flat
+    parameter vector it last shipped: a request whose handle version matches
+    ships **zero parameter bytes** — the slot's copy is already bit-identical
+    — while any mismatch re-ships and updates the cache.  Callers must
+    therefore :meth:`bump` the handle on *every* mutation of the generator's
+    parameters (optimizer step, ``set_parameters``) before the next dispatch;
+    a stale version would silently serve old weights.
+
+    ``version=None`` marks the handle *unversioned*: parameters re-ship on
+    every request (the pre-handle behaviour, and the safe default when no one
+    tracks generator updates).
+    """
+
+    key: str = _GENERATOR_KEY
+    version: Optional[int] = None
+
+    def bump(self) -> None:
+        """Advance the version after a parameter mutation (cache invalidation)."""
+        self.version = 0 if self.version is None else self.version + 1
 
 
 def can_generate_resident(backend, generator, k: int) -> bool:
@@ -426,6 +474,7 @@ def start_resident_generation(
     batch_size: int,
     k: int,
     rng: np.random.Generator,
+    handle: Optional[GeneratorHandle] = None,
 ) -> Optional[PendingGeneration]:
     """Dispatch ``k``-batch generation onto resident pool slots, non-blocking.
 
@@ -438,9 +487,19 @@ def start_resident_generation(
     bitwise identical to the serial loop.  Returns ``None`` when exact
     resident generation is not possible (see :func:`can_generate_resident`);
     the caller then falls back to the inline/fan-out paths.
+
+    ``handle`` identifies the generator on the pool slots.  A *versioned*
+    handle (one whose owner bumps it on every parameter update, as
+    ``MDGANTrainer`` and ``repro.serving.GeneratorService`` do) lets the
+    backend skip the parameter payload whenever the slot copy is already
+    current — bitwise-neutral, since the skip only happens when the shipped
+    vector would be identical.  ``None`` builds an unversioned default handle
+    whose parameters re-ship every request.
     """
     if not can_generate_resident(backend, generator, k):
         return None
+    if handle is None:
+        handle = GeneratorHandle()
     noises: List[np.ndarray] = []
     labels_list: List[Optional[np.ndarray]] = []
     g_inputs: List[np.ndarray] = []
@@ -455,10 +514,10 @@ def start_resident_generation(
         noises.append(noise)
         labels_list.append(labels)
         g_inputs.append(generator_input(noise, labels, factory.num_classes))
-    handle = backend.start_generation(
-        GENERATOR_KEY,
+    pending = backend.start_generation(
+        handle,
         lambda: generator,
         generator.get_parameters(),
         g_inputs,
     )
-    return PendingGeneration(handle, generator, noises, labels_list)
+    return PendingGeneration(pending, generator, noises, labels_list)

@@ -193,12 +193,23 @@ DEFAULT_SHM_MIN_BYTES = 1 << 16
 
 
 def set_shm_install_default(enabled: bool) -> None:
-    """Set the process-wide default for shared-memory installs.
+    """Deprecated: set the process-wide default for shared-memory installs.
 
-    Backends whose ``shm_install`` attribute is ``None`` (the constructor
-    default) follow this setting, mirroring how the precision policy exposes
-    a process-wide default with per-run overrides.
+    Process-global mutation has been replaced by explicit config threading —
+    set ``TrainingConfig(shm_install=...)`` (or the backend's ``shm_install``
+    attribute) instead, so the setting travels with the run that asked for
+    it.  Backends whose ``shm_install`` attribute is ``None`` still follow
+    this process-wide default for compatibility.
     """
+    import warnings
+
+    warnings.warn(
+        "set_shm_install_default is deprecated; pass shm_install= through "
+        "TrainingConfig / ResidentBackend instead of mutating the "
+        "process-wide default",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     global _SHM_INSTALL_DEFAULT
     _SHM_INSTALL_DEFAULT = bool(enabled)
 
@@ -585,9 +596,14 @@ class ResidentBackend(ExecutorBackend):
         #: Epoch of the copy installed in the pool, per worker key.
         self._installed: Dict[Any, int] = {}
         #: Slots holding a copy of each resident generator (see
-        #: :meth:`start_generation`); parameters re-ship per request, so no
-        #: epoch is needed — only structure installs are tracked.
+        #: :meth:`start_generation`); only structure installs are tracked.
         self._generator_slots: Dict[Any, set] = {}
+        #: Per ``(generator key, slot)``: the handle version whose parameter
+        #: vector was last shipped.  Requests whose versioned
+        #: :class:`~repro.runtime.pipeline.GeneratorHandle` matches ship no
+        #: parameter payload at all (the slot copy is already bit-identical);
+        #: unversioned handles never populate this and re-ship every time.
+        self._generator_versions: Dict[Tuple[Any, int], int] = {}
         #: Shared-memory segments owned by this backend, keyed by the install
         #: they carried; released on re-install, reclaim and close.
         self._shm_segments: Dict[Any, List] = {}
@@ -611,6 +627,10 @@ class ResidentBackend(ExecutorBackend):
         #: Number of install payloads shipped (worker state or generator
         #: copies); a warm re-entry ships none.
         self.install_count = 0
+        #: Bytes of generator parameter vectors shipped with ``generate``
+        #: requests.  The serving layer's param-cache regression test pins
+        #: that repeat requests against an unchanged generator add zero.
+        self.param_bytes_sent = 0
         #: Dispatched-but-uncollected :class:`PendingSteps`, in dispatch
         #: order.  Slot channels are FIFO, so replies must be read in this
         #: order; boundary ops (pull/push) refuse to run while it is
@@ -710,6 +730,7 @@ class ResidentBackend(ExecutorBackend):
         self._shm_segments.clear()
         self._installed.clear()
         self._generator_slots.clear()
+        self._generator_versions.clear()
 
     # -- wire helpers -----------------------------------------------------------
     def _slot_for(self, key) -> int:
@@ -961,21 +982,26 @@ class ResidentBackend(ExecutorBackend):
 
     def start_generation(
         self,
-        key,
+        handle,
         generator_supplier: Callable[[], Any],
         params,
         g_inputs: Sequence[np.ndarray],
     ) -> PendingSteps:
         """Dispatch per-batch generator forward passes across the pool slots.
 
-        Batch ``j`` runs on slot ``j mod pool size`` against that slot's
-        resident copy of the generator identified by ``key``:
-        ``generator_supplier()`` is shipped (once per slot, on first use or
-        after a pool restart) as the structural install, and ``params`` — the
-        current flat parameter vector — is written into the copy on every
-        request, so the forwards always use the caller's current weights
-        while the heavyweight structure never re-ships.  Each batch's reply
-        is ``(images, batchnorm_stats)`` exactly as
+        ``handle`` is a :class:`~repro.runtime.pipeline.GeneratorHandle`
+        naming the generator (a bare string key is accepted as a deprecated
+        shim and behaves like an unversioned handle).  Batch ``j`` runs on
+        slot ``j mod pool size`` against that slot's resident copy of the
+        generator: ``generator_supplier()`` is shipped (once per slot, on
+        first use or after a pool restart) as the structural install, and
+        ``params`` — the current flat parameter vector — is written into the
+        copy whenever the slot's cached handle version does not prove the
+        copy current.  With a *versioned* handle an unchanged generator
+        therefore ships **zero parameter bytes** per repeat request (pinned
+        by :attr:`param_bytes_sent`); an unversioned handle re-ships every
+        time, which is always safe.  Each batch's reply is ``(images,
+        batchnorm_stats)`` exactly as
         :func:`repro.runtime.pipeline._batchnorm_stats` produces them; the
         caller folds the statistics back in batch order to reproduce the
         serial running-stat trajectory bitwise (same contract as
@@ -985,6 +1011,19 @@ class ResidentBackend(ExecutorBackend):
         per-batch replies in batch order; it participates in the same
         dispatch-order collection discipline as step batches.
         """
+        if isinstance(handle, str):
+            import warnings
+
+            warnings.warn(
+                "passing a bare string key to ResidentBackend.start_generation "
+                "is deprecated; pass a repro.runtime.GeneratorHandle instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            from .pipeline import GeneratorHandle
+
+            handle = GeneratorHandle(key=handle)
+        key, version = handle.key, handle.version
         if not len(g_inputs):
             return PendingSteps(self, {}, 0)
         self._check_usable()
@@ -1001,14 +1040,25 @@ class ResidentBackend(ExecutorBackend):
                     generator_supplier(),
                 )
                 self.install_count += 1
+            # Param-cache: skip the parameter payload when this slot's copy
+            # already holds exactly this version's bits.  Sends are FIFO per
+            # slot, so "last version shipped" is also "version the copy will
+            # hold by the time this request executes".
+            slot_params = params
+            if version is not None and self._generator_versions.get((key, slot_index)) == version:
+                slot_params = None
             self._send_async(
                 slot_index,
-                ("generate", (key, install, params, [g_input for _, g_input in entries])),
+                ("generate", (key, install, slot_params, [g_input for _, g_input in entries])),
             )
             installed_slots.add(slot_index)
-        handle = PendingSteps(self, dict(per_slot), len(g_inputs), op="generate")
-        self._pending.append(handle)
-        return handle
+            if slot_params is not None:
+                self.param_bytes_sent += int(getattr(slot_params, "nbytes", 0))
+            if version is not None:
+                self._generator_versions[(key, slot_index)] = version
+        pending = PendingSteps(self, dict(per_slot), len(g_inputs), op="generate")
+        self._pending.append(pending)
+        return pending
 
     def _collect_steps(self, handle: PendingSteps) -> List[Any]:
         """Receive the slot replies for ``handle`` (dispatch order enforced)."""

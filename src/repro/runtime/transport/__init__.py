@@ -16,10 +16,11 @@ never cares what moves the bytes.  This package supplies the channels:
     ``python -m repro.runtime.worker_host --connect HOST:PORT`` processes
     from other machines.
 
-The process-wide default (:func:`set_transport_default`) mirrors the shm
-install and precision policies: backends constructed without an explicit
-``transport=`` follow it, and the CLI's ``--transport`` flag sets it once
-for a whole experiment run.
+Transport selection is threaded explicitly through configuration —
+``TrainingConfig(transport=..., transport_address=...)`` or the backend's
+own attributes; the CLI's ``--transport`` flag travels the same way.  The
+process-wide default (:func:`set_transport_default`) survives only as a
+deprecated shim for backends built with ``transport=None``.
 """
 
 from __future__ import annotations
@@ -80,13 +81,23 @@ _TRANSPORT_DEFAULT: Tuple[str, Optional[str]] = ("pipe", None)
 
 
 def set_transport_default(name: str, address: Optional[str] = None) -> None:
-    """Set the process-wide default transport (and address) for new pools.
+    """Deprecated: set the process-wide default transport for new pools.
 
-    Mirrors :func:`repro.runtime.resident.set_shm_install_default`: backends
-    whose ``transport`` attribute is ``None`` follow this setting when they
-    first open their pool.  ``address`` only makes sense for ``tcp`` (where
-    ``None`` means loopback with spawned workers).
+    Process-global mutation has been replaced by explicit config threading —
+    set ``TrainingConfig(transport=..., transport_address=...)`` (or the
+    backend's ``transport`` / ``transport_address`` attributes) instead.
+    Backends whose ``transport`` attribute is ``None`` still follow this
+    process-wide default for compatibility.
     """
+    import warnings
+
+    warnings.warn(
+        "set_transport_default is deprecated; pass transport=/"
+        "transport_address= through TrainingConfig / ResidentBackend instead "
+        "of mutating the process-wide default",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     global _TRANSPORT_DEFAULT
     if name not in TRANSPORTS:
         raise ValueError(f"Unknown transport {name!r}; expected one of {TRANSPORTS}")

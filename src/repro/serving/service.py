@@ -1,0 +1,428 @@
+"""``GeneratorService`` — request-facing sample generation on a warm pool.
+
+MD-GAN's server already *is* a generation service during training: every
+iteration it farms k-batch forward passes out to the resident pool
+(:func:`repro.runtime.pipeline.start_resident_generation`).  This module
+exposes that same machinery to callers outside the training loop:
+
+* **Request path** — callers :meth:`~GeneratorService.serve` (blocking) or
+  :meth:`~GeneratorService.submit` (async handle) one batch of samples per
+  request.  Requests enter a FIFO queue; a single dispatcher thread drains
+  the queue and **coalesces** the waiting requests into one resident
+  k-batch dispatch (batch ``j`` on slot ``j mod pool size``), so concurrent
+  callers share the pool's slots instead of serialising behind each other.
+* **Bitwise contract** — the dispatch reuses
+  :meth:`~repro.runtime.resident.ResidentBackend.start_generation`'s
+  contract exactly: noise/labels are drawn serially at *enqueue* time (in
+  arrival order, on the service RNG — or on a per-request RNG when the
+  caller supplies a ``seed``, making the request order-independent),
+  forwards run on slot-resident generator copies, and BatchNorm batch
+  statistics fold back into the service's generator in dispatch order.
+  Samples are bit-for-bit what a serial loop — or
+  :func:`~repro.runtime.pipeline.fan_out_generation` — would produce from
+  the same draws.
+* **Param cache** — the service's :class:`~repro.runtime.pipeline.
+  GeneratorHandle` is versioned: repeat requests against an unchanged
+  generator ship **zero parameter bytes** (the slot copies are already
+  current); :meth:`~GeneratorService.update_generator` installs new weights
+  and bumps the version, so exactly one re-ship per slot follows.
+* **Fail-stop** — a transport failure (killed slot, broken socket) poisons
+  the pool; the dispatcher broadcasts the error to every in-flight *and*
+  queued request and the service refuses further requests, mirroring the
+  resident backend's own fail-stop discipline.  Lost requests are reported,
+  never silently re-run.
+
+Non-resident backends (``serial``/``thread``/``process``, or generators the
+resident op cannot reproduce exactly, e.g. with Dropout) degrade to the
+same coalesced loop through ``backend.map_ordered`` — identical results,
+just without the resident param cache.
+
+Lifecycle is the shared :class:`~repro.core.lifecycle.BackendOwner`
+contract: the service lazily builds the backend from its config, or serves
+straight from a trainer's already-warm pool via :meth:`GeneratorService.
+from_trainer` (adopted unowned — closing the service leaves the trainer's
+pool running).
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, List, Optional
+
+import numpy as np
+
+from ..core.config import TrainingConfig
+from ..core.lifecycle import BackendOwner
+from ..models.base import generator_input
+from ..runtime.pipeline import (
+    GeneratorHandle,
+    _fold_batchnorm_stats,
+    _GenerationTask,
+    _run_generation_task,
+    can_generate_resident,
+)
+from .stats import ServingStats
+
+__all__ = ["GeneratorService", "ServedBatch", "ServiceClosed", "PendingSamples"]
+
+
+class ServiceClosed(RuntimeError):
+    """The service was closed (or fail-stopped) before answering a request."""
+
+
+@dataclass
+class ServedBatch:
+    """One answered generation request."""
+
+    #: Generated images, shape ``(batch_size, *object_shape)``.
+    images: np.ndarray
+    #: The latent vectors the images were generated from.
+    noise: np.ndarray
+    #: Class labels (conditional factories only, else ``None``).
+    labels: Optional[np.ndarray]
+    #: Enqueue-to-ready latency, as the caller experienced it.
+    latency_seconds: float = 0.0
+
+
+@dataclass
+class _Request:
+    """Internal queue entry: pre-drawn inputs plus a completion event."""
+
+    g_input: np.ndarray
+    noise: np.ndarray
+    labels: Optional[np.ndarray]
+    enqueued_at: float
+    done: threading.Event = field(default_factory=threading.Event)
+    batch: Optional[ServedBatch] = None
+    error: Optional[BaseException] = None
+
+
+class PendingSamples:
+    """Async handle for one submitted request; ``result()`` blocks for it."""
+
+    def __init__(self, request: _Request) -> None:
+        self._request = request
+
+    def result(self, timeout: Optional[float] = None) -> ServedBatch:
+        """Wait for the request's batch; re-raises the service's failure."""
+        if not self._request.done.wait(timeout):
+            raise TimeoutError("generation request did not complete in time")
+        if self._request.error is not None:
+            raise self._request.error
+        assert self._request.batch is not None
+        return self._request.batch
+
+
+class GeneratorService(BackendOwner):
+    """Serve generator samples from a warm execution backend.
+
+    Parameters
+    ----------
+    generator:
+        The (built) generator network to serve from.  The service folds
+        BatchNorm running statistics back into it in dispatch order, exactly
+        like the training-time generation paths.
+    factory:
+        The :class:`~repro.models.base.GANFactory` describing latent
+        dimension / conditioning (used to draw request noise).
+    config:
+        A :class:`~repro.core.config.TrainingConfig`; supplies the backend
+        selection (``backend``/``max_workers``/``shm_install``/``transport``/
+        ``transport_address``), the default per-request ``batch_size`` and
+        the service RNG ``seed``.  Defaults to a resident-backend config.
+    max_coalesce:
+        Upper bound on requests folded into one dispatch (bounds worst-case
+        head-of-line latency).  Default 64.
+    """
+
+    def __init__(
+        self,
+        generator,
+        factory,
+        config: Optional[TrainingConfig] = None,
+        *,
+        max_coalesce: int = 64,
+    ) -> None:
+        if not getattr(generator, "built", False):
+            raise ValueError("GeneratorService needs a built generator")
+        if max_coalesce < 1:
+            raise ValueError(f"max_coalesce must be >= 1, got {max_coalesce}")
+        self.config = config if config is not None else TrainingConfig(backend="resident")
+        self.generator = generator
+        self.factory = factory
+        self.max_coalesce = int(max_coalesce)
+        #: Versioned identity of the served generator on the pool slots;
+        #: bumped by :meth:`update_generator` so repeat dispatches against an
+        #: unchanged generator ship zero parameter bytes.
+        self.handle = GeneratorHandle(version=0)
+        self.stats = ServingStats()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._lock = threading.Lock()
+        self._queue: Deque[_Request] = deque()
+        self._work = threading.Condition(self._lock)
+        self._dispatcher: Optional[threading.Thread] = None
+        self._closed = False
+        self._failure: Optional[BaseException] = None
+
+    # -- construction from a trainer ---------------------------------------------
+    @classmethod
+    def from_trainer(cls, trainer, *, max_coalesce: int = 64) -> "GeneratorService":
+        """Serve from a trainer's generator on its already-warm pool.
+
+        The trainer's backend is adopted *unowned* (closing the service
+        leaves the pool running for the trainer) and the trainer's own
+        versioned :class:`~repro.runtime.pipeline.GeneratorHandle` is
+        shared, so generator updates applied by further training invalidate
+        the service's param cache automatically.  Use between training
+        phases — the resident protocol requires dispatch-order collection,
+        so the service must not dispatch while a ``train()`` call is live.
+        """
+        service = cls(
+            trainer.generator,
+            trainer.factory,
+            trainer.config,
+            max_coalesce=max_coalesce,
+        )
+        service.adopt_backend(trainer.executor, owned=False)
+        service.handle = trainer._generator_handle
+        return service
+
+    # -- request path ------------------------------------------------------------
+    def submit(
+        self,
+        *,
+        batch_size: Optional[int] = None,
+        seed: Optional[int] = None,
+        noise: Optional[np.ndarray] = None,
+        labels: Optional[np.ndarray] = None,
+    ) -> PendingSamples:
+        """Enqueue one generation request; returns a waitable handle.
+
+        Noise/labels are drawn here, at enqueue time, under the queue lock —
+        in arrival order on the service RNG, or on a private
+        ``default_rng(seed)`` when ``seed`` is given (making the request's
+        samples independent of arrival order).  Callers may also pass
+        explicit ``noise`` (and ``labels`` for conditional factories)
+        instead.
+        """
+        batch_size = int(self.config.batch_size if batch_size is None else batch_size)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        request_rng = np.random.default_rng(seed) if seed is not None else None
+        now = time.perf_counter()
+        with self._lock:
+            self._check_open()
+            rng = request_rng if request_rng is not None else self._rng
+            if noise is None:
+                noise = rng.normal(0.0, 1.0, size=(batch_size, self.factory.latent_dim))
+            noise = np.asarray(noise).astype(self.generator.dtype, copy=False)
+            if self.factory.conditional and labels is None:
+                labels = rng.integers(0, self.factory.num_classes, size=len(noise))
+            request = _Request(
+                g_input=generator_input(noise, labels, self.factory.num_classes),
+                noise=noise,
+                labels=labels,
+                enqueued_at=now,
+            )
+            self._queue.append(request)
+            self._ensure_dispatcher()
+            self._work.notify_all()
+        self.stats.record_enqueue(now)
+        return PendingSamples(request)
+
+    def serve(
+        self,
+        *,
+        batch_size: Optional[int] = None,
+        seed: Optional[int] = None,
+        noise: Optional[np.ndarray] = None,
+        labels: Optional[np.ndarray] = None,
+        timeout: Optional[float] = None,
+    ) -> ServedBatch:
+        """Generate one batch of samples (blocking form of :meth:`submit`)."""
+        return self.submit(
+            batch_size=batch_size, seed=seed, noise=noise, labels=labels
+        ).result(timeout)
+
+    def warmup(self, num_batches: Optional[int] = None) -> None:
+        """Prime every pool slot with one coalesced dispatch (blocking).
+
+        Enqueues ``num_batches`` single-sample requests (default: the
+        backend's pool size) *atomically under the queue lock*, so the
+        dispatcher picks them up as one k-batch group whose batches land on
+        slots ``0 .. k-1`` — installing the generator structure and filling
+        the versioned param cache on every slot in one deterministic step.
+        After a warm-up, requests against an unchanged generator ship zero
+        parameter bytes no matter which slot serves them.  Call it before
+        opening the service to traffic (a busy queue would split the group).
+        """
+        backend = self.executor
+        if num_batches is None:
+            num_batches = int(getattr(backend, "max_workers", None) or 1)
+        num_batches = min(max(1, num_batches), self.max_coalesce)
+        now = time.perf_counter()
+        requests: List[_Request] = []
+        with self._lock:
+            self._check_open()
+            for _ in range(num_batches):
+                noise = self._rng.normal(0.0, 1.0, size=(1, self.factory.latent_dim))
+                noise = noise.astype(self.generator.dtype, copy=False)
+                labels = (
+                    self._rng.integers(0, self.factory.num_classes, size=1)
+                    if self.factory.conditional
+                    else None
+                )
+                request = _Request(
+                    g_input=generator_input(noise, labels, self.factory.num_classes),
+                    noise=noise,
+                    labels=labels,
+                    enqueued_at=now,
+                )
+                requests.append(request)
+                self._queue.append(request)
+            self._ensure_dispatcher()
+            self._work.notify_all()
+        self.stats.record_enqueue(now)
+        for request in requests:
+            PendingSamples(request).result()
+
+    def update_generator(self, parameters: np.ndarray) -> None:
+        """Install new generator weights and invalidate the slot param cache.
+
+        Runs under the queue lock, between dispatches: requests enqueued
+        after this call are served by the new weights, and the next dispatch
+        re-ships the parameter vector exactly once per slot (the handle
+        version bump is what invalidates the cache).
+        """
+        with self._lock:
+            self._check_open()
+            self.generator.set_parameters(parameters)
+            self.handle.bump()
+
+    # -- dispatcher --------------------------------------------------------------
+    def _ensure_dispatcher(self) -> None:
+        if self._dispatcher is None or not self._dispatcher.is_alive():
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="generator-service", daemon=True
+            )
+            self._dispatcher.start()
+
+    def _check_open(self) -> None:
+        if self._failure is not None:
+            raise ServiceClosed(
+                "generator service fail-stopped after a backend failure; "
+                f"rebuild it to continue. Original failure: {self._failure!r}"
+            )
+        if self._closed:
+            raise ServiceClosed("generator service is closed")
+
+    def _take_requests(self) -> List[_Request]:
+        """Block until work or shutdown; pop up to ``max_coalesce`` requests."""
+        with self._work:
+            while not self._queue and not self._closed:
+                self._work.wait()
+            taken: List[_Request] = []
+            while self._queue and len(taken) < self.max_coalesce:
+                taken.append(self._queue.popleft())
+            return taken
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            requests = self._take_requests()
+            if not requests:
+                return  # closed with an empty queue
+            try:
+                outputs = self._generate([r.g_input for r in requests])
+            except BaseException as exc:  # fail-stop: broadcast, then refuse
+                self._fail(requests, exc)
+                return
+            now = time.perf_counter()
+            self.stats.record_dispatch(len(requests))
+            for request, (images, _) in zip(requests, outputs):
+                latency = now - request.enqueued_at
+                request.batch = ServedBatch(
+                    images=images,
+                    noise=request.noise,
+                    labels=request.labels,
+                    latency_seconds=latency,
+                )
+                self.stats.record_request(latency, len(images), now)
+                request.done.set()
+
+    def _generate(self, g_inputs: List[np.ndarray]) -> List[Any]:
+        """Run the coalesced forward passes; returns ``(images, bn_stats)`` pairs.
+
+        The resident path ships the inputs to the pool slots (zero param
+        bytes when the slot copies are current); every other backend — and
+        generators the resident op cannot reproduce exactly — runs the same
+        per-batch tasks through ``map_ordered`` on deep copies.  Both paths
+        fold the captured BatchNorm statistics back in dispatch order, so
+        the service generator's running stats follow the serial trajectory.
+        """
+        backend = self.executor
+        # Snapshot parameters together with the handle version under the
+        # queue lock: an update_generator() landing mid-dispatch must not
+        # pair the *new* version with the *old* parameter vector in the
+        # backend's param cache (which would silently serve stale weights).
+        with self._lock:
+            if can_generate_resident(backend, self.generator, len(g_inputs)):
+                pending = backend.start_generation(
+                    GeneratorHandle(key=self.handle.key, version=self.handle.version),
+                    lambda: self.generator,
+                    self.generator.get_parameters(),
+                    g_inputs,
+                )
+                tasks = None
+            else:
+                pending = None
+                tasks = [
+                    _GenerationTask(copy.deepcopy(self.generator), g_input)
+                    for g_input in g_inputs
+                ]
+        if pending is not None:
+            outputs = pending.result()
+        else:
+            outputs = backend.map_ordered(_run_generation_task, tasks)
+        _fold_batchnorm_stats(self.generator, [stats for _, stats in outputs])
+        return outputs
+
+    def _fail(self, in_flight: List[_Request], exc: BaseException) -> None:
+        """Broadcast ``exc`` to in-flight and queued requests; refuse new ones."""
+        with self._lock:
+            self._failure = exc
+            queued = list(self._queue)
+            self._queue.clear()
+        for request in in_flight + queued:
+            request.error = exc
+            self.stats.record_failure()
+            request.done.set()
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        """Drain nothing, refuse everything: fail queued requests and shut down.
+
+        Queued-but-undispatched requests complete with :class:`ServiceClosed`
+        (they were never sent to the pool); the dispatcher thread exits; the
+        backend is released per the :class:`~repro.core.lifecycle.
+        BackendOwner` contract (an adopted, unowned pool is left running).
+        """
+        with self._lock:
+            self._closed = True
+            queued = list(self._queue)
+            self._queue.clear()
+            self._work.notify_all()
+        for request in queued:
+            request.error = ServiceClosed("generator service closed before dispatch")
+            request.done.set()
+        dispatcher = self._dispatcher
+        if dispatcher is not None and dispatcher.is_alive():
+            if dispatcher is not threading.current_thread():
+                dispatcher.join(timeout=30.0)
+        super().close()
+
+    def __enter__(self) -> "GeneratorService":
+        return self

@@ -1,0 +1,106 @@
+"""Latency/throughput accounting for the generation service.
+
+Every request the service answers records one end-to-end latency sample
+(enqueue to result-ready, as the caller experiences it) and every dispatch
+records how many queued requests it coalesced into a single resident
+k-batch.  :meth:`ServingStats.summary` condenses them into the numbers the
+``serve-bench`` experiment reports: throughput in samples and requests per
+second plus p50/p95/p99 latency.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["ServingStats"]
+
+
+class ServingStats:
+    """Thread-safe counters and latency reservoir for one service lifetime.
+
+    Latencies are kept exactly (one float per request) — serving benchmarks
+    run tens of thousands of requests at most, so a reservoir approximation
+    would only blur the tail percentiles the benchmark exists to measure.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latencies: List[float] = []
+        self.requests = 0
+        self.samples = 0
+        self.dispatches = 0
+        #: Requests answered per dispatch (the coalescing factor), summed;
+        #: ``coalesced / dispatches`` is the mean k per resident dispatch.
+        self.coalesced = 0
+        self.failures = 0
+        #: ``perf_counter`` of the first enqueue / last completion, bounding
+        #: the active serving window the throughput numbers divide by.
+        self._first_start: Optional[float] = None
+        self._last_end: Optional[float] = None
+
+    def record_enqueue(self, now: float) -> None:
+        """Note a request entering the queue (starts the active window)."""
+        with self._lock:
+            if self._first_start is None or now < self._first_start:
+                self._first_start = now
+
+    def record_dispatch(self, num_requests: int) -> None:
+        """Note one coalesced dispatch covering ``num_requests`` requests."""
+        with self._lock:
+            self.dispatches += 1
+            self.coalesced += int(num_requests)
+
+    def record_request(self, latency_seconds: float, num_samples: int, now: float) -> None:
+        """Note one answered request: its latency and the samples it carried."""
+        with self._lock:
+            self._latencies.append(float(latency_seconds))
+            self.requests += 1
+            self.samples += int(num_samples)
+            if self._last_end is None or now > self._last_end:
+                self._last_end = now
+
+    def record_failure(self) -> None:
+        """Note one request answered with an error."""
+        with self._lock:
+            self.failures += 1
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th latency percentile in seconds (NaN with no samples)."""
+        with self._lock:
+            if not self._latencies:
+                return float("nan")
+            return float(np.percentile(self._latencies, q))
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Active serving window: first enqueue to last completion."""
+        with self._lock:
+            if self._first_start is None or self._last_end is None:
+                return 0.0
+            return max(0.0, self._last_end - self._first_start)
+
+    def summary(self) -> Dict[str, float]:
+        """JSON-friendly summary (latencies in milliseconds, rates per second)."""
+        elapsed = self.elapsed_seconds
+        with self._lock:
+            requests = self.requests
+            samples = self.samples
+            dispatches = self.dispatches
+            coalesced = self.coalesced
+            failures = self.failures
+        return {
+            "requests": float(requests),
+            "samples": float(samples),
+            "failures": float(failures),
+            "dispatches": float(dispatches),
+            "mean_coalesce": float(coalesced / dispatches) if dispatches else 0.0,
+            "elapsed_seconds": float(elapsed),
+            "requests_per_second": float(requests / elapsed) if elapsed else 0.0,
+            "samples_per_second": float(samples / elapsed) if elapsed else 0.0,
+            "latency_p50_ms": self.percentile(50.0) * 1e3,
+            "latency_p95_ms": self.percentile(95.0) * 1e3,
+            "latency_p99_ms": self.percentile(99.0) * 1e3,
+        }

@@ -158,6 +158,9 @@ class TestCLI:
         assert _backend_kwargs(run_fig4, args) == {
             "backend": "process",
             "max_workers": None,
+            "shm_install": True,
+            "transport": "pipe",
+            "transport_address": None,
             "pipeline_depth": 0,
         }
         # Runners without a backend sweep fall back to serial with a note.
@@ -174,6 +177,9 @@ class TestCLI:
         assert _backend_kwargs(run_fig5, args) == {
             "backend": "resident",
             "max_workers": None,
+            "shm_install": True,
+            "transport": "pipe",
+            "transport_address": None,
             "pipeline_depth": 2,
         }
         # Runners without a pipeline knob fall back to synchronous with a note.

@@ -1,0 +1,104 @@
+"""Deprecation shims for the lifecycle/config API redesign.
+
+The redesign replaced process-global mutation and magic strings with
+explicit config threading and typed handles; the old surface survives as
+shims that warn but keep working.  These tests pin both halves: the
+``DeprecationWarning`` fires, and the legacy behaviour is unchanged.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.lifecycle import close_quietly as lifecycle_close_quietly
+from repro.models import build_toy_gan
+from repro.models.base import generator_input
+from repro.runtime import GeneratorHandle, create_backend
+from repro.runtime import backend as backend_module
+from repro.runtime import pipeline, resident, transport
+
+
+class _Recorder:
+    """Stand-in backend whose close() can be told to blow up."""
+
+    def __init__(self, fail: bool = False) -> None:
+        self.fail = fail
+        self.closed = 0
+
+    def close(self) -> None:
+        self.closed += 1
+        if self.fail:
+            raise RuntimeError("boom")
+
+
+def test_runtime_close_quietly_warns_and_still_swallows():
+    target = _Recorder(fail=True)
+    with pytest.warns(DeprecationWarning, match="repro.core.lifecycle"):
+        backend_module.close_quietly(target)
+    assert target.closed == 1
+
+
+def test_lifecycle_close_quietly_is_the_silent_canonical_form():
+    target = _Recorder(fail=True)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        lifecycle_close_quietly(target)
+    assert target.closed == 1
+
+
+def test_set_shm_install_default_warns_and_still_works():
+    before = resident.shm_install_default()
+    try:
+        with pytest.warns(DeprecationWarning, match="TrainingConfig"):
+            resident.set_shm_install_default(not before)
+        assert resident.shm_install_default() is (not before)
+    finally:
+        resident._SHM_INSTALL_DEFAULT = before
+
+
+def test_set_transport_default_warns_and_still_works():
+    before = transport.transport_default()
+    try:
+        with pytest.warns(DeprecationWarning, match="TrainingConfig"):
+            transport.set_transport_default("tcp", "127.0.0.1:0")
+        assert transport.transport_default() == ("tcp", "127.0.0.1:0")
+        with pytest.raises(ValueError, match="Unknown transport"):
+            with pytest.warns(DeprecationWarning):
+                transport.set_transport_default("carrier-pigeon")
+    finally:
+        transport._TRANSPORT_DEFAULT = before
+
+
+def test_generator_key_module_attribute_warns():
+    with pytest.warns(DeprecationWarning, match="GeneratorHandle"):
+        key = pipeline.GENERATOR_KEY
+    assert key == GeneratorHandle().key
+
+
+def test_string_key_to_start_generation_warns_but_generates():
+    factory = build_toy_gan(
+        image_shape=(1, 8, 8), num_classes=4, latent_dim=8, hidden=16
+    )
+    generator = factory.make_generator(np.random.default_rng(0))
+    rng = np.random.default_rng(1)
+    noise = rng.normal(0.0, 1.0, size=(4, factory.latent_dim)).astype(generator.dtype)
+    labels = (
+        rng.integers(0, factory.num_classes, size=4) if factory.conditional else None
+    )
+    g_input = generator_input(noise, labels, factory.num_classes)
+    backend = create_backend("resident", max_workers=1)
+    try:
+        with pytest.warns(DeprecationWarning, match="GeneratorHandle"):
+            pending = backend.start_generation(
+                "__server_generator__",
+                lambda: generator,
+                generator.get_parameters(),
+                [g_input],
+            )
+        images, _ = pending.result()[0]
+        assert images.shape[0] == 4
+    finally:
+        backend.close()

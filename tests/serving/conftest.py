@@ -1,0 +1,23 @@
+"""Shared fixtures for the serving-layer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_gaussian_ring, partition_iid
+from repro.models import build_toy_gan
+
+
+@pytest.fixture(scope="module")
+def ring_setup():
+    """A tiny ring dataset split over 4 workers, plus a matched toy GAN."""
+    train, _ = make_gaussian_ring(n_train=160, n_test=40, image_size=8, seed=7)
+    factory = build_toy_gan(
+        image_shape=train.spec.shape,
+        num_classes=train.num_classes,
+        latent_dim=8,
+        hidden=16,
+    )
+    shards = partition_iid(train, 4, np.random.default_rng(3))
+    return shards, factory

@@ -1,0 +1,145 @@
+"""Checkpoint/restore round-trips for the serving layer and the trainer.
+
+The claim under test is the resident recovery story: a warm pool holds
+nothing that cannot be rebuilt from the owner's authoritative objects, so a
+checkpoint of those objects survives a process restart — the restored
+service answers requests bitwise-identically, and a restored mid-epoch
+trainer continues training bitwise-identically to the original.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import MDGANTrainer, TrainingConfig
+from repro.serving import (
+    GeneratorService,
+    load_checkpoint,
+    restore_service,
+    restore_trainer,
+    save_checkpoint,
+    service_checkpoint,
+    trainer_checkpoint,
+)
+
+
+def _config(**overrides) -> TrainingConfig:
+    base = dict(batch_size=8, seed=11, backend="resident", max_workers=2)
+    base.update(overrides)
+    return TrainingConfig(**base)
+
+
+class TestServiceCheckpoint:
+    def test_roundtrip_through_file_is_bitwise(self, ring_setup, tmp_path):
+        _, factory = ring_setup
+        generator = factory.make_generator(np.random.default_rng(0))
+        with GeneratorService(generator, factory, _config()) as service:
+            service.warmup()
+            params = service.generator.get_parameters()
+            service.update_generator((params * 0.75).astype(params.dtype))
+            path = save_checkpoint(
+                service_checkpoint(service), tmp_path / "service.ckpt"
+            )
+            expected = service.serve(seed=21)
+        restored = restore_service(load_checkpoint(path))
+        with restored:
+            assert restored.handle.version == 0  # fresh handle on a cold pool
+            got = restored.serve(seed=21)
+        assert np.array_equal(got.images, expected.images)
+        assert np.array_equal(got.noise, expected.noise)
+
+    def test_restore_onto_other_backend_is_bitwise(self, ring_setup):
+        _, factory = ring_setup
+        generator = factory.make_generator(np.random.default_rng(1))
+        with GeneratorService(generator, factory, _config(backend="serial")) as service:
+            checkpoint = service_checkpoint(service)
+            expected = service.serve(seed=33).images
+        # Restore the serial-backend snapshot onto a warm resident pool.
+        with restore_service(checkpoint, config=_config()) as restored:
+            assert np.array_equal(restored.serve(seed=33).images, expected)
+
+    def test_envelope_validation(self, ring_setup, tmp_path):
+        _, factory = ring_setup
+        generator = factory.make_generator(np.random.default_rng(0))
+        with GeneratorService(generator, factory, _config(backend="serial")) as service:
+            checkpoint = service_checkpoint(service)
+        with pytest.raises(ValueError, match="mdgan-trainer"):
+            restore_trainer(object(), checkpoint)  # wrong kind
+        with pytest.raises(ValueError, match="version"):
+            restore_service(dict(checkpoint, version=99))
+        junk = tmp_path / "junk.ckpt"
+        junk.write_bytes(pickle.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError, match="repro-checkpoint"):
+            load_checkpoint(junk)
+
+
+class TestTrainerCheckpoint:
+    def test_mid_epoch_roundtrip_continues_bitwise(self, ring_setup, tmp_path):
+        # Train 4 of 8 iterations (mid-epoch: 5 batches per shard epoch),
+        # checkpoint through a file, restore into a fresh same-config trainer,
+        # and continue both — generator, discriminators and worker RNGs must
+        # stay bitwise identical.
+        shards, factory = ring_setup
+        config = _config(iterations=8)
+        with MDGANTrainer(factory, shards, config) as original:
+            for iteration in range(1, 5):
+                original.train_iteration(iteration)
+            path = save_checkpoint(
+                trainer_checkpoint(original), tmp_path / "trainer.ckpt"
+            )
+            with MDGANTrainer(factory, shards, config) as resumed:
+                restore_trainer(resumed, load_checkpoint(path))
+                for iteration in range(5, 9):
+                    original.train_iteration(iteration)
+                    resumed.train_iteration(iteration)
+                original.sync_worker_state()
+                resumed.sync_worker_state()
+                assert np.array_equal(
+                    original.generator.get_parameters(),
+                    resumed.generator.get_parameters(),
+                )
+                for worker_a, worker_b in zip(original.workers, resumed.workers):
+                    assert np.array_equal(
+                        worker_a.discriminator.get_parameters(),
+                        worker_b.discriminator.get_parameters(),
+                    )
+                    assert (
+                        worker_a.rng.bit_generator.state
+                        == worker_b.rng.bit_generator.state
+                    )
+                    assert (
+                        worker_a.sampler.samples_drawn
+                        == worker_b.sampler.samples_drawn
+                    )
+
+    def test_restored_snapshot_is_isolated_from_further_training(
+        self, ring_setup, tmp_path
+    ):
+        # The checkpoint deep-copies: training past the snapshot must not
+        # change what a later restore reproduces.
+        shards, factory = ring_setup
+        config = _config(iterations=4)
+        with MDGANTrainer(factory, shards, config) as trainer:
+            trainer.train_iteration(1)
+            checkpoint = trainer_checkpoint(trainer)
+            frozen = copy.deepcopy(checkpoint["state"]["generator"].get_parameters())
+            trainer.train_iteration(2)
+            assert np.array_equal(
+                checkpoint["state"]["generator"].get_parameters(), frozen
+            )
+            with MDGANTrainer(factory, shards, config) as resumed:
+                restore_trainer(resumed, checkpoint)
+                assert np.array_equal(resumed.generator.get_parameters(), frozen)
+
+    def test_worker_count_mismatch_raises(self, ring_setup):
+        shards, factory = ring_setup
+        config = _config(iterations=2)
+        with MDGANTrainer(factory, shards, config) as trainer:
+            checkpoint = trainer_checkpoint(trainer)
+        with MDGANTrainer(factory, shards[:2], config) as other:
+            with pytest.raises(ValueError, match="workers"):
+                restore_trainer(other, checkpoint)

@@ -1,0 +1,230 @@
+"""Tests for :class:`repro.serving.GeneratorService` (the request path).
+
+Pins the serving contracts: concurrent requests are bitwise identical to
+``fan_out_generation`` from the same draws; the versioned param cache ships
+zero bytes for an unchanged generator and exactly one re-ship per slot after
+``update_generator()``; a killed slot fail-stops every request of the
+in-flight group and the service refuses traffic afterwards; and
+``from_trainer()`` serves off a trainer's warm pool without owning it.
+"""
+
+from __future__ import annotations
+
+import copy
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core import MDGANTrainer, TrainingConfig
+from repro.runtime import TransportError, create_backend, fan_out_generation
+from repro.serving import GeneratorService, ServiceClosed
+
+
+def _config(**overrides) -> TrainingConfig:
+    base = dict(batch_size=8, seed=11, backend="resident", max_workers=2)
+    base.update(overrides)
+    return TrainingConfig(**base)
+
+
+def _draw_requests(factory, dtype, batch_size, k, seed):
+    """Replicate ``fan_out_generation``'s draw order: per batch, noise then labels."""
+    rng = np.random.default_rng(seed)
+    draws = []
+    for _ in range(k):
+        noise = rng.normal(0.0, 1.0, size=(batch_size, factory.latent_dim))
+        noise = noise.astype(dtype, copy=False)
+        labels = (
+            rng.integers(0, factory.num_classes, size=batch_size)
+            if factory.conditional
+            else None
+        )
+        draws.append((noise, labels))
+    return draws
+
+
+class TestBitwiseContract:
+    def test_concurrent_requests_match_fan_out(self, ring_setup):
+        # N client threads racing submit() must produce, per request, exactly
+        # the batch a serial fan_out_generation produces from the same draws.
+        _, factory = ring_setup
+        k, batch_size = 6, 8
+        reference = factory.make_generator(np.random.default_rng(0))
+        backend = create_backend("thread", max_workers=2)
+        try:
+            expected = fan_out_generation(
+                backend, reference, factory, batch_size, k, np.random.default_rng(123)
+            )
+        finally:
+            backend.close()
+        assert expected is not None
+
+        served = factory.make_generator(np.random.default_rng(0))
+        draws = _draw_requests(factory, served.dtype, batch_size, k, seed=123)
+        with GeneratorService(served, factory, _config()) as service:
+            with ThreadPoolExecutor(max_workers=k) as pool:
+                futures = [
+                    pool.submit(service.serve, noise=noise, labels=labels)
+                    for noise, labels in draws
+                ]
+                batches = [future.result(timeout=60) for future in futures]
+            summary = service.stats.summary()
+        assert summary["requests"] == k
+        assert summary["failures"] == 0
+        for batch, reference_batch in zip(batches, expected):
+            assert np.array_equal(batch.images, reference_batch.images)
+            assert np.array_equal(batch.noise, reference_batch.noise)
+            if factory.conditional:
+                assert np.array_equal(batch.labels, reference_batch.labels)
+
+    def test_seeded_requests_are_repeatable_and_backend_independent(self, ring_setup):
+        # A per-request seed pins the draws, so the same request answered by
+        # the warm pool and by the serial inline path is bitwise identical.
+        _, factory = ring_setup
+        generator = factory.make_generator(np.random.default_rng(0))
+        with GeneratorService(copy.deepcopy(generator), factory, _config()) as resident:
+            resident.warmup()
+            first = resident.serve(seed=5)
+            again = resident.serve(seed=5)
+        serial_config = _config(backend="serial")
+        with GeneratorService(copy.deepcopy(generator), factory, serial_config) as serial:
+            reference = serial.serve(seed=5)
+        assert np.array_equal(first.images, again.images)
+        assert np.array_equal(first.images, reference.images)
+        assert first.latency_seconds > 0.0
+
+
+class TestParamCache:
+    def test_zero_bytes_when_unchanged_one_reship_per_slot_on_update(self, ring_setup):
+        _, factory = ring_setup
+        generator = factory.make_generator(np.random.default_rng(0))
+        with GeneratorService(generator, factory, _config()) as service:
+            service.warmup()  # install + param-cache every slot deterministically
+            backend = service.executor
+            baseline = backend.param_bytes_sent
+            for i in range(5):
+                service.serve(seed=i)
+            assert backend.param_bytes_sent == baseline, (
+                "an unchanged generator must ship zero parameter bytes"
+            )
+
+            params = service.generator.get_parameters()
+            nbytes = params.nbytes
+            service.update_generator((params * 0.5).astype(params.dtype))
+            service.warmup()  # touches both slots: exactly one re-ship each
+            assert backend.param_bytes_sent == baseline + 2 * nbytes
+
+            baseline = backend.param_bytes_sent
+            served = service.serve(seed=123)
+            assert backend.param_bytes_sent == baseline
+
+            # The cache skip must serve the *new* weights, not stale copies.
+            reference_service = GeneratorService(
+                copy.deepcopy(service.generator), factory, _config(backend="serial")
+            )
+            with reference_service:
+                reference = reference_service.serve(seed=123)
+            assert np.array_equal(served.images, reference.images)
+
+
+class TestFailStop:
+    @pytest.mark.parametrize("transport", ["pipe", "tcp"])
+    def test_killed_slot_fail_stops_all_requests(self, ring_setup, transport):
+        _, factory = ring_setup
+        generator = factory.make_generator(np.random.default_rng(0))
+        config = _config(batch_size=4, transport=transport)
+        service = GeneratorService(generator, factory, config)
+        try:
+            service.warmup()
+            victim = service.executor._transport._processes[0]
+            victim.kill()
+            victim.join()
+            # warmup() enqueues one atomic 2-request group, so both requests
+            # are in flight when the dead slot surfaces: the error must be
+            # a TransportError naming the slot, broadcast to the whole group.
+            with pytest.raises(TransportError) as excinfo:
+                service.warmup()
+            # Slot indices follow accept order over tcp, so the victim may
+            # serve either slot — but the error must name one.
+            assert excinfo.value.slot_index in (0, 1)
+            assert service.stats.summary()["failures"] == 2
+            # Fail-stop: the service refuses further requests, it never
+            # silently re-runs lost ones.
+            with pytest.raises(ServiceClosed, match="fail-stopped"):
+                service.serve(seed=1)
+        finally:
+            service.close()
+
+
+class TestLifecycle:
+    def test_from_trainer_serves_warm_pool_unowned(self, ring_setup):
+        shards, factory = ring_setup
+        config = _config(iterations=4)
+        trainer = MDGANTrainer(factory, shards, config)
+        try:
+            trainer.train()
+            pool = trainer.executor
+            service = GeneratorService.from_trainer(trainer)
+            assert service.executor is pool
+
+            # Training bumped the shared handle after its last generation, so
+            # the first request may re-ship once; after that the slots are
+            # provably current and repeat requests ship zero bytes.
+            first = service.serve(seed=7)
+            baseline = pool.param_bytes_sent
+            second = service.serve(seed=7)
+            assert np.array_equal(first.images, second.images)
+            assert pool.param_bytes_sent == baseline
+
+            # Closing the service must leave the trainer's pool running: the
+            # backend was adopted unowned.
+            service.close()
+            assert trainer._backend is pool
+            trainer.train_iteration(config.iterations + 1)
+        finally:
+            trainer.close()
+
+    def test_closed_service_refuses_requests(self, ring_setup):
+        _, factory = ring_setup
+        generator = factory.make_generator(np.random.default_rng(0))
+        service = GeneratorService(generator, factory, _config(backend="serial"))
+        assert service.serve(seed=1).images.shape[0] == 8
+        service.close()
+        with pytest.raises(ServiceClosed, match="closed"):
+            service.submit(seed=2)
+        service.close()  # idempotent
+
+    def test_constructor_and_request_validation(self, ring_setup):
+        _, factory = ring_setup
+
+        class Unbuilt:
+            built = False
+
+        with pytest.raises(ValueError, match="built generator"):
+            GeneratorService(Unbuilt(), factory, _config(backend="serial"))
+        generator = factory.make_generator(np.random.default_rng(0))
+        with pytest.raises(ValueError, match="max_coalesce"):
+            GeneratorService(generator, factory, _config(backend="serial"), max_coalesce=0)
+        with GeneratorService(generator, factory, _config(backend="serial")) as service:
+            with pytest.raises(ValueError, match="batch_size"):
+                service.submit(batch_size=0)
+
+
+class TestStats:
+    def test_summary_counts_and_percentile_order(self, ring_setup):
+        _, factory = ring_setup
+        generator = factory.make_generator(np.random.default_rng(0))
+        with GeneratorService(generator, factory, _config(backend="serial")) as service:
+            for i in range(3):
+                service.serve(seed=i, batch_size=4)
+            summary = service.stats.summary()
+        assert summary["requests"] == 3
+        assert summary["samples"] == 12
+        assert summary["failures"] == 0
+        assert summary["mean_coalesce"] >= 1.0
+        assert (
+            summary["latency_p50_ms"]
+            <= summary["latency_p95_ms"]
+            <= summary["latency_p99_ms"]
+        )
+        assert summary["requests_per_second"] > 0
