@@ -119,6 +119,26 @@ class TrainingConfig:
     #: to ``d`` local iterations in flight (no staleness — FL-GAN pipelining
     #: is parity-preserving).
     pipeline_depth: int = 0
+    #: Feedback/merge aggregation discipline.  ``"sync"`` (the default) is
+    #: the paper's algorithm: every iteration waits for all participants
+    #: before the generator update / FedAvg merge — bitwise identical across
+    #: all backends and pipeline depths.  ``"async"`` takes the merge off the
+    #: critical path: worker contributions are collected in completion order
+    #: (:meth:`repro.runtime.ExecutorBackend.open_collector`), buffered, and
+    #: applied with staleness-decayed weights under the bounded-staleness
+    #: gate below.  Async runs are *not* bitwise-reproducible on concurrent
+    #: backends (completion order is real-time nondeterminism); on the serial
+    #: backend they degenerate to a deterministic round-robin.
+    aggregation: str = "sync"
+    #: Bounded-staleness window for ``aggregation="async"``: no worker's
+    #: contribution may be folded in more than this many global updates after
+    #: the state it was computed against.  Enforced by *blocking dispatch* —
+    #: the scheduler refuses to apply an update that would push any in-flight
+    #: worker past the bound, so fast workers throttle to the straggler only
+    #: when the bound binds.  ``0`` degenerates to a completion-order barrier
+    #: (every update sees only fresh contributions).  Ignored when
+    #: ``aggregation="sync"``.
+    max_staleness: int = 2
 
     def __post_init__(self) -> None:
         if self.iterations <= 0:
@@ -175,6 +195,26 @@ class TrainingConfig:
                 f"pipeline_depth must be >= 0 (0 = synchronous), got "
                 f"{self.pipeline_depth}"
             )
+        if self.aggregation not in ("sync", "async"):
+            raise ValueError(
+                f"aggregation must be 'sync' or 'async', got {self.aggregation!r}"
+            )
+        if self.max_staleness < 0:
+            raise ValueError(
+                f"max_staleness must be >= 0, got {self.max_staleness}"
+            )
+        if self.aggregation == "async":
+            if self.pipeline_depth:
+                raise ValueError(
+                    "aggregation='async' and pipeline_depth > 0 are mutually "
+                    "exclusive: the async scheduler already overlaps "
+                    "generation/merge with worker compute"
+                )
+            if self.participation_fraction != 1.0:
+                raise ValueError(
+                    "aggregation='async' runs every alive worker continuously; "
+                    "participation_fraction must be 1.0"
+                )
 
     @property
     def dtype(self):

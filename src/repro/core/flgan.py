@@ -35,6 +35,7 @@ from ..runtime.tasks import (
 from ..simulation.cluster import SERVER_NAME, Cluster
 from ..simulation.messages import MessageKind
 from ..simulation.network import LinkModel
+from .async_aggregation import BoundedStalenessScheduler
 from .config import TrainingConfig
 from .gan_ops import GANObjective
 from .history import TrainingHistory
@@ -131,6 +132,8 @@ class FLGANTrainer(BackendOwner):
                 "num_workers": len(shards),
                 "architecture": factory.name,
                 "pipeline_depth": config.pipeline_depth,
+                "aggregation": config.aggregation,
+                "max_staleness": config.max_staleness,
             },
         )
 
@@ -379,6 +382,265 @@ class FLGANTrainer(BackendOwner):
                 iteration, float(np.mean(gen_losses)), float(np.mean(disc_losses))
             )
 
+    # -- asynchronous aggregation -------------------------------------------------
+    #
+    # Under ``aggregation="async"`` each worker marches through its local
+    # iterations independently over the runtime's completion-order collection
+    # API.  A worker's *unit* is one local iteration; only round boundaries
+    # touch the bounded-staleness scheduler: the round-start dispatch marks
+    # the read point (the federated merge count the worker's round started
+    # from) and the round-end upload buffers the worker's full GAN as one
+    # contribution.  Buffered contributions are folded in whole-buffer
+    # flushes — each flush is one staleness-weighted FedAvg merge anchored on
+    # the server model — so the merge leaves the critical path: fast workers
+    # never wait for a straggler's round unless the staleness gate closes.
+    # Async runs are *not* bitwise-reproducible on concurrent backends
+    # (completion order is wall-clock nondeterminism); the serial backend
+    # degenerates to a deterministic round-robin.
+
+    def _async_worker_fn(self, worker: FLGANWorkerState):
+        """The pure per-unit function dispatched for ``worker`` (stateless backends).
+
+        A dedicated seam so benchmarks/tests can inject per-worker slowdowns
+        (straggler experiments) without touching the scheduler.
+        """
+        return run_flgan_local_task
+
+    def _dispatch_async_local_unit(self, worker: FLGANWorkerState, collector) -> None:
+        """Dispatch one local iteration for ``worker`` through the collector."""
+        backend = self.executor
+        if getattr(backend, "supports_resident", False):
+            collector.dispatch(
+                worker.index, lambda w=worker: self._resident_state(w), None
+            )
+        else:
+            collector.dispatch(
+                worker.index,
+                self._async_worker_fn(worker),
+                self._build_local_task(worker),
+            )
+
+    def _pull_async_params(self, worker: FLGANWorkerState, collector) -> Dict[str, np.ndarray]:
+        """Snapshot a worker's flat parameter vectors at its round boundary.
+
+        Resident workers answer through the collector's mid-flight
+        ``pull_params`` (the GAN lives in the pool); stateless workers are
+        read directly — their just-merged objects are current.
+        """
+        if getattr(self.executor, "supports_resident", False):
+            pulled = collector.pull_params([worker.index])
+            if worker.index in pulled:
+                return dict(pulled[worker.index])
+        return {
+            "generator": worker.generator.get_parameters(),
+            "discriminator": worker.discriminator.get_parameters(),
+        }
+
+    def _collect_async_completion(
+        self,
+        collector,
+        sched: BoundedStalenessScheduler,
+        done_iters: Dict[int, int],
+        round_losses: Dict[int, tuple],
+    ) -> None:
+        """Wait for any worker's local iteration and advance its round.
+
+        Mid-round completions re-dispatch immediately against the same
+        round-start mark; a round-boundary completion uploads the worker's
+        GAN as a buffered contribution (blocking further dispatch until the
+        flush); a worker finishing its *final, partial* round is discarded —
+        the synchronous schedule never merges a partial round either.  A
+        worker that crashed while its unit was in flight is discarded and
+        never re-dispatched (fail-stop loses in-flight work).
+        """
+        key, result = collector.collect_any()
+        worker = self.workers[key]
+        if not self.cluster.workers[key].alive:
+            sched.discard(key)
+            return
+        gen_loss, disc_loss = self._merge_local_result(worker, result)
+        gen_acc, disc_acc = round_losses[key]
+        gen_acc.append(gen_loss)
+        disc_acc.append(disc_loss)
+        done_iters[key] += 1
+        done = done_iters[key]
+        if done % self.iterations_per_round == 0:
+            payload = self._pull_async_params(worker, collector)
+            # Metered upload through the simulated network; the contribution
+            # carries the authoritative vectors (drained at flush time).
+            self.cluster.workers[key].send(
+                SERVER_NAME,
+                MessageKind.MODEL_UPDATE,
+                payload,
+                sched.updates,
+                num_samples=len(worker.sampler),
+            )
+            sched.note_completion(
+                key,
+                {
+                    "generator": payload["generator"],
+                    "discriminator": payload["discriminator"],
+                    "num_samples": float(len(worker.sampler)),
+                    "gen_loss": float(np.mean(gen_acc)),
+                    "disc_loss": float(np.mean(disc_acc)),
+                },
+            )
+            round_losses[key] = ([], [])
+        elif done < self.config.iterations:
+            self._dispatch_async_local_unit(worker, collector)
+        else:
+            sched.discard(key)
+
+    def _apply_async_round(
+        self,
+        sched: BoundedStalenessScheduler,
+        stats: PipelineStats,
+        done_iters: Dict[int, int],
+        collector,
+    ) -> int:
+        """Flush the contribution buffer as ONE staleness-weighted FedAvg merge.
+
+        The merge averages ``[server] + contributors``: each contributor
+        weighs its shard size decayed by ``1 / (1 + staleness)``, and the
+        server anchor absorbs both the shard mass of alive workers *outside*
+        this flush and the staleness-lost mass of the contributors.  An
+        all-fresh, full-fleet flush therefore degenerates to the synchronous
+        shard-weighted FedAvg exactly.  Contributors receive the merged model
+        (broadcast + resident push) and, if they have local iterations left,
+        start their next round against the new merge count.
+        """
+        cfg = self.config
+        contributions = sched.take_buffered()
+        # Uploads were metered at round boundaries; drain the mailbox copy.
+        self.cluster.server.receive(MessageKind.MODEL_UPDATE)
+        stalenesses = [sched.staleness_of(c) for c in contributions]
+        decay = [1.0 / (1.0 + float(s)) for s in stalenesses]
+        contrib_keys = {c.key for c in contributions}
+        outside_mass = sum(
+            float(len(w.sampler))
+            for w in self._active_workers()
+            if w.index not in contrib_keys
+        )
+        lost_mass = sum(
+            c.payload["num_samples"] * (1.0 - d)
+            for c, d in zip(contributions, decay)
+        )
+        gen_vectors = [self.server_generator.get_parameters()]
+        disc_vectors = [self.server_discriminator.get_parameters()]
+        weights = [outside_mass + lost_mass]
+        for contribution, d in zip(contributions, decay):
+            gen_vectors.append(contribution.payload["generator"])
+            disc_vectors.append(contribution.payload["discriminator"])
+            weights.append(contribution.payload["num_samples"] * d)
+        avg_gen = weighted_average_parameters(gen_vectors, weights)
+        avg_disc = weighted_average_parameters(disc_vectors, weights)
+        self.server_generator.set_parameters(avg_gen)
+        self.server_discriminator.set_parameters(avg_disc)
+        sched.note_applied()
+        update = sched.updates
+        self.history.record_losses(
+            update,
+            float(np.mean([c.payload["gen_loss"] for c in contributions])),
+            float(np.mean([c.payload["disc_loss"] for c in contributions])),
+        )
+        self.history.record_staleness(update, max(stalenesses))
+        stats.record_staleness(max(stalenesses))
+        for contribution, staleness in zip(contributions, stalenesses):
+            self.history.record_worker_staleness(contribution.key, staleness)
+        self.history.record_event(
+            update, "federated_round", workers=len(contributions)
+        )
+        resident = getattr(self.executor, "supports_resident", False)
+        push_map: Dict[int, Dict[str, np.ndarray]] = {}
+        for contribution in contributions:
+            worker = self.workers[contribution.key]
+            node = self.cluster.workers[contribution.key]
+            if not node.alive:
+                continue
+            self.cluster.server.send(
+                node.name,
+                MessageKind.MODEL_BROADCAST,
+                {"generator": avg_gen, "discriminator": avg_disc},
+                update,
+            )
+            broadcast = node.receive(MessageKind.MODEL_BROADCAST)
+            if broadcast:
+                payload = broadcast[-1].payload
+                if resident:
+                    push_map[contribution.key] = {
+                        "generator": payload["generator"],
+                        "discriminator": payload["discriminator"],
+                    }
+                else:
+                    worker.generator.set_parameters(payload["generator"])
+                    worker.discriminator.set_parameters(payload["discriminator"])
+        if push_map:
+            collector.push_params(push_map)
+        for contribution in contributions:
+            worker = self.workers[contribution.key]
+            if (
+                self.cluster.workers[contribution.key].alive
+                and done_iters[contribution.key] < cfg.iterations
+            ):
+                sched.note_dispatch(contribution.key)
+                self._dispatch_async_local_unit(worker, collector)
+        return update
+
+    def _train_async(self) -> TrainingHistory:
+        """Event-driven training loop for ``aggregation="async"``.
+
+        Every worker runs its full ``config.iterations`` local iterations
+        (same per-worker work as a synchronous run); the loop ends when no
+        unit is in flight and no contribution is buffered.  Losses,
+        evaluations and staleness are recorded on the *merge-count* axis —
+        async federated rounds have no shared local-iteration clock.
+        """
+        cfg = self.config
+        sched = BoundedStalenessScheduler(cfg.max_staleness)
+        stats = PipelineStats(depth=0)
+        done_iters = {worker.index: 0 for worker in self.workers}
+        round_losses = {worker.index: ([], []) for worker in self.workers}
+        collector = self.executor.open_collector("flgan")
+        try:
+            for worker in self._active_workers():
+                sched.note_dispatch(worker.index)
+                self._dispatch_async_local_unit(worker, collector)
+            while collector.outstanding or sched.buffered:
+                stats.observe_in_flight(collector.outstanding)
+                if collector.outstanding:
+                    self._collect_async_completion(
+                        collector, sched, done_iters, round_losses
+                    )
+                if sched.buffered and sched.gate_open:
+                    update = self._apply_async_round(
+                        sched, stats, done_iters, collector
+                    )
+                    if (
+                        self.evaluator is not None
+                        and cfg.eval_every
+                        and update % cfg.eval_every == 0
+                    ):
+                        self.history.record_evaluation(
+                            self.evaluator.evaluate(self.sample_images, update)
+                        )
+            collector.drain()
+            collector.close()
+        except BaseException:
+            self._cleanup_after_failure()
+            raise
+        else:
+            self.sync_worker_state(reclaim=False)
+        finally:
+            self.history.overlap = stats.as_overlap_dict()
+        if self.evaluator is not None and cfg.eval_every:
+            last = self.history.evaluations[-1] if self.history.evaluations else None
+            if last is None or last.iteration != sched.updates:
+                self.history.record_evaluation(
+                    self.evaluator.evaluate(self.sample_images, sched.updates)
+                )
+        self._record_run_summaries()
+        return self.history
+
     def train(self) -> TrainingHistory:
         """Run ``config.iterations`` local iterations with federated rounds.
 
@@ -403,6 +665,8 @@ class FLGANTrainer(BackendOwner):
         released by :meth:`close` / context-manager exit.
         """
         cfg = self.config
+        if cfg.aggregation == "async":
+            return self._train_async()
         round_length = self.iterations_per_round
         depth = cfg.pipeline_depth
         window = InflightWindow(depth)
@@ -453,12 +717,17 @@ class FLGANTrainer(BackendOwner):
             # exits keep their overlap summary.
             if stats is not None:
                 self.history.overlap = stats.as_overlap_dict()
-        if cfg.record_traffic:
-            meter = self.cluster.meter
-            self.history.traffic = {
-                "total_bytes": float(meter.total_bytes()),
-                "server_ingress_bytes": float(meter.node_ingress(SERVER_NAME)),
-                "server_egress_bytes": float(meter.node_egress(SERVER_NAME)),
-                "rounds": float(len(self.history.events_of_kind("federated_round"))),
-            }
+        self._record_run_summaries()
         return self.history
+
+    def _record_run_summaries(self) -> None:
+        """Fold the run's traffic meters into the history (both loops)."""
+        if not self.config.record_traffic:
+            return
+        meter = self.cluster.meter
+        self.history.traffic = {
+            "total_bytes": float(meter.total_bytes()),
+            "server_ingress_bytes": float(meter.node_ingress(SERVER_NAME)),
+            "server_egress_bytes": float(meter.node_egress(SERVER_NAME)),
+            "rounds": float(len(self.history.events_of_kind("federated_round"))),
+        }

@@ -37,6 +37,13 @@ class TrainingHistory:
     #: schedule.  Parallel to :attr:`iterations` when pipelining is active;
     #: empty for synchronous runs.
     staleness: List[int] = field(default_factory=list)
+    #: Per-worker staleness observations under asynchronous aggregation
+    #: (``TrainingConfig.aggregation="async"``): for each worker index, the
+    #: age in global updates of every contribution of theirs that was folded
+    #: into the model.  The bounded-staleness contract —
+    #: ``max(per-worker staleness) <= config.max_staleness`` — is checked
+    #: against exactly this record.  Empty for synchronous runs.
+    worker_staleness: Dict[int, List[int]] = field(default_factory=dict)
     #: Summary of the pipelined run's achieved overlap (depth, lookahead /
     #: fan-out generation counts, staleness aggregates, max in-flight window);
     #: empty for synchronous runs.  See
@@ -62,6 +69,10 @@ class TrainingHistory:
                 f"iteration (iteration {iteration})"
             )
         self.staleness.append(int(staleness))
+
+    def record_worker_staleness(self, worker_index: int, staleness: int) -> None:
+        """Append one applied contribution's staleness for ``worker_index``."""
+        self.worker_staleness.setdefault(int(worker_index), []).append(int(staleness))
 
     def record_evaluation(self, result: EvaluationResult) -> None:
         """Append a periodic evaluation result."""
@@ -112,6 +123,15 @@ class TrainingHistory:
         """Mean recorded batch staleness (0.0 for synchronous runs)."""
         return float(np.mean(self.staleness)) if self.staleness else 0.0
 
+    def max_worker_staleness(self) -> int:
+        """Largest applied-contribution staleness across all workers (0 if none).
+
+        Under ``aggregation="async"`` this is the quantity the
+        bounded-staleness contract caps at ``config.max_staleness``.
+        """
+        values = [s for series in self.worker_staleness.values() for s in series]
+        return max(values) if values else 0
+
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict export (JSON-serialisable) used by the report writers."""
         return {
@@ -125,6 +145,10 @@ class TrainingHistory:
             "traffic": dict(self.traffic),
             "compute": dict(self.compute),
             "staleness": list(self.staleness),
+            "worker_staleness": {
+                str(worker): list(series)
+                for worker, series in self.worker_staleness.items()
+            },
             "overlap": dict(self.overlap),
         }
 
@@ -149,5 +173,9 @@ class TrainingHistory:
             traffic=dict(payload.get("traffic", {})),
             compute=dict(payload.get("compute", {})),
             staleness=[int(s) for s in payload.get("staleness", [])],
+            worker_staleness={
+                int(worker): [int(s) for s in series]
+                for worker, series in payload.get("worker_staleness", {}).items()
+            },
             overlap=dict(payload.get("overlap", {})),
         )

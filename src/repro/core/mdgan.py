@@ -60,6 +60,7 @@ from ..simulation.cluster import SERVER_NAME, Cluster
 from ..simulation.failures import CrashSchedule
 from ..simulation.messages import Message, MessageKind
 from ..simulation.network import LinkModel
+from .async_aggregation import BoundedStalenessScheduler, staleness_weights
 from .config import TrainingConfig, resolve_num_batches
 from .gan_ops import (
     GANObjective,
@@ -106,6 +107,12 @@ class MDGANTrainer(BackendOwner):
     ) -> None:
         if not shards:
             raise ValueError("MD-GAN needs at least one worker shard")
+        if per_feedback_updates and config.aggregation == "async":
+            raise ValueError(
+                "per_feedback_updates (the Section VII per-feedback variant) "
+                "and aggregation='async' are distinct server disciplines; "
+                "enable at most one"
+            )
         # Convert shards once so an explicit precision opt-in reaches the data.
         shards = [shard.astype(config.dtype) for shard in shards]
         self.factory = factory
@@ -174,6 +181,8 @@ class MDGANTrainer(BackendOwner):
                 "participation_fraction": config.participation_fraction,
                 "architecture": factory.name,
                 "pipeline_depth": config.pipeline_depth,
+                "aggregation": config.aggregation,
+                "max_staleness": config.max_staleness,
             },
         )
 
@@ -772,6 +781,225 @@ class MDGANTrainer(BackendOwner):
             iteration, batches, gen_losses, disc_losses, staleness=staleness
         )
 
+    # -- asynchronous aggregation (bounded staleness) ---------------------------------
+    #
+    # ``config.aggregation="async"`` replaces the rigid begin -> dispatch ->
+    # merge -> finish phase sequence with an event-driven loop over the
+    # backend's completion-order collector: each worker continuously runs
+    # single-iteration units (fresh batches generated against the *current*
+    # generator at dispatch), finished feedbacks are buffered, and the
+    # buffer is folded into the generator in whole-buffer flushes — each
+    # flush is one global generator update, weighted by staleness decay
+    # (see :mod:`repro.core.async_aggregation`).  The merge thereby leaves
+    # the critical path: fast workers never wait for a straggler unless the
+    # staleness gate closes, which is exactly the bounded-staleness
+    # contract.  Async runs are *not* bitwise-reproducible on concurrent
+    # backends (completion order is wall-clock nondeterminism); the serial
+    # backend degenerates to a deterministic round-robin.
+
+    def _async_worker_fn(self, worker: MDGANWorkerState):
+        """The pure per-unit function dispatched for ``worker`` (stateless backends).
+
+        A dedicated seam so benchmarks/tests can inject per-worker slowdowns
+        (straggler experiments) without touching the scheduler.
+        """
+        return run_mdgan_worker_task
+
+    def _dispatch_async_unit(
+        self,
+        worker: MDGANWorkerState,
+        collector,
+        sched: BoundedStalenessScheduler,
+        batch_store: Dict[int, List[GeneratedBatch]],
+    ) -> None:
+        """Generate fresh batches for one worker and dispatch one unit of work.
+
+        The unit reads the *current* generator: its dispatch mark is
+        ``sched.updates``, which is what the staleness of the eventual
+        contribution is measured against.  ``k`` degenerates to at most two
+        batches per unit — the worker only ever consumes ``X_d``/``X_g``, and
+        per-worker generation replaces the shared round-robin assignment of
+        the synchronous schedule.
+        """
+        k_unit = min(self.num_batches, 2)
+        batches = self._generate_batches(k_unit)
+        g_batch, d_batch = batches[0], batches[-1]
+        node = self.cluster.workers[worker.index]
+        self.cluster.server.send(
+            node.name,
+            MessageKind.GENERATED_BATCHES,
+            {"X_d": d_batch.images, "X_g": g_batch.images},
+            sched.updates,
+            labels_d=d_batch.labels,
+            labels_g=g_batch.labels,
+            batch_index_g=0,
+            batch_index_d=len(batches) - 1,
+        )
+        backend = self.executor
+        if getattr(backend, "supports_resident", False):
+            message = self._receive_generated(worker)
+            if message is None:
+                return
+            collector.dispatch(
+                worker.index,
+                lambda w=worker: self._resident_state(w),
+                self._resident_step_input(message),
+            )
+        else:
+            task = self._build_worker_task(worker)
+            if task is None:
+                return
+            collector.dispatch(worker.index, self._async_worker_fn(worker), task)
+        batch_store[worker.index] = batches
+        sched.note_dispatch(worker.index)
+
+    def _collect_async_completion(
+        self,
+        collector,
+        sched: BoundedStalenessScheduler,
+        batch_store: Dict[int, List[GeneratedBatch]],
+    ) -> None:
+        """Wait for any worker's unit to finish and buffer its contribution.
+
+        A worker that crashed while its unit was in flight is discarded —
+        the fail-stop model loses in-flight work — and never re-dispatched.
+        """
+        key, result = collector.collect_any()
+        worker = self.workers[key]
+        batches = batch_store.pop(key)
+        if not self.cluster.workers[key].alive:
+            sched.discard(key)
+            return
+        stats = self._merge_worker_result(sched.updates, worker, result)
+        sched.note_completion(
+            key,
+            {"batch": batches[0], "feedback": result.feedback, "losses": stats},
+        )
+
+    def _apply_async_update(
+        self, sched: BoundedStalenessScheduler, stats: PipelineStats
+    ) -> None:
+        """Flush the contribution buffer as ONE staleness-weighted generator update."""
+        contributions = sched.take_buffered()
+        # The feedback messages were routed (and metered) through the
+        # simulated network at merge time; consume them here — the
+        # contributions carry the authoritative (batch, feedback) pairs.
+        self.cluster.server.receive(MessageKind.ERROR_FEEDBACK)
+        stalenesses = [sched.staleness_of(c) for c in contributions]
+        weights = staleness_weights(stalenesses)
+        self._gen_update_count += 1
+        self._generator_handle.bump()
+        self.cluster.server.compute.observe_memory(
+            len(contributions) * self.config.batch_size * self.factory.object_size
+        )
+        self.generator.zero_grad()
+        apply_feedback_to_generator(
+            self.generator,
+            self.factory,
+            [c.payload["batch"] for c in contributions],
+            [c.payload["feedback"] for c in contributions],
+            weights=weights,
+        )
+        self._gen_opt.step(self.generator)
+        self.cluster.server.compute.charge(
+            "generator_update",
+            len(contributions) * self.config.batch_size * self.generator.num_parameters,
+        )
+        sched.note_applied()
+        update = sched.updates
+        self.history.record_losses(
+            update,
+            float(np.mean([c.payload["losses"]["gen_loss"] for c in contributions])),
+            float(np.mean([c.payload["losses"]["disc_loss"] for c in contributions])),
+        )
+        self.history.record_staleness(update, max(stalenesses))
+        stats.record_staleness(max(stalenesses))
+        for contribution, staleness in zip(contributions, stalenesses):
+            self.history.record_worker_staleness(contribution.key, staleness)
+
+    def _train_async(self) -> TrainingHistory:
+        """Event-driven training loop for ``aggregation="async"``.
+
+        Terminates after ``config.iterations`` generator updates (the same
+        update count a synchronous run performs).  SWAP runs at its usual
+        update period behind a drain barrier: due swaps stop re-dispatch,
+        wait for the in-flight set to empty, gossip, then refill the fleet.
+        Scheduled crashes apply at update boundaries (the async axis is
+        updates, not lockstep iterations); crashed residents are not
+        reclaimed mid-run — the final mirror refresh reconciles the
+        trainer's objects.
+        """
+        cfg = self.config
+        sched = BoundedStalenessScheduler(cfg.max_staleness)
+        stats = PipelineStats(depth=0)
+        batch_store: Dict[int, List[GeneratedBatch]] = {}
+        period = self.swap_period
+        next_swap = period if period else 0
+        swap_pending = False
+        collector = self.executor.open_collector("mdgan")
+        for name in self.cluster.apply_crashes(1):
+            self.history.record_event(1, "crash", worker=name)
+        try:
+            while sched.updates < cfg.iterations:
+                alive = self._alive_workers()
+                if not alive and not collector.outstanding and not sched.buffered:
+                    self.history.record_event(
+                        sched.updates + 1, "all_workers_crashed"
+                    )
+                    break
+                if not swap_pending:
+                    tracked = sched.tracked_keys()
+                    for worker in alive:
+                        if worker.index not in tracked:
+                            self._dispatch_async_unit(
+                                worker, collector, sched, batch_store
+                            )
+                stats.observe_in_flight(collector.outstanding)
+                if collector.outstanding:
+                    self._collect_async_completion(collector, sched, batch_store)
+                if sched.buffered and sched.gate_open:
+                    self._apply_async_update(sched, stats)
+                    update = sched.updates
+                    if period and update >= next_swap:
+                        swap_pending = True
+                    if (
+                        self.evaluator is not None
+                        and cfg.eval_every
+                        and (
+                            update % cfg.eval_every == 0
+                            or update == cfg.iterations
+                        )
+                    ):
+                        self.history.record_evaluation(
+                            self.evaluator.evaluate(self.sample_images, update)
+                        )
+                    if update < cfg.iterations:
+                        for name in self.cluster.apply_crashes(update + 1):
+                            self.history.record_event(
+                                update + 1, "crash", worker=name
+                            )
+                if (
+                    swap_pending
+                    and not collector.outstanding
+                    and not sched.buffered
+                ):
+                    self._swap_discriminators(sched.updates)
+                    next_swap = period * (sched.updates // period + 1)
+                    swap_pending = False
+            # Straggler units past the end of training: the work is
+            # discarded (never merged, never charged trainer-side).
+            collector.drain()
+            collector.close()
+        except BaseException:
+            self._cleanup_after_failure()
+            raise
+        else:
+            self.sync_worker_state(reclaim=False)
+        finally:
+            self.history.overlap = stats.as_overlap_dict()
+        self._record_run_summaries()
+        return self.history
+
     def train(self) -> TrainingHistory:
         """Train for ``config.iterations`` global iterations and return the history.
 
@@ -789,6 +1017,8 @@ class MDGANTrainer(BackendOwner):
         backend is released by :meth:`close` / context-manager exit.
         """
         cfg = self.config
+        if cfg.aggregation == "async":
+            return self._train_async()
         pipelined = cfg.pipeline_depth > 0
         if pipelined:
             queue = BatchAheadQueue()
@@ -822,24 +1052,29 @@ class MDGANTrainer(BackendOwner):
             # exception) so early exits keep their overlap/staleness summary.
             if pipelined:
                 self.history.overlap = stats.as_overlap_dict()
-        if cfg.record_traffic:
-            meter = self.cluster.meter
-            self.history.traffic = {
-                "total_bytes": float(meter.total_bytes()),
-                "server_ingress_bytes": float(meter.node_ingress(SERVER_NAME)),
-                "server_egress_bytes": float(meter.node_egress(SERVER_NAME)),
-                "swap_bytes": float(
-                    meter.total_bytes(MessageKind.DISCRIMINATOR_SWAP)
-                ),
-                "feedback_bytes": float(meter.total_bytes(MessageKind.ERROR_FEEDBACK)),
-                "generated_batch_bytes": float(
-                    meter.total_bytes(MessageKind.GENERATED_BATCHES)
-                ),
-            }
-            self.history.compute = {
-                "server_flops": float(self.cluster.server.compute.flops),
-                "mean_worker_flops": float(
-                    np.mean([self.cluster.workers[w.index].compute.flops for w in self.workers])
-                ),
-            }
+        self._record_run_summaries()
         return self.history
+
+    def _record_run_summaries(self) -> None:
+        """Fold the run's traffic/compute meters into the history (both loops)."""
+        if not self.config.record_traffic:
+            return
+        meter = self.cluster.meter
+        self.history.traffic = {
+            "total_bytes": float(meter.total_bytes()),
+            "server_ingress_bytes": float(meter.node_ingress(SERVER_NAME)),
+            "server_egress_bytes": float(meter.node_egress(SERVER_NAME)),
+            "swap_bytes": float(
+                meter.total_bytes(MessageKind.DISCRIMINATOR_SWAP)
+            ),
+            "feedback_bytes": float(meter.total_bytes(MessageKind.ERROR_FEEDBACK)),
+            "generated_batch_bytes": float(
+                meter.total_bytes(MessageKind.GENERATED_BATCHES)
+            ),
+        }
+        self.history.compute = {
+            "server_flops": float(self.cluster.server.compute.flops),
+            "mean_worker_flops": float(
+                np.mean([self.cluster.workers[w.index].compute.flops for w in self.workers])
+            ),
+        }

@@ -16,6 +16,7 @@ swap ablation (Section IV-C) :func:`run_ablation_swap`
 Section VII extensions       :func:`run_ablation_extensions`
 traffic cross-check          :func:`run_traffic_check`
 serving benchmark            :func:`run_serve_bench`
+staleness sweep              :func:`run_staleness_sweep`
 ===========================  ====================================
 """
 
@@ -37,6 +38,7 @@ from .convergence import FIG3_CELLS, fig3_competitors, run_fig3
 from .fault_tolerance import run_fig5
 from .scalability import run_fig4
 from .serve_bench import run_serve_bench
+from .staleness import run_staleness_sweep
 from .tables import (
     PAPER_PARAM_COUNTS,
     paper_architecture_params,
@@ -73,6 +75,7 @@ __all__ = [
     "run_ablation_noniid",
     "run_traffic_check",
     "run_serve_bench",
+    "run_staleness_sweep",
     "run_timing_estimate",
     "FIG3_CELLS",
     "fig3_competitors",

@@ -15,7 +15,7 @@ The paper motivates two design knobs without dedicating a figure to each:
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..core import (
     AsyncMDGANTrainer,
@@ -36,7 +36,26 @@ from .common import (
 __all__ = ["run_ablation_k", "run_ablation_swap", "run_ablation_extensions"]
 
 
-def _base_config(scale: ExperimentScale) -> TrainingConfig:
+def _runtime_overrides(
+    backend: str,
+    max_workers: Optional[int],
+    shm_install: Optional[bool],
+    transport: Optional[str],
+    transport_address: Optional[str],
+    pipeline_depth: int,
+) -> dict:
+    """Bundle the shared runtime keywords for :func:`_base_config`."""
+    return dict(
+        backend=backend,
+        max_workers=max_workers,
+        shm_install=shm_install,
+        transport=transport,
+        transport_address=transport_address,
+        pipeline_depth=pipeline_depth,
+    )
+
+
+def _base_config(scale: ExperimentScale, **backend_overrides) -> TrainingConfig:
     return TrainingConfig(
         iterations=scale.iterations,
         batch_size=scale.batch_size_small,
@@ -44,6 +63,7 @@ def _base_config(scale: ExperimentScale) -> TrainingConfig:
         eval_every=scale.iterations,
         eval_sample_size=scale.eval_sample_size,
         seed=scale.seed,
+        **backend_overrides,
     )
 
 
@@ -52,9 +72,23 @@ def run_ablation_k(
     architecture: str = "mnist-mlp",
     scale: ExperimentScale | str = "smoke",
     k_values: Sequence[int] | None = None,
+    backend: str = "serial",
+    max_workers: Optional[int] = None,
+    shm_install: Optional[bool] = None,
+    transport: Optional[str] = None,
+    transport_address: Optional[str] = None,
+    pipeline_depth: int = 0,
 ) -> ExperimentResult:
-    """Sweep the number of generated batches ``k`` (data-diversity trade-off)."""
+    """Sweep the number of generated batches ``k`` (data-diversity trade-off).
+
+    The ``backend``/... keywords select the :mod:`repro.runtime` execution
+    settings (bitwise-neutral; wall-clock only), as in
+    :func:`~repro.experiments.run_fig5`.
+    """
     scale = get_scale(scale)
+    overrides = _runtime_overrides(
+        backend, max_workers, shm_install, transport, transport_address, pipeline_depth
+    )
     train, test = prepare_dataset(dataset, scale)
     evaluator = prepare_evaluator(train, test, scale)
     factory = prepare_factory(architecture, train, scale)
@@ -74,7 +108,7 @@ def run_ablation_k(
         ),
     )
     for k in k_values:
-        config = _base_config(scale).with_overrides(num_batches=int(k))
+        config = _base_config(scale, **overrides).with_overrides(num_batches=int(k))
         with MDGANTrainer(factory, shards, config, evaluator=evaluator) as trainer:
             history = trainer.train()
         final = history.final_evaluation
@@ -97,9 +131,18 @@ def run_ablation_swap(
     architecture: str = "mnist-mlp",
     scale: ExperimentScale | str = "smoke",
     epochs_values: Sequence[float] = (1.0, 5.0, math.inf),
+    backend: str = "serial",
+    max_workers: Optional[int] = None,
+    shm_install: Optional[bool] = None,
+    transport: Optional[str] = None,
+    transport_address: Optional[str] = None,
+    pipeline_depth: int = 0,
 ) -> ExperimentResult:
     """Sweep the swap period ``E`` (discriminator overfitting mitigation)."""
     scale = get_scale(scale)
+    overrides = _runtime_overrides(
+        backend, max_workers, shm_install, transport, transport_address, pipeline_depth
+    )
     train, test = prepare_dataset(dataset, scale)
     evaluator = prepare_evaluator(train, test, scale)
     factory = prepare_factory(architecture, train, scale)
@@ -115,7 +158,7 @@ def run_ablation_swap(
     )
     for epochs in epochs_values:
         swap_enabled = not math.isinf(epochs)
-        config = _base_config(scale).with_overrides(
+        config = _base_config(scale, **overrides).with_overrides(
             epochs_per_swap=epochs if swap_enabled else math.inf
         )
         with MDGANTrainer(
@@ -142,14 +185,23 @@ def run_ablation_extensions(
     architecture: str = "mnist-mlp",
     scale: ExperimentScale | str = "smoke",
     participation_fraction: float = 0.5,
+    backend: str = "serial",
+    max_workers: Optional[int] = None,
+    shm_install: Optional[bool] = None,
+    transport: Optional[str] = None,
+    transport_address: Optional[str] = None,
+    pipeline_depth: int = 0,
 ) -> ExperimentResult:
     """Compare the Section VII extensions against the reference MD-GAN."""
     scale = get_scale(scale)
+    overrides = _runtime_overrides(
+        backend, max_workers, shm_install, transport, transport_address, pipeline_depth
+    )
     train, test = prepare_dataset(dataset, scale)
     evaluator = prepare_evaluator(train, test, scale)
     factory = prepare_factory(architecture, train, scale)
     shards = prepare_shards(train, scale.num_workers, scale.seed)
-    config = _base_config(scale)
+    config = _base_config(scale, **overrides)
 
     result = ExperimentResult(
         name="Ablation: Section VII extensions",

@@ -12,7 +12,7 @@ Usage::
 where ``<artefact>`` is one of ``table2``, ``table3``, ``table4``, ``fig2``,
 ``fig3``, ``fig4``, ``fig5``, ``fig6``, ``ablation-k``, ``ablation-swap``,
 ``ablation-extensions``, ``ablation-noniid``, ``traffic-check``,
-``serve-bench`` or ``all``.
+``serve-bench``, ``staleness-sweep`` or ``all``.
 """
 
 from __future__ import annotations
@@ -33,6 +33,7 @@ from ..runtime.backend import BACKENDS
 from ..runtime.transport import TRANSPORTS
 from .scalability import run_fig4
 from .serve_bench import run_serve_bench
+from .staleness import run_staleness_sweep
 from .tables import run_fig2, run_table2, run_table3, run_table4
 from .timing import run_timing_estimate
 from .traffic_check import run_traffic_check
@@ -55,6 +56,7 @@ ARTIFACTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ablation-noniid": run_ablation_noniid,
     "traffic-check": run_traffic_check,
     "serve-bench": run_serve_bench,
+    "staleness-sweep": run_staleness_sweep,
     "timing": run_timing_estimate,
 }
 
@@ -69,6 +71,7 @@ _TRAINING_ARTIFACTS = {
     "ablation-noniid",
     "traffic-check",
     "serve-bench",
+    "staleness-sweep",
 }
 #: artefacts that take only a scale.
 _SCALE_ONLY_ARTIFACTS = {"fig6"}

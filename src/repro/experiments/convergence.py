@@ -88,6 +88,7 @@ def _run_competitor(
     shards,
     evaluator,
     scale: ExperimentScale,
+    backend_overrides: Optional[Dict] = None,
 ) -> TrainingHistory:
     config = TrainingConfig(
         iterations=scale.iterations,
@@ -98,6 +99,7 @@ def _run_competitor(
         eval_every=scale.eval_every,
         eval_sample_size=scale.eval_sample_size,
         seed=scale.seed,
+        **(backend_overrides or {}),
     )
     kind = spec["kind"]
     if kind == "standalone":
@@ -121,6 +123,12 @@ def run_fig3(
     architecture: str = "mnist-mlp",
     scale: ExperimentScale | str = "smoke",
     competitors: Optional[List[str]] = None,
+    backend: str = "serial",
+    max_workers: Optional[int] = None,
+    shm_install: Optional[bool] = None,
+    transport: Optional[str] = None,
+    transport_address: Optional[str] = None,
+    pipeline_depth: int = 0,
 ) -> ExperimentResult:
     """Reproduce one dataset/architecture cell of Figure 3.
 
@@ -132,6 +140,12 @@ def run_fig3(
         Scale preset name or explicit :class:`ExperimentScale`.
     competitors:
         Optional subset of competitor names to run (default: all six).
+    backend, max_workers, shm_install, transport, transport_address, pipeline_depth:
+        :mod:`repro.runtime` execution settings, threaded into every
+        competitor's :class:`~repro.core.TrainingConfig` (same pattern as
+        :func:`~repro.experiments.run_fig5`).  All backends produce
+        bitwise-identical seeded runs, so the figure's numbers never depend
+        on these knobs; they only change wall-clock time.
     """
     scale = get_scale(scale)
     train, test = prepare_dataset(dataset, scale)
@@ -145,6 +159,14 @@ def run_fig3(
         if unknown:
             raise ValueError(f"Unknown competitors {sorted(unknown)}; known {sorted(specs)}")
         specs = {name: specs[name] for name in competitors}
+    backend_overrides = dict(
+        backend=backend,
+        max_workers=max_workers,
+        shm_install=shm_install,
+        transport=transport,
+        transport_address=transport_address,
+        pipeline_depth=pipeline_depth,
+    )
 
     result = ExperimentResult(
         name="Figure 3",
@@ -155,7 +177,9 @@ def run_fig3(
     )
     histories: Dict[str, TrainingHistory] = {}
     for name, spec in specs.items():
-        history = _run_competitor(name, spec, factory, train, shards, evaluator, scale)
+        history = _run_competitor(
+            name, spec, factory, train, shards, evaluator, scale, backend_overrides
+        )
         histories[name] = history
         for evaluation in history.evaluations:
             result.add_row(

@@ -19,7 +19,10 @@ loopback, or real worker machines running
 from .backend import (
     BACKENDS,
     CompletedResult,
+    CompletionCollector,
+    EagerCollector,
     ExecutorBackend,
+    FuturesCollector,
     PendingResult,
     ProcessBackend,
     SerialBackend,
@@ -42,6 +45,7 @@ from .pipeline import (
 from .resident import (
     PendingSteps,
     ResidentBackend,
+    ResidentCollector,
     ResidentProgram,
     get_program,
     register_program,
@@ -83,6 +87,10 @@ __all__ = [
     "ExecutorBackend",
     "PendingResult",
     "CompletedResult",
+    "CompletionCollector",
+    "EagerCollector",
+    "FuturesCollector",
+    "ResidentCollector",
     "PendingSteps",
     "SerialBackend",
     "ThreadBackend",

@@ -50,6 +50,9 @@ __all__ = [
     "ExecutorBackend",
     "PendingResult",
     "CompletedResult",
+    "CompletionCollector",
+    "EagerCollector",
+    "FuturesCollector",
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
@@ -162,6 +165,130 @@ class _FuturesResult(PendingResult):
         return all(future.done() for future in self._futures)
 
 
+class CompletionCollector(ABC):
+    """As-completed collection over independently keyed tasks.
+
+    The ordered-map contract (:meth:`ExecutorBackend.map_ordered` /
+    :meth:`~ExecutorBackend.submit_ordered`) returns results **in task
+    order**, which is what the synchronous trainers need for bitwise
+    determinism — but it makes the caller wait for the slowest task before
+    seeing any result.  A collector is the complementary contract for the
+    asynchronous aggregation mode: tasks are dispatched one at a time under a
+    caller-chosen key, and :meth:`collect_any` hands back *whichever* task
+    finishes next.  Completion order is nondeterministic on concurrent
+    backends by design; callers that need determinism keep using the ordered
+    map.
+
+    One collector models one in-flight set; trainers open one per training
+    run and close it before any whole-pool operation (state mirror, swap)
+    runs.
+    """
+
+    @abstractmethod
+    def dispatch(self, key: int, fn: Callable, task) -> None:
+        """Start one task under ``key``.
+
+        ``fn(task)`` is the work for the stateless backends; the resident
+        backend instead interprets ``fn`` as the state supplier and ``task``
+        as the step payload (mirroring :meth:`ResidentBackend.start_steps`).
+        A key may only have one task in flight at a time.
+        """
+
+    @abstractmethod
+    def collect_any(self, timeout: Optional[float] = None) -> tuple:
+        """Block until any outstanding task finishes; return ``(key, result)``.
+
+        Raises ``TimeoutError`` if ``timeout`` (seconds) elapses first and
+        ``RuntimeError`` if nothing is outstanding.  A task that raised
+        re-raises here, after being removed from the outstanding set.
+        """
+
+    @property
+    @abstractmethod
+    def outstanding(self) -> int:
+        """Number of dispatched tasks not yet returned by :meth:`collect_any`."""
+
+    def __len__(self) -> int:
+        return self.outstanding
+
+    def drain(self) -> int:
+        """Collect and discard every outstanding task; return the count."""
+        discarded = 0
+        while self.outstanding:
+            self.collect_any()
+            discarded += 1
+        return discarded
+
+    def close(self) -> None:
+        """Drain any outstanding work and release the collector."""
+        self.drain()
+
+
+class EagerCollector(CompletionCollector):
+    """Collector for inline backends: runs each task at dispatch time.
+
+    Completion order degenerates to dispatch order (FIFO), which makes the
+    asynchronous aggregation mode fully deterministic on the serial backend —
+    the property the async regression tests pin.
+    """
+
+    def __init__(self) -> None:
+        self._ready: List[tuple] = []
+
+    def dispatch(self, key: int, fn: Callable, task) -> None:
+        """Run ``fn(task)`` inline and queue the result for collection."""
+        self._ready.append((key, fn(task)))
+
+    def collect_any(self, timeout: Optional[float] = None) -> tuple:
+        """Return the oldest dispatched ``(key, result)`` pair."""
+        if not self._ready:
+            raise RuntimeError("collect_any called with no outstanding tasks")
+        return self._ready.pop(0)
+
+    @property
+    def outstanding(self) -> int:
+        """Results queued but not yet collected."""
+        return len(self._ready)
+
+
+class FuturesCollector(CompletionCollector):
+    """Collector backed by a ``concurrent.futures`` executor pool.
+
+    ``collect_any`` waits with ``FIRST_COMPLETED`` semantics; when several
+    futures are already done it returns the earliest-dispatched one, so
+    backlogs drain in a stable order.
+    """
+
+    def __init__(self, pool) -> None:
+        self._pool = pool
+        self._in_flight: List[tuple] = []  # (key, future), dispatch order
+
+    def dispatch(self, key: int, fn: Callable, task) -> None:
+        """Submit ``fn(task)`` to the pool under ``key``."""
+        self._in_flight.append((key, self._pool.submit(fn, task)))
+
+    def collect_any(self, timeout: Optional[float] = None) -> tuple:
+        """Return the next completed ``(key, result)``; earliest-dispatched first."""
+        from concurrent.futures import FIRST_COMPLETED, wait
+
+        if not self._in_flight:
+            raise RuntimeError("collect_any called with no outstanding tasks")
+        done, _ = wait([f for _, f in self._in_flight], timeout, FIRST_COMPLETED)
+        if not done:
+            raise TimeoutError(
+                f"collect_any timed out after {timeout}s with "
+                f"{len(self._in_flight)} task(s) outstanding"
+            )
+        index = next(i for i, (_, f) in enumerate(self._in_flight) if f in done)
+        key, future = self._in_flight.pop(index)
+        return key, future.result()
+
+    @property
+    def outstanding(self) -> int:
+        """Futures dispatched but not yet collected."""
+        return len(self._in_flight)
+
+
 class ExecutorBackend(ABC):
     """Maps a pure function over independent per-worker tasks.
 
@@ -192,6 +319,16 @@ class ExecutorBackend(ABC):
         submit and collect.  The default implementation runs eagerly inline.
         """
         return CompletedResult(self.map_ordered(fn, tasks))
+
+    def open_collector(self, program: Optional[str] = None) -> CompletionCollector:
+        """Open a :class:`CompletionCollector` over this backend.
+
+        ``program`` names the resident program for the resident backend and
+        is ignored by the stateless backends, so trainers can pass it
+        unconditionally.  The default implementation runs tasks eagerly at
+        dispatch time (completion order == dispatch order).
+        """
+        return EagerCollector()
 
     def close(self) -> None:
         """Release pooled resources; the backend may be reused afterwards."""
@@ -253,6 +390,10 @@ class _PooledBackend(ExecutorBackend):
             # overlapping with the caller, which one task rarely repays.
             return CompletedResult([fn(task) for task in tasks])
         return _FuturesResult([self.pool.submit(fn, task) for task in tasks])
+
+    def open_collector(self, program: Optional[str] = None) -> CompletionCollector:
+        """Open a pool-backed collector (true as-completed semantics)."""
+        return FuturesCollector(self.pool)
 
     def close(self) -> None:
         """Shut the pool down; a later use lazily recreates it."""

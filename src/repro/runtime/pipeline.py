@@ -204,7 +204,13 @@ class PipelineStats:
         self.staleness_values.append(int(staleness))
 
     def as_overlap_dict(self) -> Dict[str, float]:
-        """JSON-friendly summary stored in ``TrainingHistory.overlap``."""
+        """JSON-friendly summary stored in ``TrainingHistory.overlap``.
+
+        ``iterations`` counts the staleness observations behind the
+        aggregates (one per recorded iteration/update), so sweep reports can
+        weight or sanity-check the mean/p95/max without re-deriving them
+        from the raw history column.
+        """
         values = self.staleness_values
         return {
             "pipeline_depth": float(self.depth),
@@ -215,6 +221,8 @@ class PipelineStats:
             "max_in_flight": float(self.max_in_flight),
             "mean_staleness": float(np.mean(values)) if values else 0.0,
             "max_staleness": float(max(values)) if values else 0.0,
+            "p95_staleness": float(np.percentile(values, 95)) if values else 0.0,
+            "iterations": float(len(values)),
         }
 
 

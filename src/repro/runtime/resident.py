@@ -87,13 +87,18 @@ import pickle
 import time
 import traceback
 import zlib
-from collections import defaultdict
+from collections import defaultdict, deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .backend import ExecutorBackend, default_max_workers, register_backend
+from .backend import (
+    CompletionCollector,
+    ExecutorBackend,
+    default_max_workers,
+    register_backend,
+)
 from .transport import Transport, TransportError, create_transport, transport_default
 
 try:  # gate: platforms without POSIX shared memory fall back to pickling
@@ -532,6 +537,229 @@ class PendingSteps:
         return self._values
 
 
+class ResidentCollector(CompletionCollector):
+    """Completion-order collection over per-key resident step dispatches.
+
+    The FIFO :class:`PendingSteps` contract collects whole step batches in
+    dispatch order; this collector is its as-completed sibling for the
+    asynchronous aggregation mode.  Each :meth:`dispatch` writes one
+    single-item ``run`` frame for its key's slot and :meth:`collect_any`
+    returns whichever slot answers next.  Per-slot ordering stays FIFO (slot
+    channels are ordered), so the collector keeps one outstanding-op queue
+    per slot and always reads the queue head; *across* slots, completion
+    order is whatever the pool produces.
+
+    Boundary ops remain available mid-flight through :meth:`pull_params` /
+    :meth:`push_params`: their request rides the same slot channel behind any
+    outstanding step frames, and step replies received while waiting for the
+    boundary reply are buffered and served by a later :meth:`collect_any`.
+    Fail-stop semantics are inherited from the backend's ``_recv``/``_send``
+    helpers — any wire fault poisons the pool and surfaces as a
+    :class:`TransportError` naming the slot and op, and the collector refuses
+    further use.
+    """
+
+    def __init__(self, backend: "ResidentBackend", program: str) -> None:
+        self._backend = backend
+        self._program = program
+        #: slot -> FIFO of in-flight ops on that channel: ``("run", key)``
+        #: for steps, ``(op, None)`` for boundary requests.
+        self._per_slot: Dict[int, deque] = defaultdict(deque)
+        #: Step results received while waiting for a boundary reply.
+        self._ready: deque = deque()
+        self._count = 0
+        #: Set when the pool died/closed; every later call raises.
+        self._dead = False
+
+    @property
+    def outstanding(self) -> int:
+        """Dispatched steps not yet returned by :meth:`collect_any`.
+
+        Includes step replies already received off the wire (buffered while
+        waiting for a boundary reply) but not yet handed to the caller.
+        """
+        return self._count + len(self._ready)
+
+    def _check_open(self) -> None:
+        if self._dead:
+            raise RuntimeError(
+                "resident collector is closed (pool failure or backend close); "
+                "open a new collector to continue"
+            )
+        self._backend._check_usable()
+
+    def dispatch(self, key, state_supplier: Callable[[], Any], payload) -> None:
+        """Start one resident step for ``key`` (installs state on first use).
+
+        The frame goes through the async writer: the target slot may be busy
+        computing an earlier step, and an inline send of a large payload
+        against a slot blocked writing its own reply would deadlock
+        (same rationale as the pipelined lookahead sends).
+        """
+        self._check_open()
+        backend = self._backend
+        if any(entry == ("run", key) for entry in self._per_slot[backend._slot_for(key)]):
+            raise RuntimeError(f"key {key!r} already has a step in flight")
+        epoch = backend._epochs.setdefault(key, 0)
+        install = None
+        if backend._installed.get(key) != epoch:
+            install = state_supplier()
+            if install is not None:
+                install = backend._encode_install(("state", key), install)
+                backend.install_count += 1
+        wire = (key, self._program, epoch, install, payload)
+        slot_index = backend._slot_for(key)
+        backend._send_async(slot_index, ("run", [wire]))
+        backend._installed[key] = epoch
+        self._per_slot[slot_index].append(("run", key))
+        self._count += 1
+
+    def _pop_reply(self, slot_index: int):
+        """Read the head reply of one slot's FIFO and return ``(op, key, payload)``."""
+        op, key = self._per_slot[slot_index][0]
+        try:
+            payload = self._backend._recv(slot_index, op)
+        except BaseException:
+            self._dead = True
+            raise
+        self._per_slot[slot_index].popleft()
+        return op, key, payload
+
+    def collect_any(self, timeout: Optional[float] = None):
+        """Block until any outstanding step finishes; return ``(key, result)``.
+
+        The wait mirrors ``_recv``'s heartbeat loop across every slot with
+        outstanding work: async-writer failures and the transport's
+        ``read_timeout`` both surface as a :class:`TransportError` (pool
+        poisoned, fail stop) instead of a hang; an explicit ``timeout``
+        raises ``TimeoutError`` without poisoning.
+        """
+        self._check_open()
+        if self._ready:
+            return self._ready.popleft()
+        if self._count == 0:
+            raise RuntimeError("collect_any called with no outstanding steps")
+        # From here on every outstanding step is still on the wire.
+        backend = self._backend
+        transport = backend._ensure_transport()
+        read_timeout = transport.read_timeout
+        poison_deadline = None if read_timeout is None else time.monotonic() + read_timeout
+        caller_deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            busy = sorted(slot for slot, queue in self._per_slot.items() if queue)
+            for slot_index in busy:
+                try:
+                    ready = transport.channel(slot_index).poll(0.0)
+                except (EOFError, OSError) as exc:
+                    op = self._per_slot[slot_index][0][0]
+                    self._dead = True
+                    backend._poison(
+                        f"pool slot {slot_index} died mid-request ({op!r}): {exc!r}"
+                    )
+                    raise TransportError(
+                        f"resident pool slot {slot_index} died "
+                        f"(in-flight op {op!r}: {exc!r})",
+                        slot_index=slot_index,
+                        op=op,
+                    ) from exc
+                if ready:
+                    op, key, payload = self._pop_reply(slot_index)
+                    if op != "run":  # pragma: no cover - head is run by construction
+                        raise RuntimeError(f"unexpected {op!r} reply at slot head")
+                    self._count -= 1
+                    return key, payload[0]
+            error = transport.take_writer_error()
+            if error is not None:
+                self._dead = True
+                raise backend._writer_failure(error, op="run")
+            now = time.monotonic()
+            if caller_deadline is not None and now > caller_deadline:
+                raise TimeoutError(
+                    f"collect_any timed out after {timeout}s with "
+                    f"{self._count} step(s) outstanding"
+                )
+            if poison_deadline is not None and now > poison_deadline:
+                slot_index = busy[0]
+                op = self._per_slot[slot_index][0][0]
+                self._dead = True
+                backend._poison(
+                    f"timed out after {read_timeout}s waiting for pool slot "
+                    f"{slot_index} to answer {op!r}"
+                )
+                raise TransportError(
+                    f"timed out after {read_timeout}s waiting for pool slot "
+                    f"{slot_index} to answer {op!r} (frame dropped, or "
+                    "read_timeout shorter than the slot's compute time)",
+                    slot_index=slot_index,
+                    op=op,
+                )
+            time.sleep(0.005)
+
+    def _boundary_request(self, slot_index: int, op: str, wire_payload):
+        """Send one boundary op on a slot and wait for *its* reply.
+
+        Step replies queued ahead of it on the channel are collected into the
+        ready buffer (their FIFO position is fixed; the boundary reply cannot
+        arrive before them).
+        """
+        backend = self._backend
+        backend._send_async(slot_index, (op, wire_payload))
+        self._per_slot[slot_index].append((op, None))
+        backend._flush_sends()
+        while True:
+            head_op, key, payload = self._pop_reply(slot_index)
+            if head_op == op:
+                return payload
+            self._ready.append((key, payload[0]))
+            self._count -= 1
+
+    def pull_params(self, keys: Sequence) -> Dict[Any, Any]:
+        """Fetch flat parameter vectors mid-flight (state stays resident)."""
+        keys = list(keys)
+        if not keys:
+            return {}
+        self._check_open()
+        self._backend._require_installed(keys, "pull_params")
+        merged: Dict[Any, Any] = {}
+        for slot_index, slot_keys in self._backend._grouped(keys).items():
+            merged.update(self._boundary_request(slot_index, "pull_params", slot_keys))
+        return merged
+
+    def push_params(self, params_by_key: Dict[Any, Any]) -> None:
+        """Write flat parameter vectors into installed residents mid-flight."""
+        if not params_by_key:
+            return
+        self._check_open()
+        self._backend._require_installed(params_by_key, "push_params")
+        for slot_index, slot_keys in self._backend._grouped(params_by_key).items():
+            self._boundary_request(
+                slot_index,
+                "push_params",
+                {key: params_by_key[key] for key in slot_keys},
+            )
+
+    def drain(self) -> int:
+        """Collect and discard every outstanding step; return the count.
+
+        The steps *did* run in the pool (resident state reflects them) —
+        only their results are dropped, mirroring ``drain_inflight``.
+        """
+        drained = len(self._ready)
+        self._ready.clear()
+        while self._count:
+            self.collect_any()
+            drained += 1
+        return drained
+
+    def close(self) -> None:
+        """Drain outstanding work (when the pool is healthy) and detach."""
+        if not self._dead and self._backend._broken_reason is None:
+            self.drain()
+        self._dead = True
+        if self._backend._collector is self:
+            self._backend._collector = None
+
+
 class ResidentBackend(ExecutorBackend):
     """Persistent process pool with resident per-worker state.
 
@@ -636,6 +864,9 @@ class ResidentBackend(ExecutorBackend):
         #: order; boundary ops (pull/push) refuse to run while it is
         #: non-empty.
         self._pending: List[PendingSteps] = []
+        #: The open :class:`ResidentCollector`, if any; mutually exclusive
+        #: with whole-pool boundary ops while it has outstanding steps.
+        self._collector: Optional[ResidentCollector] = None
 
     # -- generic ExecutorBackend duty ------------------------------------------
     def map_ordered(self, fn, tasks):
@@ -698,6 +929,10 @@ class ResidentBackend(ExecutorBackend):
 
     def close(self) -> None:
         """Shut the pool down; resident state is discarded (trainer re-installs)."""
+        if self._collector is not None:
+            # Its queued replies die with the pool; later use must raise.
+            self._collector._dead = True
+            self._collector = None
         if self._transport is not None:
             transport = self._transport
             # Stop the async writer first: its queued sends either land
@@ -873,6 +1108,13 @@ class ResidentBackend(ExecutorBackend):
                 "in flight; collect the PendingSteps handles (or call "
                 "drain_inflight()) first"
             )
+        if self._collector is not None and self._collector.outstanding:
+            raise RuntimeError(
+                f"{op} cannot run while the open collector has "
+                f"{self._collector.outstanding} step(s) outstanding; collect "
+                "them (or use the collector's own pull_params/push_params, "
+                "which interleave safely) first"
+            )
 
     # -- shared-memory install encoding ----------------------------------------
     def _shm_active(self) -> bool:
@@ -936,6 +1178,26 @@ class ResidentBackend(ExecutorBackend):
         self._epochs[key] = self._epochs.get(key, 0) + 1
 
     # -- resident protocol ------------------------------------------------------
+    def open_collector(self, program: Optional[str] = None) -> "ResidentCollector":
+        """Open a :class:`ResidentCollector` for as-completed step collection.
+
+        ``program`` names the registered :class:`ResidentProgram` every
+        dispatched step runs (mandatory here, unlike the stateless backends).
+        Only one collector is live at a time; reopening detaches a previous
+        (fully collected) one.
+        """
+        if program is None:
+            raise ValueError(
+                "ResidentBackend.open_collector requires the resident program name"
+            )
+        self._check_usable()
+        self._require_no_inflight("open_collector")
+        if self._collector is not None:
+            self._collector._dead = True
+        collector = ResidentCollector(self, program)
+        self._collector = collector
+        return collector
+
     def start_steps(
         self,
         program: str,
@@ -1110,6 +1372,8 @@ class ResidentBackend(ExecutorBackend):
             handle = self._pending[0]
             handle.result()
             drained += 1
+        if self._collector is not None and not self._collector._dead:
+            drained += self._collector.drain()
         return drained
 
     def pull_params(self, keys: Sequence) -> Dict[Any, Any]:

@@ -84,10 +84,12 @@ def test_as_dict_schema_is_stable():
         "traffic",
         "compute",
         "staleness",
+        "worker_staleness",
         "overlap",
     }
     # Synchronous runs serialise the pipeline fields as empty, not absent.
     assert payload["staleness"] == []
+    assert payload["worker_staleness"] == {}
     assert payload["overlap"] == {}
 
 
@@ -120,7 +122,15 @@ def test_json_round_trip_preserves_pipeline_fields():
 
     history = make_history()
     history.staleness = [0, 1, 1, 2, 2]
-    history.overlap = {"pipeline_depth": 2.0, "mean_staleness": 1.2}
+    history.record_worker_staleness(0, 0)
+    history.record_worker_staleness(0, 2)
+    history.record_worker_staleness(3, 1)
+    history.overlap = {
+        "pipeline_depth": 2.0,
+        "mean_staleness": 1.2,
+        "p95_staleness": 2.0,
+        "iterations": 5.0,
+    }
     history.traffic = {"total_bytes": 100.0}
     history.compute = {"server_flops": 5.0}
 
@@ -130,6 +140,9 @@ def test_json_round_trip_preserves_pipeline_fields():
     assert restored.generator_loss == history.generator_loss
     assert restored.discriminator_loss == history.discriminator_loss
     assert restored.staleness == history.staleness
+    # JSON stringifies dict keys; from_dict restores the int worker indices.
+    assert restored.worker_staleness == {0: [0, 2], 3: [1]}
+    assert restored.max_worker_staleness() == 2
     assert restored.overlap == history.overlap
     assert restored.traffic == history.traffic
     assert restored.compute == history.compute
@@ -145,7 +158,19 @@ def test_from_dict_accepts_legacy_payloads():
     # Histories serialised before the pipeline fields existed load cleanly.
     payload = make_history().as_dict()
     del payload["staleness"]
+    del payload["worker_staleness"]
     del payload["overlap"]
     restored = TrainingHistory.from_dict(payload)
     assert restored.staleness == []
+    assert restored.worker_staleness == {}
     assert restored.overlap == {}
+
+
+def test_worker_staleness_recording_and_max():
+    history = TrainingHistory(algorithm="md-gan")
+    assert history.max_worker_staleness() == 0
+    history.record_worker_staleness(1, 0)
+    history.record_worker_staleness(1, 3)
+    history.record_worker_staleness(2, 1)
+    assert history.worker_staleness == {1: [0, 3], 2: [1]}
+    assert history.max_worker_staleness() == 3

@@ -22,6 +22,7 @@ from repro.experiments import (
     run_fig4,
     run_fig5,
     run_fig6,
+    run_staleness_sweep,
     run_table2,
     run_table3,
     run_table4,
@@ -118,6 +119,40 @@ class TestTrainingRunners:
     def test_fig3_rejects_unknown_competitor(self):
         with pytest.raises(ValueError, match="Unknown competitors"):
             run_fig3(scale=MICRO, competitors=["resnet"])
+
+    def test_fig3_threads_backend_into_configs(self):
+        # Regression: fig3 used to silently ignore --backend.  The runner
+        # must accept the runtime kwargs and produce the same numbers (all
+        # backends are bitwise-identical for sync runs).
+        serial = run_fig3(scale=MICRO, competitors=["md-gan-k1"])
+        threaded = run_fig3(
+            scale=MICRO,
+            competitors=["md-gan-k1"],
+            backend="thread",
+            max_workers=2,
+        )
+        a = serial.extras["histories"]["md-gan-k1"]["generator_loss"]
+        b = threaded.extras["histories"]["md-gan-k1"]["generator_loss"]
+        assert a == b
+
+    def test_staleness_sweep_rows_and_bound(self):
+        result = run_staleness_sweep(
+            scale=MICRO,
+            depths=(1,),
+            staleness_bounds=(1, 2),
+            backend="thread",
+            max_workers=3,
+        )
+        modes = [(row["mode"], row["parameter"]) for row in result.rows]
+        assert modes == [("sync", 0), ("pipelined", 1), ("async", 1), ("async", 2)]
+        for row in result.rows:
+            assert np.isfinite(row["fid"])
+            assert row["wall_seconds"] > 0
+            if row["mode"] == "async":
+                assert row["max_worker_staleness"] <= row["parameter"]
+            if row["mode"] == "pipelined":
+                assert row["max_staleness"] <= row["parameter"]
+        assert "histories" in result.extras
 
     def test_fig4_rows_cover_grid(self):
         result = run_fig4(

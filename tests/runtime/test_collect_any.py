@@ -1,0 +1,392 @@
+"""Completion-order collection API tests (``open_collector`` / ``collect_any``).
+
+The FIFO ``PendingSteps``/``submit_ordered`` contract collects whole batches
+in dispatch order; the collectors are its as-completed sibling powering
+``aggregation="async"``.  These tests pin the order semantics of all three
+collector families (eager, futures, resident), the mid-flight parameter
+traffic of the resident one, and — mirroring ``test_transport.py`` — the
+failure contract under fault injection: a killed slot, a dropped frame and a
+truncated frame mid-``collect_any`` must each surface as a
+:class:`TransportError` naming the slot and the in-flight op, poison the
+pool fail-stop, and never hang.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import pytest
+
+from repro.runtime import (
+    EagerCollector,
+    FuturesCollector,
+    ResidentBackend,
+    ResidentCollector,
+    SerialBackend,
+    ThreadBackend,
+    TransportError,
+)
+from repro.runtime.resident import ResidentProgram, register_program, serve_slot
+from repro.runtime.transport import LocalPipeTransport, TcpTransport
+from repro.runtime.transport.tcp import _HEADER
+
+
+# A trivial resident program driven directly through the collector.
+# Registered at import time, before any pool forks, so slot processes
+# (pipe children and loopback tcp workers alike) inherit it.
+def _echo_step(state, payload):
+    if isinstance(payload, dict) and payload.get("sleep"):
+        time.sleep(payload["sleep"])
+    state["count"] = state.get("count", 0) + 1
+    return (state["count"], payload)
+
+
+register_program(
+    ResidentProgram(
+        name="collect-echo",
+        step=_echo_step,
+        pull_params=lambda state: dict(state),
+        push_params=lambda state, params: state.update(params),
+    )
+)
+
+
+def _fresh_state():
+    return {"count": 0}
+
+
+def _sleepy(seconds, value):
+    def fn(task):
+        time.sleep(seconds)
+        return (value, task)
+
+    return fn
+
+
+# -- stateless collectors ----------------------------------------------------------
+
+
+class TestEagerCollector:
+    def test_serial_backend_collects_fifo(self):
+        backend = SerialBackend()
+        try:
+            collector = backend.open_collector()
+            assert isinstance(collector, EagerCollector)
+            for key in (3, 1, 2):
+                collector.dispatch(key, lambda task: task * 10, key)
+            assert collector.outstanding == 3
+            assert len(collector) == 3
+            # Eager execution: completion order IS dispatch order — the
+            # deterministic round-robin degenerate case of async mode.
+            assert collector.collect_any() == (3, 30)
+            assert collector.collect_any() == (1, 10)
+            assert collector.collect_any() == (2, 20)
+            assert collector.outstanding == 0
+        finally:
+            backend.close()
+
+    def test_collect_on_empty_collector_raises(self):
+        backend = SerialBackend()
+        try:
+            collector = backend.open_collector()
+            with pytest.raises(RuntimeError, match="no outstanding"):
+                collector.collect_any()
+        finally:
+            backend.close()
+
+    def test_drain_discards_everything(self):
+        backend = SerialBackend()
+        try:
+            collector = backend.open_collector()
+            collector.dispatch(0, lambda task: task, "x")
+            collector.drain()
+            assert collector.outstanding == 0
+            collector.close()
+        finally:
+            backend.close()
+
+
+class TestFuturesCollector:
+    def test_thread_backend_collects_in_completion_order(self):
+        backend = ThreadBackend(max_workers=2)
+        try:
+            collector = backend.open_collector()
+            assert isinstance(collector, FuturesCollector)
+            collector.dispatch("slow", _sleepy(0.5, "s"), None)
+            collector.dispatch("fast", _sleepy(0.0, "f"), None)
+            assert collector.outstanding == 2
+            first_key, first = collector.collect_any()
+            second_key, second = collector.collect_any()
+            assert first_key == "fast" and first == ("f", None)
+            assert second_key == "slow" and second == ("s", None)
+        finally:
+            backend.close()
+
+    def test_timeout_raises_without_losing_work(self):
+        backend = ThreadBackend(max_workers=1)
+        try:
+            collector = backend.open_collector()
+            collector.dispatch(0, _sleepy(0.5, "late"), None)
+            with pytest.raises(TimeoutError):
+                collector.collect_any(timeout=0.05)
+            # The unit is still outstanding and collectable afterwards.
+            assert collector.outstanding == 1
+            assert collector.collect_any() == (0, ("late", None))
+        finally:
+            backend.close()
+
+    def test_worker_exception_propagates_on_collect(self):
+        backend = ThreadBackend(max_workers=1)
+
+        def boom(task):
+            raise ValueError("unit failed")
+
+        try:
+            collector = backend.open_collector()
+            collector.dispatch(7, boom, None)
+            with pytest.raises(ValueError, match="unit failed"):
+                collector.collect_any()
+        finally:
+            backend.close()
+
+
+# -- resident collector ------------------------------------------------------------
+
+
+def _two_keys_on_distinct_slots(backend):
+    """Two keys hashing to different slots of a 2-slot pool."""
+    first = 0
+    for candidate in range(1, 64):
+        if backend._slot_for(candidate) != backend._slot_for(first):
+            return first, candidate
+    raise AssertionError("no distinct-slot key pair found")  # pragma: no cover
+
+
+class TestResidentCollector:
+    def test_completion_order_and_mid_flight_params(self):
+        backend = ResidentBackend(max_workers=2)
+        try:
+            collector = backend.open_collector("collect-echo")
+            assert isinstance(collector, ResidentCollector)
+            slow, fast = _two_keys_on_distinct_slots(backend)
+            collector.dispatch(slow, _fresh_state, {"sleep": 0.6})
+            collector.dispatch(fast, _fresh_state, {"sleep": 0.0})
+            # Mid-flight parameter traffic: the pull answers while both
+            # steps are still outstanding (step replies get buffered).
+            pulled = collector.pull_params([fast])
+            assert pulled[fast]["count"] in (0, 1)
+            first_key, _ = collector.collect_any()
+            second_key, _ = collector.collect_any()
+            assert first_key == fast
+            assert second_key == slow
+            collector.push_params({fast: {"count": 100}})
+            collector.dispatch(fast, _fresh_state, {"sleep": 0.0})
+            key, (count, _) = collector.collect_any()
+            assert key == fast
+            assert count == 101  # pushed params reached the resident state
+            collector.close()
+        finally:
+            backend.close()
+
+    def test_open_collector_requires_program_name(self):
+        backend = ResidentBackend(max_workers=1)
+        try:
+            with pytest.raises(ValueError, match="program"):
+                backend.open_collector()
+        finally:
+            backend.close()
+
+    def test_fifo_and_collector_modes_are_mutually_exclusive(self):
+        backend = ResidentBackend(max_workers=1)
+        try:
+            collector = backend.open_collector("collect-echo")
+            collector.dispatch(0, _fresh_state, {"sleep": 0.0})
+            # The strict-FIFO surface refuses while steps are uncollected ...
+            with pytest.raises(RuntimeError, match="collector"):
+                backend.pull_params([0])
+            collector.collect_any()
+            collector.close()
+            # ... and closing the drained collector re-enables it.
+            assert backend.pull_params([0])[0]["count"] == 1
+        finally:
+            backend.close()
+
+    def test_duplicate_key_dispatch_is_rejected(self):
+        backend = ResidentBackend(max_workers=1)
+        try:
+            collector = backend.open_collector("collect-echo")
+            collector.dispatch(0, _fresh_state, {"sleep": 0.2})
+            with pytest.raises(RuntimeError, match="in flight"):
+                collector.dispatch(0, _fresh_state, {"sleep": 0.0})
+            collector.collect_any()
+            collector.close()
+        finally:
+            backend.close()
+
+    def test_explicit_timeout_does_not_poison(self):
+        backend = ResidentBackend(max_workers=1)
+        try:
+            collector = backend.open_collector("collect-echo")
+            collector.dispatch(0, _fresh_state, {"sleep": 0.5})
+            with pytest.raises(TimeoutError):
+                collector.collect_any(timeout=0.05)
+            # A caller-chosen deadline is back-pressure, not a fault: the
+            # pool stays healthy and the step is still collectable.
+            key, (count, _) = collector.collect_any()
+            assert (key, count) == (0, 1)
+            collector.close()
+        finally:
+            backend.close()
+
+
+# -- fault injection ---------------------------------------------------------------
+
+
+class _DropOnceChannel:
+    """Channel wrapper that silently loses the next outgoing frame."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.drop_next = False
+
+    def send_bytes(self, data):
+        if self.drop_next:
+            self.drop_next = False
+            return  # the frame vanishes on the wire
+        self._inner.send_bytes(data)
+
+    def recv_bytes(self):
+        return self._inner.recv_bytes()
+
+    def poll(self, timeout=0.0):
+        return self._inner.poll(timeout)
+
+    def close(self):
+        self._inner.close()
+
+
+class _DroppingPipeTransport(LocalPipeTransport):
+    """Pipe transport whose channels can drop a frame on command."""
+
+    def _open_channels(self, num_slots):
+        return [_DropOnceChannel(c) for c in super()._open_channels(num_slots)]
+
+
+class _TruncateOnceChannel:
+    """TCP channel wrapper that cuts the next frame in half, then shuts down."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.truncate_next = False
+
+    def send_bytes(self, data):
+        if self.truncate_next:
+            self.truncate_next = False
+            frame = _HEADER.pack(len(data)) + data
+            sock = self._inner._sock
+            sock.settimeout(None)
+            sock.sendall(frame[: max(1, len(frame) // 2)])
+            sock.shutdown(socket.SHUT_WR)
+            return
+        self._inner.send_bytes(data)
+
+    def recv_bytes(self):
+        return self._inner.recv_bytes()
+
+    def poll(self, timeout=0.0):
+        return self._inner.poll(timeout)
+
+    def close(self):
+        self._inner.close()
+
+
+class _TruncatingTcpTransport(TcpTransport):
+    """Loopback tcp transport whose channels can truncate a frame on command."""
+
+    def _open_channels(self, num_slots):
+        return [_TruncateOnceChannel(c) for c in super()._open_channels(num_slots)]
+
+
+class TestCollectAnyFaultInjection:
+    @pytest.mark.parametrize("transport", ("pipe", "tcp"))
+    def test_killed_slot_fails_stop_mid_collect(self, transport):
+        # A slot process dying while its step is being awaited must surface
+        # as a TransportError naming the slot and op, tear the pool down and
+        # refuse later calls — never hang the event loop.
+        backend = ResidentBackend(max_workers=1, transport=transport)
+        try:
+            collector = backend.open_collector("collect-echo")
+            collector.dispatch(0, _fresh_state, {"sleep": 0.0})
+            assert collector.collect_any()[0] == 0
+            collector.dispatch(0, _fresh_state, {"sleep": 30.0})
+            victim = backend._transport._processes[0]
+            victim.kill()
+            victim.join()
+            started = time.monotonic()
+            with pytest.raises(TransportError) as excinfo:
+                collector.collect_any()
+            assert time.monotonic() - started < 10.0
+            assert excinfo.value.slot_index == 0
+            assert excinfo.value.op == "run"
+            assert backend._transport is None  # fail-stop: pool torn down
+            with pytest.raises(RuntimeError, match="closed"):
+                collector.collect_any()
+            with pytest.raises(RuntimeError, match="closed"):
+                collector.dispatch(0, _fresh_state, None)
+            with pytest.raises(RuntimeError, match="previously failed"):
+                backend.open_collector("collect-echo")
+        finally:
+            backend.close()
+
+    def test_dropped_pipe_frame_surfaces_as_timeout_not_hang(self):
+        # A dispatch frame lost on the wire means the slot never replies;
+        # the transport's read_timeout must turn the silent wait into a
+        # clean TransportError instead of an infinite collect_any.
+        transport = _DroppingPipeTransport(serve_slot, read_timeout=1.0)
+        backend = ResidentBackend(max_workers=1, transport=transport)
+        try:
+            collector = backend.open_collector("collect-echo")
+            collector.dispatch(0, _fresh_state, "a")
+            assert collector.collect_any() == (0, (1, "a"))
+            transport.channel(0).drop_next = True
+            collector.dispatch(0, _fresh_state, "b")
+            started = time.monotonic()
+            with pytest.raises(TransportError, match="timed out") as excinfo:
+                collector.collect_any()
+            assert time.monotonic() - started < 10.0
+            assert excinfo.value.slot_index == 0
+            assert excinfo.value.op == "run"
+            assert backend._transport is None
+            with pytest.raises(RuntimeError, match="closed"):
+                collector.collect_any()
+            with pytest.raises(RuntimeError, match="previously failed"):
+                backend.open_collector("collect-echo")
+        finally:
+            backend.close()
+
+    def test_truncated_tcp_frame_poisons_fail_stop(self):
+        # Half a frame followed by shutdown kills the worker mid-read; the
+        # collector must observe the slot's death as a TransportError and
+        # fail stop — no timeout needed, the broken stream is detectable.
+        transport = _TruncatingTcpTransport(connect_timeout=30.0)
+        backend = ResidentBackend(max_workers=1, transport=transport)
+        try:
+            collector = backend.open_collector("collect-echo")
+            collector.dispatch(0, _fresh_state, "a")
+            assert collector.collect_any() == (0, (1, "a"))
+            transport.channel(0).truncate_next = True
+            collector.dispatch(0, _fresh_state, "b")
+            started = time.monotonic()
+            with pytest.raises(TransportError) as excinfo:
+                collector.collect_any()
+            assert time.monotonic() - started < 30.0
+            assert excinfo.value.slot_index == 0
+            assert excinfo.value.op == "run"
+            assert backend._transport is None
+            with pytest.raises(RuntimeError, match="closed"):
+                collector.dispatch(0, _fresh_state, "c")
+            with pytest.raises(RuntimeError, match="previously failed"):
+                backend.open_collector("collect-echo")
+        finally:
+            backend.close()

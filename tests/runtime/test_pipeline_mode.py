@@ -146,11 +146,15 @@ class TestPipelineStats:
         assert payload["max_staleness"] == 2.0
         assert payload["max_in_flight"] == 3.0
         assert payload["lookahead_generations"] == 4.0
+        assert payload["p95_staleness"] == pytest.approx(1.9)
+        assert payload["iterations"] == 2.0
 
     def test_empty_overlap_dict(self):
         payload = PipelineStats(depth=1).as_overlap_dict()
         assert payload["mean_staleness"] == 0.0
         assert payload["max_staleness"] == 0.0
+        assert payload["p95_staleness"] == 0.0
+        assert payload["iterations"] == 0.0
 
 
 # -- async dispatch handles --------------------------------------------------------
