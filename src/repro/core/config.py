@@ -139,6 +139,28 @@ class TrainingConfig:
     #: (every update sees only fresh contributions).  Ignored when
     #: ``aggregation="sync"``.
     max_staleness: int = 2
+    #: Pool-membership policy when a resident slot dies mid-run (see
+    #: :mod:`repro.runtime.membership`).  ``"fail_stop"`` (the default) is
+    #: the paper's discipline: the pool poisons and the run fails — bitwise
+    #: identical across all backends.  ``"degrade"`` quarantines the dead
+    #: slot, evicts the workers living on it (their shards redistribute to
+    #: survivors at the next aggregation boundary) and keeps training on the
+    #: remaining pool; late joiners are admitted mid-run and revive evicted
+    #: workers from the last merged mirror.  ``"wait"`` quarantines the slot
+    #: but keeps its workers: the run blocks at the loss boundary until
+    #: replacement capacity is respawned/admitted (up to
+    #: ``rejoin_timeout``), then reassigns the lost workers there.  Ignored
+    #: by non-resident backends.
+    on_slot_loss: str = "fail_stop"
+    #: Elastic floor: an eviction that would leave fewer than this many live
+    #: workers escalates to a run failure instead.  Only meaningful with
+    #: ``on_slot_loss="degrade"``.
+    min_workers: int = 1
+    #: Seconds between replacement/rejoin attempts under elastic policies.
+    rejoin_backoff: float = 0.25
+    #: Seconds the ``"wait"`` policy blocks for replacement capacity before
+    #: escalating to a run failure.
+    rejoin_timeout: float = 10.0
 
     def __post_init__(self) -> None:
         if self.iterations <= 0:
@@ -215,6 +237,31 @@ class TrainingConfig:
                     "aggregation='async' runs every alive worker continuously; "
                     "participation_fraction must be 1.0"
                 )
+        from ..runtime.membership import ON_SLOT_LOSS_POLICIES
+
+        if self.on_slot_loss not in ON_SLOT_LOSS_POLICIES:
+            raise ValueError(
+                f"on_slot_loss must be one of {ON_SLOT_LOSS_POLICIES}, got "
+                f"{self.on_slot_loss!r}"
+            )
+        if self.min_workers < 1:
+            raise ValueError(f"min_workers must be >= 1, got {self.min_workers}")
+        if self.rejoin_backoff <= 0:
+            raise ValueError(f"rejoin_backoff must be > 0, got {self.rejoin_backoff}")
+        if self.rejoin_timeout <= 0:
+            raise ValueError(f"rejoin_timeout must be > 0, got {self.rejoin_timeout}")
+        if self.on_slot_loss != "fail_stop" and self.pipeline_depth:
+            raise ValueError(
+                "elastic membership (on_slot_loss != 'fail_stop') requires "
+                "pipeline_depth == 0: lookahead generation cannot span a "
+                "membership change"
+            )
+        if self.on_slot_loss == "wait" and self.aggregation == "async":
+            raise ValueError(
+                "on_slot_loss='wait' is incompatible with aggregation='async': "
+                "the async collector owns the channel streams, so a blocking "
+                "reassignment boundary cannot interleave; use 'degrade'"
+            )
 
     @property
     def dtype(self):
@@ -222,6 +269,24 @@ class TrainingConfig:
         from ..nn.precision import resolve_dtype
 
         return resolve_dtype(self.precision)
+
+    def membership_policy(self):
+        """The resolved :class:`repro.runtime.membership.MembershipPolicy`.
+
+        Returns ``None`` under the default fail-stop discipline, so the
+        entire elastic path stays unreferenced (and trivially bitwise-inert)
+        unless explicitly opted into.
+        """
+        if self.on_slot_loss == "fail_stop":
+            return None
+        from ..runtime.membership import MembershipPolicy
+
+        return MembershipPolicy(
+            on_slot_loss=self.on_slot_loss,
+            min_workers=self.min_workers,
+            rejoin_backoff=self.rejoin_backoff,
+            rejoin_timeout=self.rejoin_timeout,
+        )
 
     def build_backend(self):
         """Instantiate the configured :class:`repro.runtime.ExecutorBackend`.
@@ -242,6 +307,9 @@ class TrainingConfig:
             backend.transport = self.transport
         if self.transport_address is not None and hasattr(backend, "transport_address"):
             backend.transport_address = self.transport_address
+        policy = self.membership_policy()
+        if policy is not None and hasattr(backend, "membership_policy"):
+            backend.membership_policy = policy
         return backend
 
     def with_overrides(self, **kwargs) -> "TrainingConfig":

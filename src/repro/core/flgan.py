@@ -24,7 +24,9 @@ from ..metrics.evaluator import GeneratorEvaluator
 from ..models.base import GANFactory, generator_input
 from ..nn.model import Sequential
 from ..nn.serialize import weighted_average_parameters
+from ..runtime.membership import LOST, SlotLossError
 from ..runtime.pipeline import InflightWindow, PipelineStats
+from .elastic import ElasticMembershipMixin
 from .lifecycle import BackendOwner
 from ..runtime.tasks import (
     FLGANLocalResult,
@@ -59,7 +61,7 @@ class FLGANWorkerState:
     rng: np.random.Generator
 
 
-class FLGANTrainer(BackendOwner):
+class FLGANTrainer(ElasticMembershipMixin, BackendOwner):
     """Federated-averaging GAN trainer over ``N`` emulated workers.
 
     The trainer owns its execution backend (see
@@ -242,6 +244,17 @@ class FLGANTrainer(BackendOwner):
             # train() re-install resumes exactly where the pool left off.
             worker.sampler.restore_cursor_state(mirror["sampler_cursor"])
 
+    def _restore_worker_from_mirror(
+        self, worker: FLGANWorkerState, mirror: Dict[str, object]
+    ) -> None:
+        """Reset a worker to its last merged boundary mirror (elastic revival)."""
+        worker.generator = mirror["generator"]
+        worker.discriminator = mirror["discriminator"]
+        worker.gen_opt = mirror["gen_opt"]
+        worker.disc_opt = mirror["disc_opt"]
+        worker.rng.bit_generator.state = mirror["rng_state"]
+        worker.sampler.restore_cursor_state(mirror["sampler_cursor"])
+
     def _merge_local_result(self, worker: FLGANWorkerState, result) -> tuple:
         """Merge phase: adopt the round-tripped state, or just the cursors.
 
@@ -374,6 +387,11 @@ class FLGANTrainer(BackendOwner):
         """Merge one local iteration's results (worker-index order) + record."""
         gen_losses, disc_losses = [], []
         for worker, result in zip(active, results):
+            if result is LOST:
+                # The worker's slot died with this iteration in flight:
+                # elastic membership discards the contribution (crash
+                # semantics); the boundary pipeline decides the worker's fate.
+                continue
             gen_loss, disc_loss = self._merge_local_result(worker, result)
             gen_losses.append(gen_loss)
             disc_losses.append(disc_loss)
@@ -454,6 +472,13 @@ class FLGANTrainer(BackendOwner):
         never re-dispatched (fail-stop loses in-flight work).
         """
         key, result = collector.collect_any()
+        if result is LOST:
+            # The slot serving this worker died mid-unit: the round's work
+            # is gone (crash semantics) and the membership layer has queued
+            # the loss — evict now so the worker is never re-dispatched.
+            self._handle_async_losses(sched.updates, sched)
+            sched.discard(key)
+            return
         worker = self.workers[key]
         if not self.cluster.workers[key].alive:
             sched.discard(key)
@@ -465,7 +490,14 @@ class FLGANTrainer(BackendOwner):
         done_iters[key] += 1
         done = done_iters[key]
         if done % self.iterations_per_round == 0:
-            payload = self._pull_async_params(worker, collector)
+            try:
+                payload = self._pull_async_params(worker, collector)
+            except SlotLossError:
+                # The worker's slot died at its round boundary: the round's
+                # contribution is lost with it.
+                self._handle_async_losses(sched.updates, sched)
+                sched.discard(key)
+                return
             # Metered upload through the simulated network; the contribution
             # carries the authoritative vectors (drained at flush time).
             self.cluster.workers[key].send(
@@ -575,7 +607,12 @@ class FLGANTrainer(BackendOwner):
                     worker.generator.set_parameters(payload["generator"])
                     worker.discriminator.set_parameters(payload["discriminator"])
         if push_map:
-            collector.push_params(push_map)
+            try:
+                collector.push_params(push_map)
+            except SlotLossError:
+                # A contributor's slot died during the broadcast push: its
+                # merged copy is lost, the merge itself already happened.
+                self._handle_async_losses(update, sched)
         for contribution in contributions:
             worker = self.workers[contribution.key]
             if (
@@ -585,6 +622,14 @@ class FLGANTrainer(BackendOwner):
                 sched.note_dispatch(contribution.key)
                 self._dispatch_async_local_unit(worker, collector)
         return update
+
+    def _sync_iteration(self, iteration: int) -> None:
+        """One synchronous local iteration plus its due federated round."""
+        active = self._active_workers()
+        handle = self._dispatch_local_iteration(active)
+        self._merge_local_iteration(iteration, active, handle.result())
+        if iteration % self.iterations_per_round == 0:
+            self._federated_round(iteration)
 
     def _train_async(self) -> TrainingHistory:
         """Event-driven training loop for ``aggregation="async"``.
@@ -615,6 +660,7 @@ class FLGANTrainer(BackendOwner):
                     update = self._apply_async_round(
                         sched, stats, done_iters, collector
                     )
+                    self._admit_joiners_async(update)
                     if (
                         self.evaluator is not None
                         and cfg.eval_every
@@ -629,6 +675,7 @@ class FLGANTrainer(BackendOwner):
             self._cleanup_after_failure()
             raise
         else:
+            self._sync_membership_events(sched.updates)
             self.sync_worker_state(reclaim=False)
         finally:
             self.history.overlap = stats.as_overlap_dict()
@@ -673,10 +720,10 @@ class FLGANTrainer(BackendOwner):
         stats = PipelineStats(depth=depth) if depth > 0 else None
         try:
             for iteration in range(1, cfg.iterations + 1):
-                active = self._active_workers()
                 backend = self.executor
                 windowed = depth > 0 and getattr(backend, "supports_resident", False)
                 if windowed:
+                    active = self._active_workers()
                     window.push(
                         (iteration, active, self._dispatch_local_iteration(active))
                     )
@@ -692,11 +739,13 @@ class FLGANTrainer(BackendOwner):
                     )
                     for it, act, handle in window.drain(0 if at_boundary else None):
                         self._merge_local_iteration(it, act, handle.result())
+                    if iteration % round_length == 0:
+                        self._federated_round(iteration)
                 else:
-                    handle = self._dispatch_local_iteration(active)
-                    self._merge_local_iteration(iteration, active, handle.result())
-                if iteration % round_length == 0:
-                    self._federated_round(iteration)
+                    # Elastic membership (when configured) absorbs slot
+                    # losses here and runs its boundary pipeline after the
+                    # iteration; fail-stop runs call the body directly.
+                    self._elastic_iteration(iteration, self._sync_iteration)
                 if (
                     self.evaluator is not None
                     and cfg.eval_every

@@ -49,6 +49,12 @@ class TrainingHistory:
     #: empty for synchronous runs.  See
     #: :meth:`repro.runtime.pipeline.PipelineStats.as_overlap_dict`.
     overlap: Dict[str, float] = field(default_factory=dict)
+    #: Membership-event counters from an elastic resident pool (slot losses,
+    #: joins, reassignments, reconnect attempts; see
+    #: :meth:`repro.runtime.resident.ResidentBackend.membership_counters`).
+    #: Empty under the default fail-stop discipline.  The individual events
+    #: (``membership_*`` / ``slot_loss`` kinds) land in :attr:`events`.
+    membership: Dict[str, int] = field(default_factory=dict)
 
     # -- recording -------------------------------------------------------------
     def record_losses(self, iteration: int, gen_loss: float, disc_loss: float) -> None:
@@ -150,6 +156,7 @@ class TrainingHistory:
                 for worker, series in self.worker_staleness.items()
             },
             "overlap": dict(self.overlap),
+            "membership": dict(self.membership),
         }
 
     @classmethod
@@ -178,4 +185,8 @@ class TrainingHistory:
                 for worker, series in payload.get("worker_staleness", {}).items()
             },
             overlap=dict(payload.get("overlap", {})),
+            membership={
+                str(kind): int(count)
+                for kind, count in payload.get("membership", {}).items()
+            },
         )

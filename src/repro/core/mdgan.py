@@ -48,7 +48,9 @@ from ..runtime.pipeline import (
     fan_out_generation,
     start_resident_generation,
 )
+from .elastic import ElasticMembershipMixin
 from .lifecycle import BackendOwner
+from ..runtime.membership import LOST, SlotLossError
 from ..runtime.tasks import (
     MDGANResidentState,
     MDGANStepInput,
@@ -85,7 +87,7 @@ class MDGANWorkerState:
     rng: np.random.Generator
 
 
-class MDGANTrainer(BackendOwner):
+class MDGANTrainer(ElasticMembershipMixin, BackendOwner):
     """MD-GAN trainer: one server-side generator versus ``N`` worker discriminators.
 
     The trainer owns its execution backend (see
@@ -467,6 +469,11 @@ class MDGANTrainer(BackendOwner):
         gen_losses: List[float] = []
         disc_losses: List[float] = []
         for worker, result in zip(live_workers, handle.result()):
+            if result is LOST:
+                # The worker's slot died with this contribution in flight:
+                # elastic membership discards it (crash semantics) and the
+                # boundary pipeline decides the worker's fate.
+                continue
             stats = self._merge_worker_result(iteration, worker, result)
             gen_losses.append(stats["gen_loss"])
             disc_losses.append(stats["disc_loss"])
@@ -510,6 +517,15 @@ class MDGANTrainer(BackendOwner):
             # mirrored sampler must be complete, so a close_backend()-then-
             # train() re-install resumes exactly where the pool left off.
             worker.sampler.restore_cursor_state(mirror["sampler_cursor"])
+
+    def _restore_worker_from_mirror(
+        self, worker: MDGANWorkerState, mirror: Dict[str, object]
+    ) -> None:
+        """Reset a worker to its last merged boundary mirror (elastic revival)."""
+        worker.discriminator = mirror["discriminator"]
+        worker.disc_opt = mirror["disc_opt"]
+        worker.rng.bit_generator.state = mirror["rng_state"]
+        worker.sampler.restore_cursor_state(mirror["sampler_cursor"])
 
     def _merge_worker_result(
         self,
@@ -865,6 +881,13 @@ class MDGANTrainer(BackendOwner):
         the fail-stop model loses in-flight work — and never re-dispatched.
         """
         key, result = collector.collect_any()
+        if result is LOST:
+            # The slot serving this worker died mid-unit: the contribution
+            # is gone (crash semantics) and the membership layer has queued
+            # the loss — evict now so the dispatch loop stops refilling it.
+            batch_store.pop(key, None)
+            self._handle_async_losses(sched.updates, sched)
+            return
         worker = self.workers[key]
         batches = batch_store.pop(key)
         if not self.cluster.workers[key].alive:
@@ -960,6 +983,7 @@ class MDGANTrainer(BackendOwner):
                 if sched.buffered and sched.gate_open:
                     self._apply_async_update(sched, stats)
                     update = sched.updates
+                    self._admit_joiners_async(update)
                     if period and update >= next_swap:
                         swap_pending = True
                     if (
@@ -983,7 +1007,13 @@ class MDGANTrainer(BackendOwner):
                     and not collector.outstanding
                     and not sched.buffered
                 ):
-                    self._swap_discriminators(sched.updates)
+                    try:
+                        self._swap_discriminators(sched.updates)
+                    except SlotLossError:
+                        # A gossip partner's slot died mid-swap: the swap is
+                        # abandoned for this period (state already pushed to
+                        # survivors stands) and the lost workers are evicted.
+                        self._handle_async_losses(sched.updates, sched)
                     next_swap = period * (sched.updates // period + 1)
                     swap_pending = False
             # Straggler units past the end of training: the work is
@@ -994,6 +1024,7 @@ class MDGANTrainer(BackendOwner):
             self._cleanup_after_failure()
             raise
         else:
+            self._sync_membership_events(sched.updates)
             self.sync_worker_state(reclaim=False)
         finally:
             self.history.overlap = stats.as_overlap_dict()
@@ -1031,7 +1062,7 @@ class MDGANTrainer(BackendOwner):
                 if pipelined:
                     self._train_iteration_pipelined(iteration, queue, stats)
                 else:
-                    self.train_iteration(iteration)
+                    self._elastic_iteration(iteration, self.train_iteration)
                 if (
                     self.evaluator is not None
                     and cfg.eval_every

@@ -155,6 +155,40 @@ def build_parser() -> argparse.ArgumentParser:
             "MD-GAN (FL-GAN pipelining stays bitwise identical)"
         ),
     )
+    parser.add_argument(
+        "--on-slot-loss",
+        default="fail_stop",
+        choices=("fail_stop", "degrade", "wait"),
+        help=(
+            "resident-pool policy when a slot dies mid-run: 'fail_stop' "
+            "(poison the pool and raise, the default — bitwise identical to "
+            "pre-membership behaviour), 'degrade' (evict the slot's workers "
+            "crash-style and redistribute their shards across survivors; "
+            "late joiners revive them), or 'wait' (block up to the rejoin "
+            "timeout for replacement capacity and reassign the lost workers "
+            "there); only meaningful with --backend resident"
+        ),
+    )
+    parser.add_argument(
+        "--min-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "fail the run when elastic degradation leaves fewer than N live "
+            "workers (only meaningful with --on-slot-loss degrade/wait)"
+        ),
+    )
+    parser.add_argument(
+        "--rejoin-backoff",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help=(
+            "elastic membership: delay between reconnect/replacement "
+            "attempts while healing a lost slot"
+        ),
+    )
     parser.add_argument("--dataset", default="mnist")
     parser.add_argument("--architecture", default="mnist-mlp")
     parser.add_argument("--json", help="write the result rows to a JSON file")
@@ -184,6 +218,23 @@ def _backend_kwargs(runner: Callable, args: argparse.Namespace) -> Dict[str, obj
     for flag in ("max_workers", "shm_install", "transport", "transport_address"):
         if flag in accepted:
             kwargs[flag] = getattr(args, flag)
+    # Elastic membership flags follow the same explicit path; runners that do
+    # not take them keep the fail-stop default, and passing a non-default
+    # policy to such a runner warns instead of silently dropping it.
+    for flag, default in (
+        ("on_slot_loss", "fail_stop"),
+        ("min_workers", 1),
+        ("rejoin_backoff", 0.25),
+    ):
+        value = getattr(args, flag)
+        if flag in accepted:
+            kwargs[flag] = value
+        elif value != default:
+            print(
+                f"note: {runner.__name__} does not take --{flag.replace('_', '-')}; "
+                "running fail-stop",
+                file=sys.stderr,
+            )
     if "backend" in accepted:
         kwargs["backend"] = args.backend
     elif args.backend != "serial":
@@ -245,6 +296,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     set_default_precision(args.precision)
     if args.transport_address is not None and args.transport != "tcp":
         print("error: --transport-address requires --transport tcp", file=sys.stderr)
+        return 2
+    if args.on_slot_loss != "fail_stop" and args.pipeline_depth:
+        print(
+            "error: --on-slot-loss degrade/wait requires --pipeline-depth 0",
+            file=sys.stderr,
+        )
+        return 2
+    if args.min_workers < 1:
+        print("error: --min-workers must be >= 1", file=sys.stderr)
         return 2
     names = sorted(ARTIFACTS) if args.artefact == "all" else [args.artefact]
     for name in names:

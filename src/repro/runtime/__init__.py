@@ -42,6 +42,14 @@ from .pipeline import (
     fan_out_generation,
     start_resident_generation,
 )
+from .membership import (
+    LOST,
+    ON_SLOT_LOSS_POLICIES,
+    MembershipEvent,
+    MembershipPolicy,
+    PoolMembership,
+    SlotLossError,
+)
 from .resident import (
     PendingSteps,
     ResidentBackend,
@@ -56,6 +64,11 @@ from .resident import (
 )
 from .transport import (
     TRANSPORTS,
+    ChaosAction,
+    ChaosChannel,
+    ChaosSchedule,
+    ChaosTransport,
+    HandshakeRefused,
     LocalPipeTransport,
     TcpTransport,
     Transport,
@@ -107,8 +120,19 @@ __all__ = [
     "can_generate_resident",
     "Transport",
     "TransportError",
+    "HandshakeRefused",
     "LocalPipeTransport",
     "TcpTransport",
+    "ChaosAction",
+    "ChaosChannel",
+    "ChaosSchedule",
+    "ChaosTransport",
+    "LOST",
+    "ON_SLOT_LOSS_POLICIES",
+    "MembershipEvent",
+    "MembershipPolicy",
+    "PoolMembership",
+    "SlotLossError",
     "create_backend",
     "register_backend",
     "create_transport",

@@ -99,6 +99,7 @@ from .backend import (
     default_max_workers,
     register_backend,
 )
+from .membership import LOST, MembershipPolicy, PoolMembership, SlotLossError
 from .transport import Transport, TransportError, create_transport, transport_default
 
 try:  # gate: platforms without POSIX shared memory fall back to pickling
@@ -111,6 +112,8 @@ __all__ = [
     "ResidentProgram",
     "PendingSteps",
     "TransportError",
+    "SlotLossError",
+    "LOST",
     "register_program",
     "get_program",
     "serve_slot",
@@ -524,6 +527,9 @@ class PendingSteps:
         self._values: Optional[List[Any]] = None
         #: Set when the pool died/closed before the replies were read.
         self._dead = False
+        #: Slots (elastic pools only) whose entries were lost with their
+        #: slot; their result positions come back as :data:`LOST`.
+        self._lost_slots: set = set()
 
     @property
     def done(self) -> bool:
@@ -614,11 +620,39 @@ class ResidentCollector(CompletionCollector):
         self._per_slot[slot_index].append(("run", key))
         self._count += 1
 
+    def _note_slot_loss(self, slot_index: int, lost_keys: Sequence) -> None:
+        """Convert a quarantined slot's queued work into :data:`LOST` results.
+
+        Called by the backend's quarantine: in-flight steps on the dead slot
+        become ready ``(key, LOST)`` results (their replies will never
+        arrive), queued boundary entries vanish (their caller receives the
+        :class:`SlotLossError` directly), and idle keys lost with the slot
+        are surfaced as extra ``(key, LOST)`` results so the trainer's
+        recovery path learns about them on its normal collection loop.
+        """
+        queue = self._per_slot.get(slot_index)
+        seen = []
+        if queue:
+            while queue:
+                op, key = queue.popleft()
+                if op == "run":
+                    self._ready.append((key, LOST))
+                    self._count -= 1
+                    seen.append(key)
+        for key in lost_keys:
+            if key not in seen:
+                self._ready.append((key, LOST))
+
     def _pop_reply(self, slot_index: int):
         """Read the head reply of one slot's FIFO and return ``(op, key, payload)``."""
         op, key = self._per_slot[slot_index][0]
         try:
             payload = self._backend._recv(slot_index, op)
+        except SlotLossError:
+            # The quarantine already converted this slot's queue (including
+            # the entry we were reading) into LOST results; the collector
+            # itself stays open.
+            raise
         except BaseException:
             self._dead = True
             raise
@@ -635,43 +669,57 @@ class ResidentCollector(CompletionCollector):
         raises ``TimeoutError`` without poisoning.
         """
         self._check_open()
-        if self._ready:
-            return self._ready.popleft()
-        if self._count == 0:
+        if not self._ready and self._count == 0:
             raise RuntimeError("collect_any called with no outstanding steps")
-        # From here on every outstanding step is still on the wire.
         backend = self._backend
         transport = backend._ensure_transport()
         read_timeout = transport.read_timeout
         poison_deadline = None if read_timeout is None else time.monotonic() + read_timeout
         caller_deadline = None if timeout is None else time.monotonic() + timeout
         while True:
+            if self._ready:
+                return self._ready.popleft()
+            lost_one = False
             busy = sorted(slot for slot, queue in self._per_slot.items() if queue)
             for slot_index in busy:
                 try:
                     ready = transport.channel(slot_index).poll(0.0)
                 except (EOFError, OSError) as exc:
                     op = self._per_slot[slot_index][0][0]
-                    self._dead = True
-                    backend._poison(
-                        f"pool slot {slot_index} died mid-request ({op!r}): {exc!r}"
-                    )
-                    raise TransportError(
+                    fault = backend._wire_fault(
+                        slot_index,
+                        op,
                         f"resident pool slot {slot_index} died "
                         f"(in-flight op {op!r}: {exc!r})",
-                        slot_index=slot_index,
-                        op=op,
-                    ) from exc
+                        f"pool slot {slot_index} died mid-request ({op!r}): {exc!r}",
+                    )
+                    if fault is None or isinstance(fault, SlotLossError):
+                        # Quarantined: its queue just became LOST entries in
+                        # the ready buffer, served by the loop's next pass.
+                        self._note_slot_loss(slot_index, [])
+                        lost_one = True
+                        break
+                    self._dead = True
+                    raise fault from exc
                 if ready:
-                    op, key, payload = self._pop_reply(slot_index)
+                    try:
+                        op, key, payload = self._pop_reply(slot_index)
+                    except SlotLossError:
+                        lost_one = True
+                        break
                     if op != "run":  # pragma: no cover - head is run by construction
                         raise RuntimeError(f"unexpected {op!r} reply at slot head")
                     self._count -= 1
                     return key, payload[0]
+            if lost_one:
+                continue
             error = transport.take_writer_error()
             if error is not None:
-                self._dead = True
-                raise backend._writer_failure(error, op="run")
+                fault = backend._writer_failure(error, op="run")
+                if fault is not None and not isinstance(fault, SlotLossError):
+                    self._dead = True
+                    raise fault
+                continue
             now = time.monotonic()
             if caller_deadline is not None and now > caller_deadline:
                 raise TimeoutError(
@@ -681,18 +729,22 @@ class ResidentCollector(CompletionCollector):
             if poison_deadline is not None and now > poison_deadline:
                 slot_index = busy[0]
                 op = self._per_slot[slot_index][0][0]
-                self._dead = True
-                backend._poison(
-                    f"timed out after {read_timeout}s waiting for pool slot "
-                    f"{slot_index} to answer {op!r}"
-                )
-                raise TransportError(
+                fault = backend._wire_fault(
+                    slot_index,
+                    op,
                     f"timed out after {read_timeout}s waiting for pool slot "
                     f"{slot_index} to answer {op!r} (frame dropped, or "
                     "read_timeout shorter than the slot's compute time)",
-                    slot_index=slot_index,
-                    op=op,
+                    f"timed out after {read_timeout}s waiting for pool slot "
+                    f"{slot_index} to answer {op!r}",
                 )
+                if fault is None or isinstance(fault, SlotLossError):
+                    # Survivable loss: restart the heartbeat clock for the
+                    # remaining slots and keep collecting.
+                    poison_deadline = time.monotonic() + read_timeout
+                    continue
+                self._dead = True
+                raise fault
             time.sleep(0.005)
 
     def _boundary_request(self, slot_index: int, op: str, wire_payload):
@@ -701,14 +753,27 @@ class ResidentCollector(CompletionCollector):
         Step replies queued ahead of it on the channel are collected into the
         ready buffer (their FIFO position is fixed; the boundary reply cannot
         arrive before them).
+
+        Under an elastic membership policy a :class:`SlotLossError` naming
+        *this* slot propagates immediately (the queue was already converted to
+        LOST results); a loss on a *different* slot is deferred until this
+        slot's reply has been read, so the channel stream stays aligned.
         """
         backend = self._backend
         backend._send_async(slot_index, (op, wire_payload))
         self._per_slot[slot_index].append((op, None))
-        backend._flush_sends()
+        pending_loss = None
+        try:
+            backend._flush_sends()
+        except SlotLossError as exc:
+            if exc.slot_index == slot_index:
+                raise
+            pending_loss = exc
         while True:
             head_op, key, payload = self._pop_reply(slot_index)
             if head_op == op:
+                if pending_loss is not None:
+                    raise pending_loss
                 return payload
             self._ready.append((key, payload[0]))
             self._count -= 1
@@ -793,10 +858,16 @@ class ResidentBackend(ExecutorBackend):
         transport_address: Optional[str] = None,
         connect_timeout: float = 30.0,
         read_timeout: Optional[float] = None,
+        membership_policy: Optional[MembershipPolicy] = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers or default_max_workers()
+        #: Elastic membership policy (:class:`MembershipPolicy`) or ``None``
+        #: for the fail-stop default.  ``None`` (or a ``fail_stop`` policy)
+        #: runs zero elastic code: any wire fault poisons the pool exactly as
+        #: before the membership layer existed.
+        self.membership_policy = membership_policy
         #: Ship install payloads via shared memory?  ``None`` follows the
         #: process-wide default (:func:`set_shm_install_default`); platforms
         #: without ``multiprocessing.shared_memory`` — and transports whose
@@ -867,6 +938,9 @@ class ResidentBackend(ExecutorBackend):
         #: The open :class:`ResidentCollector`, if any; mutually exclusive
         #: with whole-pool boundary ops while it has outstanding steps.
         self._collector: Optional[ResidentCollector] = None
+        #: Live :class:`PoolMembership` state, built lazily on first use when
+        #: an elastic :attr:`membership_policy` is set; ``None`` otherwise.
+        self._membership: Optional[PoolMembership] = None
 
     # -- generic ExecutorBackend duty ------------------------------------------
     def map_ordered(self, fn, tasks):
@@ -903,6 +977,10 @@ class ResidentBackend(ExecutorBackend):
                 )
             self._transport = transport
         if not self._transport.started:
+            if self._elastic() is not None and hasattr(self._transport, "accept_joiners"):
+                # Keep the tcp listener open past the founding accepts so
+                # late joiners can attach through the versioned re-handshake.
+                self._transport.accept_joiners = True
             self._transport.open(self.max_workers)
         return self._transport
 
@@ -926,6 +1004,162 @@ class ResidentBackend(ExecutorBackend):
                 "rebuild the trainer/backend to continue. Original failure:\n"
                 f"{self._broken_reason}"
             )
+
+    # -- elastic membership -----------------------------------------------------
+    def _elastic(self) -> Optional[PoolMembership]:
+        """The live membership state, or ``None`` under the fail-stop default."""
+        if self._membership is None:
+            policy = self.membership_policy
+            if policy is not None and policy.elastic:
+                self._membership = PoolMembership(policy=policy)
+        return self._membership
+
+    @property
+    def membership(self) -> Optional[PoolMembership]:
+        """Public alias for the live membership state (``None`` if fail-stop)."""
+        return self._elastic()
+
+    def membership_counters(self) -> Dict[str, int]:
+        """Membership-event counts (empty for fail-stop pools) for the meters."""
+        membership = self._elastic()
+        return {} if membership is None else membership.counters_snapshot()
+
+    def _alive_slots(self) -> List[int]:
+        """Slot indices still in service (all of them for fail-stop pools)."""
+        transport = self._ensure_transport()
+        membership = self._elastic()
+        if membership is None:
+            return list(range(transport.num_slots))
+        return [
+            index for index in range(transport.num_slots) if index not in membership.quarantined
+        ]
+
+    def alive_slot_count(self) -> int:
+        """Number of slots still in service."""
+        return len(self._alive_slots())
+
+    def quarantine_slot(self, slot_index: int, reason: str = "") -> List[Any]:
+        """Remove one dead slot from service; return the worker keys lost with it.
+
+        Elastic pools call this instead of :meth:`_poison`: the slot's channel
+        is closed best-effort (a :class:`TransportError`/``OSError`` during
+        this cleanup must never mask the loss being handled — same discipline
+        as the trainers' ``_cleanup_after_failure``), every resident installed
+        there is forgotten and invalidated (the trainer's copy becomes
+        authoritative again), and the lost keys are queued in
+        ``membership.pending_loss`` for the trainer's recovery path.
+        """
+        membership = self._elastic()
+        if membership is None:
+            raise RuntimeError("quarantine_slot requires an elastic membership policy")
+        if slot_index in membership.quarantined:
+            return []
+        # Keys resolve against the *pre-quarantine* placement.
+        lost = [key for key in list(self._installed) if self._slot_for(key) == slot_index]
+        membership.quarantined.add(slot_index)
+        membership.record("slot_loss", slot=slot_index, detail=reason)
+        for key in lost:
+            self._installed.pop(key, None)
+            self.invalidate(key)
+            self._release_shm(("state", key))
+            membership.pending_loss.add(key)
+        for slots in self._generator_slots.values():
+            slots.discard(slot_index)
+        for pair in [p for p in self._generator_versions if p[1] == slot_index]:
+            self._generator_versions.pop(pair, None)
+        transport = self._ensure_transport()
+        try:
+            transport.channel(slot_index).close()
+        except Exception:
+            pass
+        reap = getattr(transport, "reap_slot", None)
+        if reap is not None:  # pragma: no cover - optional transport hook
+            try:
+                reap(slot_index)
+            except Exception:
+                pass
+        if self._collector is not None and not self._collector._dead:
+            self._collector._note_slot_loss(slot_index, lost)
+        return lost
+
+    def _wire_fault(
+        self,
+        slot_index: Optional[int],
+        op: Optional[str],
+        message: str,
+        reason: str,
+    ) -> Optional[TransportError]:
+        """Route one wire fault: poison (fail-stop) or quarantine (elastic).
+
+        Returns the exception the caller should raise — a plain
+        :class:`TransportError` after poisoning, a :class:`SlotLossError`
+        after a survivable quarantine — or ``None`` when the fault refers to
+        an already-quarantined slot and is stale news the caller should
+        simply ignore.
+        """
+        membership = self._elastic()
+        if membership is not None and slot_index is not None:
+            if slot_index in membership.quarantined:
+                return None
+            if len(self._alive_slots()) > 1:
+                lost = self.quarantine_slot(slot_index, reason=reason)
+                return SlotLossError(message, slot_index=slot_index, op=op, lost_keys=lost)
+        self._poison(reason)
+        return TransportError(message, slot_index=slot_index, op=op)
+
+    def admit_joiner(self, timeout: float = 0.0) -> Optional[int]:
+        """Admit one late joiner waiting on the transport, if any.
+
+        Returns the new slot index (recorded as a ``join`` event) or ``None``.
+        Fail-stop pools never admit joiners — their transports close the
+        listen path at open time.
+        """
+        membership = self._elastic()
+        if membership is None:
+            return None
+        transport = self._ensure_transport()
+        slot_index = transport.poll_joiner(timeout)
+        if slot_index is not None:
+            membership.record("join", slot=slot_index)
+            self._inherit_orphans(slot_index)
+        return slot_index
+
+    def _inherit_orphans(self, slot_index: int) -> None:
+        """Point keys stranded on quarantined slots at a freshly joined slot.
+
+        Their installs were popped at quarantine time, so the next dispatch
+        reinstalls them (from whatever state the trainer's recovery restored)
+        on the new slot.
+        """
+        membership = self._elastic()
+        for key, slot in list(membership.assignments.items()):
+            if slot in membership.quarantined:
+                membership.assignments[key] = slot_index
+                membership.record(
+                    "reassign", slot=slot_index, worker=key, detail=f"from slot {slot}"
+                )
+
+    def open_replacement_slot(self) -> Optional[int]:
+        """Build one replacement slot (respawn/accept), if the transport can.
+
+        Used by the ``wait`` policy to heal lost capacity; returns the new
+        slot index, or ``None`` when the transport has no local join path or
+        the attempt failed (the caller backs off and retries).
+        """
+        membership = self._elastic()
+        if membership is None:
+            return None
+        transport = self._ensure_transport()
+        if not transport.supports_join:
+            return None
+        membership.record("reconnect_attempt")
+        try:
+            slot_index = transport.open_slot()
+        except TransportError:
+            return None
+        membership.record("join", slot=slot_index)
+        self._inherit_orphans(slot_index)
+        return slot_index
 
     def close(self) -> None:
         """Shut the pool down; resident state is discarded (trainer re-installs)."""
@@ -969,7 +1203,29 @@ class ResidentBackend(ExecutorBackend):
 
     # -- wire helpers -----------------------------------------------------------
     def _slot_for(self, key) -> int:
-        return stable_key_hash(key) % self._ensure_transport().num_slots
+        membership = self._elastic()
+        if membership is None:
+            return stable_key_hash(key) % self._ensure_transport().num_slots
+        slot = membership.assignments.get(key)
+        if slot is not None and slot not in membership.quarantined:
+            return slot
+        # Hash placement against the *founding* pool size (late-join slots
+        # never shift existing hash targets), remapped deterministically onto
+        # the surviving slots when the primary is quarantined.  The overlay
+        # entry pins the choice: resident state cannot migrate between slots
+        # without a reinstall, so an assignment only ever changes when its
+        # slot dies (the quarantine pops the install, forcing that reinstall).
+        num_slots = self._ensure_transport().num_slots
+        primary = stable_key_hash(key) % min(self.max_workers, num_slots)
+        if primary in membership.quarantined:
+            alive = self._alive_slots()
+            if not alive:
+                raise TransportError("resident pool has no surviving slots")
+            primary = alive[stable_key_hash(key) % len(alive)]
+        if slot is not None and primary != slot:
+            membership.record("reassign", slot=primary, worker=key, detail=f"from slot {slot}")
+        membership.assignments[key] = primary
+        return primary
 
     def _meter_sent(self, op: str, nbytes: int) -> None:
         self.ipc_bytes_sent += nbytes
@@ -988,16 +1244,21 @@ class ResidentBackend(ExecutorBackend):
         try:
             transport.channel(slot_index).send_bytes(data)
         except (BrokenPipeError, OSError) as exc:
-            self._poison(
-                f"transport to pool slot {slot_index} failed while sending "
-                f"{op!r}: {exc!r}"
-            )
-            raise TransportError(
+            fault = self._wire_fault(
+                slot_index,
+                op,
                 f"resident pool slot {slot_index} is gone "
                 f"(transport send failed; in-flight op {op!r})",
-                slot_index=slot_index,
-                op=op,
-            ) from exc
+                f"transport to pool slot {slot_index} failed while sending {op!r}: {exc!r}",
+            )
+            if fault is None:
+                fault = SlotLossError(
+                    f"resident pool slot {slot_index} is quarantined "
+                    f"(send of {op!r} refused)",
+                    slot_index=slot_index,
+                    op=op,
+                )
+            raise fault from exc
         self.op_transfer_seconds[op] += time.perf_counter() - started
 
     def _send_async(self, slot_index: int, message: tuple) -> None:
@@ -1019,14 +1280,20 @@ class ResidentBackend(ExecutorBackend):
         self._meter_sent(op, len(data))
         transport.send_async(slot_index, data)
 
-    def _writer_failure(self, error: tuple, op: Optional[str]) -> TransportError:
-        """Poison the pool for a recorded async-send failure; build the error."""
+    def _writer_failure(self, error: tuple, op: Optional[str]) -> Optional[TransportError]:
+        """Route a recorded async-send failure; build the error to raise.
+
+        Fail-stop pools poison and get a :class:`TransportError`; elastic
+        pools quarantine the failed slot and get a :class:`SlotLossError`.
+        ``None`` means the failure hit an already-quarantined slot and is
+        stale news the caller should ignore.
+        """
         slot_index, reason = error
-        self._poison(reason)
-        return TransportError(
+        return self._wire_fault(
+            slot_index,
+            op,
             f"resident pool async send failed:\n{reason}",
-            slot_index=slot_index,
-            op=op,
+            reason,
         )
 
     def _flush_sends(self) -> None:
@@ -1035,7 +1302,9 @@ class ResidentBackend(ExecutorBackend):
             self._transport.flush_sends()
             error = self._transport.take_writer_error()
             if error is not None:
-                raise self._writer_failure(error, op=None)
+                fault = self._writer_failure(error, op=None)
+                if fault is not None:
+                    raise fault
 
     def _recv(self, slot_index: int, op: str):
         transport = self._ensure_transport()
@@ -1053,31 +1322,44 @@ class ResidentBackend(ExecutorBackend):
             while not channel.poll(0.05):
                 error = transport.take_writer_error()
                 if error is not None:
-                    raise self._writer_failure(error, op=op)
+                    fault = self._writer_failure(error, op=op)
+                    if fault is not None:
+                        raise fault
                 if deadline is not None and time.monotonic() > deadline:
-                    self._poison(
-                        f"timed out after {timeout}s waiting for pool slot "
-                        f"{slot_index} to answer {op!r}"
-                    )
-                    raise TransportError(
+                    fault = self._wire_fault(
+                        slot_index,
+                        op,
                         f"timed out after {timeout}s waiting for pool slot "
                         f"{slot_index} to answer {op!r} (frame dropped, or "
                         "read_timeout shorter than the slot's compute time)",
-                        slot_index=slot_index,
-                        op=op,
+                        f"timed out after {timeout}s waiting for pool slot "
+                        f"{slot_index} to answer {op!r}",
                     )
+                    if fault is None:  # pragma: no cover - stale quarantine echo
+                        fault = SlotLossError(
+                            f"pool slot {slot_index} is quarantined",
+                            slot_index=slot_index,
+                            op=op,
+                        )
+                    raise fault
             # Timed from first-byte-ready, so the figure is frame transfer,
             # not the slot's compute time (the poll loop above absorbs that).
             started = time.perf_counter()
             data = channel.recv_bytes()
         except (EOFError, OSError) as exc:
-            self._poison(f"pool slot {slot_index} died mid-request ({op!r}): {exc!r}")
-            raise TransportError(
-                f"resident pool slot {slot_index} died "
-                f"(in-flight op {op!r}: {exc!r})",
-                slot_index=slot_index,
-                op=op,
-            ) from exc
+            fault = self._wire_fault(
+                slot_index,
+                op,
+                f"resident pool slot {slot_index} died (in-flight op {op!r}: {exc!r})",
+                f"pool slot {slot_index} died mid-request ({op!r}): {exc!r}",
+            )
+            if fault is None:  # pragma: no cover - stale quarantine echo
+                fault = SlotLossError(
+                    f"pool slot {slot_index} is quarantined",
+                    slot_index=slot_index,
+                    op=op,
+                )
+            raise fault from exc
         self.op_transfer_seconds[op] += time.perf_counter() - started
         self.ipc_bytes_received += len(data)
         self.op_bytes_received[op] += len(data)
@@ -1095,6 +1377,41 @@ class ResidentBackend(ExecutorBackend):
         for key in keys:
             grouped[self._slot_for(key)].append(key)
         return grouped
+
+    def _grouped_exchange(
+        self, op: str, grouped: Dict[int, List], payload_for: Callable[[List], Any]
+    ) -> Tuple[Dict[Any, Any], Optional[SlotLossError]]:
+        """Send one boundary op per slot group and receive every reply.
+
+        Fail-stop pools behave exactly as before (the first fault poisons and
+        raises).  Elastic pools keep going: a slot lost mid-exchange is
+        skipped, the surviving slots' replies are still read (their frames
+        are already queued on their channels — skipping them would
+        desynchronize every later op), and the first :class:`SlotLossError`
+        is returned for the caller to surface or swallow.
+        """
+        membership = self._elastic()
+        slot_loss: Optional[SlotLossError] = None
+        sent: List[int] = []
+        for slot_index, slot_keys in grouped.items():
+            try:
+                self._send(slot_index, (op, payload_for(slot_keys)))
+            except SlotLossError as exc:
+                slot_loss = slot_loss or exc
+                continue
+            sent.append(slot_index)
+        merged: Dict[Any, Any] = {}
+        for slot_index in sent:
+            if membership is not None and slot_index in membership.quarantined:
+                continue  # quarantined after its send; reply unreadable
+            try:
+                reply = self._recv(slot_index, op)
+            except SlotLossError as exc:
+                slot_loss = slot_loss or exc
+                continue
+            if isinstance(reply, dict):
+                merged.update(reply)
+        return merged, slot_loss
 
     def _require_installed(self, keys: Iterable, op: str) -> None:
         missing = [key for key in keys if not self.installed(key)]
@@ -1234,11 +1551,24 @@ class ResidentBackend(ExecutorBackend):
                     self.install_count += 1
             wire = (key, program, epoch, install, payload)
             per_slot[self._slot_for(key)].append((position, wire))
+        handle = PendingSteps(self, dict(per_slot), len(items), op="run")
+        membership = self._elastic()
         for slot_index, entries in per_slot.items():
-            self._send(slot_index, ("run", [wire for _, wire in entries]))
+            if membership is not None and slot_index in membership.quarantined:
+                # The slot died between placement and send (e.g. a writer
+                # failure quarantined it mid-loop); its steps are lost.
+                handle._lost_slots.add(slot_index)
+                continue
+            try:
+                self._send(slot_index, ("run", [wire for _, wire in entries]))
+            except SlotLossError:
+                # This slot's steps are lost whether the fault named it (its
+                # quarantine) or another slot (nothing was written here); the
+                # install was not recorded, so the next dispatch re-ships.
+                handle._lost_slots.add(slot_index)
+                continue
             for _, (key, _, epoch, _, _) in entries:
                 self._installed[key] = epoch
-        handle = PendingSteps(self, dict(per_slot), len(items), op="run")
         self._pending.append(handle)
         return handle
 
@@ -1338,11 +1668,33 @@ class ResidentBackend(ExecutorBackend):
                 "(slot pipes are FIFO)"
             )
         results: List[Any] = [None] * handle._size
+        membership = self._elastic()
+        slot_loss: Optional[SlotLossError] = None
         for slot_index, entries in handle._per_slot.items():
-            out = self._recv(slot_index, handle._op)
+            if membership is not None and (
+                slot_index in handle._lost_slots or slot_index in membership.quarantined
+            ):
+                for position, _ in entries:
+                    results[position] = LOST
+                continue
+            try:
+                out = self._recv(slot_index, handle._op)
+            except SlotLossError as exc:
+                # Keep receiving from the surviving slots: their replies are
+                # already queued on their channels and skipping them would
+                # desynchronize every later op on those streams.
+                for position, _ in entries:
+                    results[position] = LOST
+                if slot_loss is None:
+                    slot_loss = exc
+                continue
             for (position, _), result in zip(entries, out):
                 results[position] = result
         self._pending.pop(0)
+        if slot_loss is not None and handle._op != "run":
+            # Generation batches cannot be partially merged; surface the loss.
+            handle._dead = True
+            raise slot_loss
         return results
 
     def run_steps(
@@ -1385,11 +1737,9 @@ class ResidentBackend(ExecutorBackend):
         self._require_no_inflight("pull_params")
         self._require_installed(keys, "pull_params")
         grouped = self._grouped(keys)
-        for slot_index, slot_keys in grouped.items():
-            self._send(slot_index, ("pull_params", slot_keys))
-        merged: Dict[Any, Any] = {}
-        for slot_index in grouped:
-            merged.update(self._recv(slot_index, "pull_params"))
+        merged, slot_loss = self._grouped_exchange("pull_params", grouped, lambda ks: ks)
+        if slot_loss is not None:
+            raise slot_loss
         return merged
 
     def push_params(self, params_by_key: Dict[Any, Any]) -> None:
@@ -1400,10 +1750,13 @@ class ResidentBackend(ExecutorBackend):
         self._require_no_inflight("push_params")
         self._require_installed(params_by_key, "push_params")
         grouped = self._grouped(params_by_key)
-        for slot_index, slot_keys in grouped.items():
-            self._send(slot_index, ("push_params", {key: params_by_key[key] for key in slot_keys}))
-        for slot_index in grouped:
-            self._recv(slot_index, "push_params")
+        _, slot_loss = self._grouped_exchange(
+            "push_params",
+            grouped,
+            lambda slot_keys: {key: params_by_key[key] for key in slot_keys},
+        )
+        if slot_loss is not None:
+            raise slot_loss
 
     def pull_state(self, keys: Sequence, drop: bool = True) -> Dict[Any, Any]:
         """Fetch full resident state for ``keys``.
@@ -1425,16 +1778,19 @@ class ResidentBackend(ExecutorBackend):
         self._require_no_inflight("pull_state")
         self._require_installed(keys, "pull_state")
         grouped = self._grouped(keys)
-        for slot_index, slot_keys in grouped.items():
-            self._send(slot_index, ("pull_state", (slot_keys, drop)))
-        merged: Dict[Any, Any] = {}
-        for slot_index in grouped:
-            merged.update(self._recv(slot_index, "pull_state"))
+        merged, slot_loss = self._grouped_exchange(
+            "pull_state", grouped, lambda slot_keys: (slot_keys, drop)
+        )
         if drop:
+            # Applied even on the loss path: slots that answered did drop
+            # their residents (keys lost with a slot were already popped and
+            # invalidated by the quarantine).
             for key in keys:
                 self._installed.pop(key, None)
                 self.invalidate(key)
                 self._release_shm(("state", key))
+        if slot_loss is not None:
+            raise slot_loss
         return merged
 
     def pull_mirror(self, keys: Sequence) -> Dict[Any, Any]:
@@ -1458,11 +1814,10 @@ class ResidentBackend(ExecutorBackend):
         if not keys:
             return {}
         grouped = self._grouped(keys)
-        for slot_index, slot_keys in grouped.items():
-            self._send(slot_index, ("pull_mirror", slot_keys))
-        merged: Dict[Any, Any] = {}
-        for slot_index in grouped:
-            merged.update(self._recv(slot_index, "pull_mirror"))
+        # The mirror is the degrade-never-raise refresh: a slot lost while
+        # mirroring simply contributes nothing (its keys are queued for the
+        # trainer's recovery path by the quarantine).
+        merged, _ = self._grouped_exchange("pull_mirror", grouped, lambda ks: ks)
         return merged
 
     def pull_into(

@@ -35,17 +35,29 @@ from .base import (
     create_transport,
     register_transport,
 )
+from .chaos import ChaosAction, ChaosChannel, ChaosSchedule, ChaosTransport
 from .local import LocalPipeTransport
-from .tcp import PROTOCOL_VERSION, TcpChannel, TcpTransport, parse_address
+from .tcp import (
+    PROTOCOL_VERSION,
+    HandshakeRefused,
+    TcpChannel,
+    TcpTransport,
+    parse_address,
+)
 
 __all__ = [
     "TRANSPORTS",
     "SlotChannel",
     "Transport",
     "TransportError",
+    "HandshakeRefused",
     "LocalPipeTransport",
     "TcpChannel",
     "TcpTransport",
+    "ChaosAction",
+    "ChaosChannel",
+    "ChaosSchedule",
+    "ChaosTransport",
     "PROTOCOL_VERSION",
     "parse_address",
     "create_transport",

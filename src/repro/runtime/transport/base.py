@@ -142,6 +142,10 @@ class Transport(ABC):
     #: transport says yes, sockets say no and installs fall back to riding
     #: the channel itself.
     supports_shm: bool = False
+    #: Whether slots can be added after :meth:`open` (elastic membership):
+    #: :meth:`open_slot` builds replacement capacity on demand and
+    #: :meth:`poll_joiner` admits externally initiated late joiners.
+    supports_join: bool = False
 
     def __init__(self, read_timeout: Optional[float] = None) -> None:
         #: Max seconds to wait for a slot's reply once requested (``None`` =
@@ -186,6 +190,37 @@ class Transport(ABC):
                 f"{self.name} transport is not open", slot_index=slot_index
             )
         return self._channels[slot_index]
+
+    def _adopt_channel(self, channel: SlotChannel) -> int:
+        """Append one channel opened after :meth:`open`; return its slot index.
+
+        Used by the elastic-membership join paths (:meth:`open_slot` /
+        :meth:`poll_joiner` in concrete transports): slot indices are
+        append-only, so existing channels never renumber.
+        """
+        if self._channels is None:
+            raise TransportError(f"{self.name} transport is not open")
+        self._channels.append(channel)
+        return len(self._channels) - 1
+
+    def open_slot(self) -> int:
+        """Build one replacement slot channel; return its index.
+
+        Only transports with :attr:`supports_join` implement this (the pipe
+        transport respawns a local slot process; loopback tcp spawns and
+        accepts a fresh worker).  Externally served transports may raise
+        :class:`TransportError` when no replacement can be built locally.
+        """
+        raise TransportError(f"{self.name} transport cannot open slots after start")
+
+    def poll_joiner(self, timeout: float = 0.0) -> Optional[int]:
+        """Admit one externally initiated late joiner, if any is waiting.
+
+        Returns the new channel's slot index, or ``None`` when no joiner
+        arrived within ``timeout`` seconds.  The default transport has no
+        join path and always returns ``None``.
+        """
+        return None
 
     def close(self) -> None:
         """Stop the writer, close every channel and release backing resources."""

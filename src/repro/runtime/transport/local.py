@@ -36,6 +36,7 @@ class LocalPipeTransport(Transport):
 
     name = "pipe"
     supports_shm = True
+    supports_join = True
 
     def __init__(
         self,
@@ -46,19 +47,22 @@ class LocalPipeTransport(Transport):
         self._slot_main = slot_main
         self._processes: List = []
 
-    def _open_channels(self, num_slots: int) -> List:
+    def _spawn_slot(self):
+        """Start one slot process; return the parent end of its pipe."""
         ctx = multiprocessing.get_context()
-        channels = []
-        for _ in range(num_slots):
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            process = ctx.Process(
-                target=self._slot_main, args=(child_conn,), daemon=True
-            )
-            process.start()
-            child_conn.close()
-            self._processes.append(process)
-            channels.append(parent_conn)
-        return channels
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(target=self._slot_main, args=(child_conn,), daemon=True)
+        process.start()
+        child_conn.close()
+        self._processes.append(process)
+        return parent_conn
+
+    def _open_channels(self, num_slots: int) -> List:
+        return [self._spawn_slot() for _ in range(num_slots)]
+
+    def open_slot(self) -> int:
+        """Respawn replacement capacity: one fresh local slot process."""
+        return self._adopt_channel(self._spawn_slot())
 
     def _shutdown(self, channels: List) -> None:
         for process in self._processes:

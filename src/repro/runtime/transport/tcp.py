@@ -53,6 +53,7 @@ from .base import SlotChannel, Transport, TransportError
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "HandshakeRefused",
     "TcpChannel",
     "TcpTransport",
     "parse_address",
@@ -166,17 +167,38 @@ def _handshake_dump(payload: dict) -> bytes:
     return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
 
 
+class HandshakeRefused(TransportError):
+    """The server explicitly refused a worker's handshake.
+
+    ``retry`` mirrors the refusal frame's ``"retry"`` flag: a *retriable*
+    refusal means the server expects to accept the worker shortly (e.g. a
+    rebalance boundary has not been reached yet) and the worker host should
+    back off and re-dial instead of giving up.
+    """
+
+    def __init__(self, message: str, retry: bool = False) -> None:
+        super().__init__(message)
+        #: Whether the server invited the worker to retry after a backoff.
+        self.retry = retry
+
+
 def client_handshake(channel: TcpChannel) -> dict:
     """Introduce a worker to the server; return its slot assignment.
 
     Sends ``{magic, protocol}`` and validates the server's reply, which
-    carries ``slot_index``, ``num_slots`` and the pool ``session`` nonce.
-    Raises :class:`TransportError` on a protocol mismatch or a refusal.
+    carries ``slot_index``, ``num_slots``, the pool ``session`` nonce and —
+    for pools with elastic membership — the membership ``epoch`` the worker
+    is joining at.  Raises :class:`HandshakeRefused` on an explicit refusal
+    (``retry`` mirrors the server's invitation to re-dial) and
+    :class:`TransportError` on a protocol mismatch.
     """
     channel.send_bytes(_handshake_dump({"magic": _MAGIC, "protocol": PROTOCOL_VERSION}))
     reply = pickle.loads(channel.recv_bytes())
     if reply.get("error"):
-        raise TransportError(f"server refused worker connection: {reply['error']}")
+        raise HandshakeRefused(
+            f"server refused worker connection: {reply['error']}",
+            retry=bool(reply.get("retry")),
+        )
     if reply.get("magic") != _MAGIC or reply.get("protocol") != PROTOCOL_VERSION:
         raise TransportError(
             f"handshake reply mismatch: expected {_MAGIC!r} v{PROTOCOL_VERSION}, "
@@ -186,9 +208,20 @@ def client_handshake(channel: TcpChannel) -> dict:
 
 
 def _server_handshake(
-    channel: TcpChannel, slot_index: int, num_slots: int, session: str
+    channel: TcpChannel,
+    slot_index: int,
+    num_slots: int,
+    session: str,
+    epoch: int = 0,
 ) -> None:
-    """Validate a connecting worker's hello and assign it a slot."""
+    """Validate a connecting worker's hello and assign it a slot.
+
+    ``epoch`` is the pool's membership epoch at assignment time (0 for the
+    founding accept loop, bumped for every later joiner): together with the
+    ``session`` nonce it versions the re-handshake, so a late joiner knows it
+    attached to a live incarnation mid-run and starts with no resident state
+    (the server's install tracking for its keys begins empty by construction).
+    """
     hello = pickle.loads(channel.recv_bytes())
     if hello.get("magic") != _MAGIC or hello.get("protocol") != PROTOCOL_VERSION:
         refusal = (
@@ -211,6 +244,7 @@ def _server_handshake(
                 "slot_index": slot_index,
                 "num_slots": num_slots,
                 "session": session,
+                "epoch": epoch,
             }
         )
     )
@@ -229,6 +263,7 @@ class TcpTransport(Transport):
 
     name = "tcp"
     supports_shm = False
+    supports_join = True
 
     def __init__(
         self,
@@ -236,6 +271,7 @@ class TcpTransport(Transport):
         spawn_workers: Optional[bool] = None,
         connect_timeout: float = 30.0,
         read_timeout: Optional[float] = None,
+        accept_joiners: bool = False,
     ) -> None:
         super().__init__(read_timeout=read_timeout)
         self.address = address
@@ -244,10 +280,20 @@ class TcpTransport(Transport):
         #: (the workers are someone else's processes on some other machine).
         self.spawn_workers = (address is None) if spawn_workers is None else spawn_workers
         self.connect_timeout = connect_timeout
+        #: Keep the listener open after the founding accepts so late joiners
+        #: (``worker_host --connect`` started mid-run) can attach.  Set by
+        #: the backend when an elastic membership policy is active; the
+        #: default preserves the fail-stop behavior of closing the listener
+        #: as soon as the pool is complete.
+        self.accept_joiners = accept_joiners
         #: ``(host, port)`` actually bound, available after :meth:`listen`.
         self.bound_address: Optional[Tuple[str, int]] = None
         self._listener: Optional[socket.socket] = None
         self._processes: List = []
+        #: Session nonce of the current pool incarnation (set at open).
+        self._session: Optional[str] = None
+        #: Membership epoch: bumped once per post-open joiner.
+        self._epoch = 0
 
     def listen(self, num_slots: int) -> Tuple[str, int]:
         """Bind the listener (if not yet bound) and return ``(host, port)``."""
@@ -299,8 +345,72 @@ class TcpTransport(Transport):
                 channel.close()
             self.close_listener()
             raise
-        self.close_listener()
+        self._session = session
+        self._epoch = 0
+        if not self.accept_joiners:
+            self.close_listener()
         return channels
+
+    def _accept_joiner(self, timeout: float) -> Optional[int]:
+        """Accept and re-handshake one pending connection; ``None`` if none."""
+        self._listener.settimeout(max(timeout, 0.0) or 0.000001)
+        try:
+            sock, _ = self._listener.accept()
+        except (socket.timeout, TimeoutError, BlockingIOError):
+            return None
+        channel = TcpChannel(sock, read_timeout=self.read_timeout)
+        slot_index = self.num_slots
+        try:
+            _server_handshake(
+                channel,
+                slot_index,
+                self.num_slots + 1,
+                self._session,
+                epoch=self._epoch + 1,
+            )
+        except (TransportError, OSError, EOFError, pickle.UnpicklingError):
+            # A joiner that cannot complete the versioned re-handshake is
+            # refused without affecting the pool.
+            channel.close()
+            return None
+        self._epoch += 1
+        return self._adopt_channel(channel)
+
+    def poll_joiner(self, timeout: float = 0.0) -> Optional[int]:
+        """Admit one late ``worker_host --connect`` joiner, if one is waiting.
+
+        Requires the listener to still be open (``accept_joiners=True`` at
+        open time); otherwise there is no join path and the result is
+        ``None``.  A successful admission appends a channel (existing slot
+        indices never renumber) and bumps the membership epoch carried by the
+        re-handshake.
+        """
+        if self._listener is None or self._channels is None:
+            return None
+        return self._accept_joiner(timeout)
+
+    def open_slot(self) -> int:
+        """Build one replacement slot: spawn (loopback) and accept a worker.
+
+        In loopback mode a fresh local worker-host process is spawned first;
+        in external mode the call simply waits up to ``connect_timeout`` for
+        a worker started elsewhere.  Raises :class:`TransportError` when no
+        worker connects in time or the listener is closed.
+        """
+        if self._listener is None:
+            raise TransportError(
+                "tcp transport cannot open a replacement slot: listener closed "
+                "(open the transport with accept_joiners=True)"
+            )
+        if self.spawn_workers:
+            self._spawn_local_workers(1)
+        slot_index = self._accept_joiner(self.connect_timeout)
+        if slot_index is None:
+            raise TransportError(
+                f"timed out after {self.connect_timeout}s waiting for a "
+                "replacement worker connection"
+            )
+        return slot_index
 
     def close_listener(self) -> None:
         """Close the accept socket; established channels are unaffected."""

@@ -15,8 +15,14 @@ the pool:
 ``--slots N`` forks ``N`` serving processes from one command, one per pool
 slot this host should own (slots are single-threaded by design — NumPy
 parallelism lives inside the step kernels).  The process exits when the
-server closes the connection; there is no reconnect, matching the pool's
-fail-stop discipline (a lost slot poisons the pool and the trainer rebuilds).
+server closes the connection.  Under the default fail-stop discipline a
+lost slot poisons the pool and the trainer rebuilds; elastic pools
+(``--on-slot-loss degrade|wait`` server-side) instead keep listening, so a
+worker host started mid-run joins the pool as a *late joiner* through the
+same handshake.  A server that refuses the handshake with a retriable
+error (e.g. the pool has not reached a join boundary yet) is re-dialled
+with ``--rejoin-backoff`` seconds between attempts until
+``--connect-timeout`` expires.
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ import sys
 import time
 from typing import Optional, Sequence, Tuple
 
-from .transport.tcp import TcpChannel, client_handshake, parse_address
+from .transport.tcp import HandshakeRefused, TcpChannel, client_handshake, parse_address
 
 __all__ = ["run_worker", "serve_forever", "main"]
 
@@ -62,19 +68,43 @@ def run_worker(
     connect_timeout: float = 30.0,
     read_timeout: Optional[float] = None,
     quiet: bool = True,
+    rejoin_backoff: float = _RETRY_INTERVAL_S,
 ) -> dict:
     """Connect to ``address``, handshake, and serve one pool slot until close.
 
     Retries while the connection is refused (server not yet listening) up to
-    ``connect_timeout`` seconds.  Returns the handshake assignment
-    (``slot_index``/``num_slots``/``session``) after the serving loop exits.
-    Used both by the CLI below and as the spawn target for
+    ``connect_timeout`` seconds; a handshake the server refuses with
+    ``retry=True`` (the elastic pool is up but not admitting at this instant)
+    is re-dialled after ``rejoin_backoff`` seconds against the same deadline.
+    Returns the handshake assignment (``slot_index``/``num_slots``/
+    ``session``, plus ``epoch`` for late joiners) after the serving loop
+    exits.  Used both by the CLI below and as the spawn target for
     :class:`~repro.runtime.transport.tcp.TcpTransport`'s loopback mode.
     """
-    sock = _connect_with_retry(address, timeout=connect_timeout)
-    channel = TcpChannel(sock, read_timeout=read_timeout)
+    deadline = time.monotonic() + connect_timeout
+    while True:
+        remaining = max(deadline - time.monotonic(), 0.001)
+        sock = _connect_with_retry(address, timeout=remaining)
+        channel = TcpChannel(sock, read_timeout=read_timeout)
+        try:
+            assignment = client_handshake(channel)
+            break
+        except HandshakeRefused as exc:
+            channel.close()
+            if not exc.retry or time.monotonic() + rejoin_backoff >= deadline:
+                raise
+            if not quiet:
+                print(
+                    f"worker-host: server refused handshake ({exc}); retrying "
+                    f"in {rejoin_backoff:.2f}s",
+                    file=sys.stderr,
+                    flush=True,
+                )
+            time.sleep(rejoin_backoff)
+        except BaseException:
+            channel.close()
+            raise
     try:
-        assignment = client_handshake(channel)
         if not quiet:
             print(
                 f"worker-host: serving slot {assignment['slot_index']} of "
@@ -98,6 +128,7 @@ def serve_forever(
     connect_timeout: float = 30.0,
     read_timeout: Optional[float] = None,
     quiet: bool = False,
+    rejoin_backoff: float = _RETRY_INTERVAL_S,
 ) -> int:
     """Serve one pool slot per successive pool until no server reappears.
 
@@ -117,8 +148,9 @@ def serve_forever(
                 connect_timeout=connect_timeout,
                 read_timeout=read_timeout,
                 quiet=quiet,
+                rejoin_backoff=rejoin_backoff,
             )
-        except ConnectionRefusedError:
+        except (ConnectionRefusedError, HandshakeRefused):
             if not quiet:
                 print(
                     f"worker-host: no server on {address[0]}:{address[1]} "
@@ -135,9 +167,17 @@ def _serve_forever_process(
     address: Tuple[str, int],
     connect_timeout: float = 30.0,
     quiet: bool = False,
+    rejoin_backoff: float = _RETRY_INTERVAL_S,
 ) -> None:
     """Process target: propagate :func:`serve_forever`'s code as the exitcode."""
-    sys.exit(serve_forever(address, connect_timeout=connect_timeout, quiet=quiet))
+    sys.exit(
+        serve_forever(
+            address,
+            connect_timeout=connect_timeout,
+            quiet=quiet,
+            rejoin_backoff=rejoin_backoff,
+        )
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -173,21 +213,49 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "within --connect-timeout"
         ),
     )
+    parser.add_argument(
+        "--rejoin-backoff",
+        type=float,
+        default=_RETRY_INTERVAL_S,
+        help=(
+            "seconds between handshake re-dials when an elastic server refuses "
+            f"with a retriable error (default {_RETRY_INTERVAL_S})"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.slots < 1:
         parser.error(f"--slots must be >= 1, got {args.slots}")
+    if args.rejoin_backoff <= 0:
+        parser.error(f"--rejoin-backoff must be > 0, got {args.rejoin_backoff}")
     address = parse_address(args.connect)
     if args.slots == 1:
         if args.loop:
-            return serve_forever(address, connect_timeout=args.connect_timeout)
-        run_worker(address, connect_timeout=args.connect_timeout, quiet=False)
+            return serve_forever(
+                address,
+                connect_timeout=args.connect_timeout,
+                rejoin_backoff=args.rejoin_backoff,
+            )
+        try:
+            run_worker(
+                address,
+                connect_timeout=args.connect_timeout,
+                quiet=False,
+                rejoin_backoff=args.rejoin_backoff,
+            )
+        except (ConnectionRefusedError, HandshakeRefused) as exc:
+            print(f"worker-host: {exc}", file=sys.stderr, flush=True)
+            return 1
         return 0
     ctx = multiprocessing.get_context()
     processes = [
         ctx.Process(
             target=_serve_forever_process if args.loop else run_worker,
             args=(address,),
-            kwargs={"connect_timeout": args.connect_timeout, "quiet": False},
+            kwargs={
+                "connect_timeout": args.connect_timeout,
+                "quiet": False,
+                "rejoin_backoff": args.rejoin_backoff,
+            },
         )
         for _ in range(args.slots)
     ]

@@ -99,6 +99,18 @@ class SimulatedNetwork:
         self._nodes[node] = False
         self._mailboxes[node].clear()
 
+    def reconnect(self, node: str) -> None:
+        """Bring a previously disconnected node back into the fabric.
+
+        Its mailbox starts empty — traffic addressed to it while it was
+        down stays dropped (elastic rejoin recovers *state* from the last
+        merged mirror, never the missed messages).
+        """
+        if node not in self._nodes:
+            raise KeyError(f"Unknown node {node!r}")
+        self._nodes[node] = True
+        self._mailboxes[node].clear()
+
     def is_connected(self, node: str) -> bool:
         """Whether ``node`` is registered and currently reachable."""
         return self._nodes.get(node, False)

@@ -108,6 +108,15 @@ class Node:
         if self.alive:
             self.network.disconnect(self.name)
 
+    def rejoin(self) -> None:
+        """Reconnect a crashed node (elastic membership revival).
+
+        The node comes back with an empty mailbox; its training state is the
+        revival path's problem (restored from the last merged mirror).
+        """
+        if not self.alive:
+            self.network.reconnect(self.name)
+
     # -- messaging -----------------------------------------------------------
     def send(
         self,

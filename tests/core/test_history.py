@@ -86,11 +86,14 @@ def test_as_dict_schema_is_stable():
         "staleness",
         "worker_staleness",
         "overlap",
+        "membership",
     }
     # Synchronous runs serialise the pipeline fields as empty, not absent.
     assert payload["staleness"] == []
     assert payload["worker_staleness"] == {}
     assert payload["overlap"] == {}
+    # Fail-stop runs serialise the membership counters as empty, not absent.
+    assert payload["membership"] == {}
 
 
 def test_record_staleness_tracks_iterations():

@@ -13,12 +13,12 @@ pool fail-stop, and never hang.
 
 from __future__ import annotations
 
-import socket
 import time
 
 import pytest
 
 from repro.runtime import (
+    ChaosTransport,
     EagerCollector,
     FuturesCollector,
     ResidentBackend,
@@ -29,7 +29,6 @@ from repro.runtime import (
 )
 from repro.runtime.resident import ResidentProgram, register_program, serve_slot
 from repro.runtime.transport import LocalPipeTransport, TcpTransport
-from repro.runtime.transport.tcp import _HEADER
 
 
 # A trivial resident program driven directly through the collector.
@@ -240,72 +239,7 @@ class TestResidentCollector:
             backend.close()
 
 
-# -- fault injection ---------------------------------------------------------------
-
-
-class _DropOnceChannel:
-    """Channel wrapper that silently loses the next outgoing frame."""
-
-    def __init__(self, inner):
-        self._inner = inner
-        self.drop_next = False
-
-    def send_bytes(self, data):
-        if self.drop_next:
-            self.drop_next = False
-            return  # the frame vanishes on the wire
-        self._inner.send_bytes(data)
-
-    def recv_bytes(self):
-        return self._inner.recv_bytes()
-
-    def poll(self, timeout=0.0):
-        return self._inner.poll(timeout)
-
-    def close(self):
-        self._inner.close()
-
-
-class _DroppingPipeTransport(LocalPipeTransport):
-    """Pipe transport whose channels can drop a frame on command."""
-
-    def _open_channels(self, num_slots):
-        return [_DropOnceChannel(c) for c in super()._open_channels(num_slots)]
-
-
-class _TruncateOnceChannel:
-    """TCP channel wrapper that cuts the next frame in half, then shuts down."""
-
-    def __init__(self, inner):
-        self._inner = inner
-        self.truncate_next = False
-
-    def send_bytes(self, data):
-        if self.truncate_next:
-            self.truncate_next = False
-            frame = _HEADER.pack(len(data)) + data
-            sock = self._inner._sock
-            sock.settimeout(None)
-            sock.sendall(frame[: max(1, len(frame) // 2)])
-            sock.shutdown(socket.SHUT_WR)
-            return
-        self._inner.send_bytes(data)
-
-    def recv_bytes(self):
-        return self._inner.recv_bytes()
-
-    def poll(self, timeout=0.0):
-        return self._inner.poll(timeout)
-
-    def close(self):
-        self._inner.close()
-
-
-class _TruncatingTcpTransport(TcpTransport):
-    """Loopback tcp transport whose channels can truncate a frame on command."""
-
-    def _open_channels(self, num_slots):
-        return [_TruncateOnceChannel(c) for c in super()._open_channels(num_slots)]
+# -- fault injection (on the chaos harness) ----------------------------------------
 
 
 class TestCollectAnyFaultInjection:
@@ -343,13 +277,13 @@ class TestCollectAnyFaultInjection:
         # A dispatch frame lost on the wire means the slot never replies;
         # the transport's read_timeout must turn the silent wait into a
         # clean TransportError instead of an infinite collect_any.
-        transport = _DroppingPipeTransport(serve_slot, read_timeout=1.0)
+        transport = ChaosTransport(LocalPipeTransport(serve_slot, read_timeout=1.0))
         backend = ResidentBackend(max_workers=1, transport=transport)
         try:
             collector = backend.open_collector("collect-echo")
             collector.dispatch(0, _fresh_state, "a")
             assert collector.collect_any() == (0, (1, "a"))
-            transport.channel(0).drop_next = True
+            transport.channel(0).force_next("drop")
             collector.dispatch(0, _fresh_state, "b")
             started = time.monotonic()
             with pytest.raises(TransportError, match="timed out") as excinfo:
@@ -369,13 +303,13 @@ class TestCollectAnyFaultInjection:
         # Half a frame followed by shutdown kills the worker mid-read; the
         # collector must observe the slot's death as a TransportError and
         # fail stop — no timeout needed, the broken stream is detectable.
-        transport = _TruncatingTcpTransport(connect_timeout=30.0)
+        transport = ChaosTransport(TcpTransport(connect_timeout=30.0))
         backend = ResidentBackend(max_workers=1, transport=transport)
         try:
             collector = backend.open_collector("collect-echo")
             collector.dispatch(0, _fresh_state, "a")
             assert collector.collect_any() == (0, (1, "a"))
-            transport.channel(0).truncate_next = True
+            transport.channel(0).force_next("truncate")
             collector.dispatch(0, _fresh_state, "b")
             started = time.monotonic()
             with pytest.raises(TransportError) as excinfo:

@@ -25,7 +25,7 @@ import pytest
 from repro.core import MDGANTrainer, TrainingConfig
 from repro.datasets import make_gaussian_ring, partition_iid
 from repro.models import build_toy_gan
-from repro.runtime import ResidentBackend, TransportError
+from repro.runtime import ChaosTransport, ResidentBackend, TransportError
 from repro.runtime.resident import ResidentProgram, register_program, serve_slot
 from repro.runtime.transport import (
     LocalPipeTransport,
@@ -299,72 +299,7 @@ class TestSlotDeath:
             trainer.close_backend()
 
 
-# -- fault injection: dropped / truncated frames -----------------------------------
-
-
-class _DropOnceChannel:
-    """Channel wrapper that silently loses the next outgoing frame."""
-
-    def __init__(self, inner):
-        self._inner = inner
-        self.drop_next = False
-
-    def send_bytes(self, data):
-        if self.drop_next:
-            self.drop_next = False
-            return  # the frame vanishes on the wire
-        self._inner.send_bytes(data)
-
-    def recv_bytes(self):
-        return self._inner.recv_bytes()
-
-    def poll(self, timeout=0.0):
-        return self._inner.poll(timeout)
-
-    def close(self):
-        self._inner.close()
-
-
-class _DroppingPipeTransport(LocalPipeTransport):
-    """Pipe transport whose channels can drop a frame on command."""
-
-    def _open_channels(self, num_slots):
-        return [_DropOnceChannel(c) for c in super()._open_channels(num_slots)]
-
-
-class _TruncateOnceChannel:
-    """TCP channel wrapper that cuts the next frame in half, then shuts down."""
-
-    def __init__(self, inner):
-        self._inner = inner
-        self.truncate_next = False
-
-    def send_bytes(self, data):
-        if self.truncate_next:
-            self.truncate_next = False
-            frame = _HEADER.pack(len(data)) + data
-            sock = self._inner._sock
-            sock.settimeout(None)
-            sock.sendall(frame[: max(1, len(frame) // 2)])
-            sock.shutdown(socket.SHUT_WR)
-            return
-        self._inner.send_bytes(data)
-
-    def recv_bytes(self):
-        return self._inner.recv_bytes()
-
-    def poll(self, timeout=0.0):
-        return self._inner.poll(timeout)
-
-    def close(self):
-        self._inner.close()
-
-
-class _TruncatingTcpTransport(TcpTransport):
-    """Loopback tcp transport whose channels can truncate a frame on command."""
-
-    def _open_channels(self, num_slots):
-        return [_TruncateOnceChannel(c) for c in super()._open_channels(num_slots)]
+# -- fault injection: dropped / truncated frames (on the chaos harness) ------------
 
 
 class TestFaultInjection:
@@ -372,12 +307,12 @@ class TestFaultInjection:
         # A request frame lost on the wire means the slot never replies; the
         # transport's read_timeout must turn that into a clean TransportError
         # (pool poisoned, later calls refused) instead of an infinite wait.
-        transport = _DroppingPipeTransport(serve_slot, read_timeout=1.0)
+        transport = ChaosTransport(LocalPipeTransport(serve_slot, read_timeout=1.0))
         backend = ResidentBackend(max_workers=1, transport=transport)
         try:
             out = backend.run_steps("transport-echo", [(0, _fresh_state, "a")])
             assert out == [(1, "a")]
-            transport.channel(0).drop_next = True
+            transport.channel(0).force_next("drop")
             started = time.monotonic()
             with pytest.raises(TransportError, match="timed out") as excinfo:
                 backend.run_steps("transport-echo", [(0, _fresh_state, "b")])
@@ -394,12 +329,12 @@ class TestFaultInjection:
         # Half a frame followed by shutdown kills the worker mid-read; the
         # trainer side must observe the slot's death as a TransportError and
         # fail stop — no timeout needed, the broken stream is detectable.
-        transport = _TruncatingTcpTransport(connect_timeout=30.0)
+        transport = ChaosTransport(TcpTransport(connect_timeout=30.0))
         backend = ResidentBackend(max_workers=1, transport=transport)
         try:
             out = backend.run_steps("transport-echo", [(0, _fresh_state, "a")])
             assert out == [(1, "a")]
-            transport.channel(0).truncate_next = True
+            transport.channel(0).force_next("truncate")
             with pytest.raises(TransportError) as excinfo:
                 backend.run_steps("transport-echo", [(0, _fresh_state, "b")])
             assert excinfo.value.slot_index == 0
@@ -414,6 +349,14 @@ class TestFaultInjection:
 # -- standalone worker host (python -m repro.runtime.worker_host) ------------------
 
 
+def _worker_host_env() -> dict:
+    """Environment for worker-host subprocesses: the repo's src on PYTHONPATH."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = os.pathsep.join(p for p in (src, env.get("PYTHONPATH")) if p)
+    return env
+
+
 class TestWorkerHost:
     def test_subprocess_workers_serve_the_protocol(self):
         # End-to-end over the real entrypoint: a fresh interpreter running
@@ -424,11 +367,6 @@ class TestWorkerHost:
             address="127.0.0.1:0", spawn_workers=False, connect_timeout=30.0
         )
         host, port = transport.listen(2)
-        env = dict(os.environ)
-        src = str(Path(__file__).resolve().parents[2] / "src")
-        env["PYTHONPATH"] = os.pathsep.join(
-            p for p in (src, env.get("PYTHONPATH")) if p
-        )
         proc = subprocess.Popen(
             [
                 sys.executable,
@@ -439,7 +377,7 @@ class TestWorkerHost:
                 "--slots",
                 "2",
             ],
-            env=env,
+            env=_worker_host_env(),
             stderr=subprocess.PIPE,
             text=True,
         )
@@ -477,11 +415,6 @@ class TestWorkerHost:
         with socket.socket() as probe:
             probe.bind(("127.0.0.1", 0))
             host, port = probe.getsockname()
-        env = dict(os.environ)
-        src = str(Path(__file__).resolve().parents[2] / "src")
-        env["PYTHONPATH"] = os.pathsep.join(
-            p for p in (src, env.get("PYTHONPATH")) if p
-        )
         proc = subprocess.Popen(
             [
                 sys.executable,
@@ -493,7 +426,7 @@ class TestWorkerHost:
                 "--connect-timeout",
                 "5",
             ],
-            env=env,
+            env=_worker_host_env(),
             stderr=subprocess.PIPE,
             text=True,
         )
@@ -518,3 +451,78 @@ class TestWorkerHost:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait()
+
+    def test_connect_timeout_expiry_exits_nonzero(self):
+        # No server ever listens: the host must give up when --connect-timeout
+        # expires with a diagnostic and exit code 1, not retry forever.
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            host, port = probe.getsockname()
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.runtime.worker_host",
+                "--connect",
+                f"{host}:{port}",
+                "--connect-timeout",
+                "1",
+            ],
+            env=_worker_host_env(),
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            assert proc.wait(timeout=30) == 1
+            stderr = proc.stderr.read()
+            assert "worker-host:" in stderr
+            assert "no server listening" in stderr
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    def test_refused_handshake_retries_until_accepted(self):
+        # An elastic server may refuse a joiner with retry=True (e.g. the pool
+        # has not reached a join boundary); the host must back off, re-dial
+        # the same address, and serve normally once a handshake is accepted.
+        listener = socket.create_server(("127.0.0.1", 0))
+        listener.settimeout(30.0)
+        host, port = listener.getsockname()
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.runtime.worker_host",
+                "--connect",
+                f"{host}:{port}",
+                "--rejoin-backoff",
+                "0.1",
+            ],
+            env=_worker_host_env(),
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        first = second = None
+        try:
+            conn, _ = listener.accept()
+            first = TcpChannel(conn, read_timeout=30.0)
+            first.recv_bytes()  # the worker's hello
+            first.send_bytes(_dumps({"error": "not at a join boundary", "retry": True}))
+            first.close()
+            conn, _ = listener.accept()  # the re-dial after the backoff
+            second = TcpChannel(conn, read_timeout=30.0)
+            _server_handshake(second, slot_index=0, num_slots=1, session="s")
+            second.send_bytes(_dumps(("close", None)))
+            assert proc.wait(timeout=30) == 0
+            stderr = proc.stderr.read()
+            assert "retrying" in stderr
+            assert "serving slot 0 of 1" in stderr
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            for channel in (first, second):
+                if channel is not None:
+                    channel.close()
+            listener.close()
