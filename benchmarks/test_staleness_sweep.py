@@ -3,9 +3,10 @@
 Two artefacts:
 
 * **Staleness sweep** — :func:`repro.experiments.run_staleness_sweep` runs the
-  sync baseline, pipelined depths 1-4 and async staleness bounds 1-4 on one
-  fleet and reports score/FID, recorded staleness and wall clock per row.
-  The headline invariant is re-asserted on the exported rows: no async run's
+  sync baseline, pipelined depths 1-4, async staleness bounds 1-4 and the
+  composed async+pipelined (bound, depth) pairs on one fleet and reports
+  score/FID, recorded staleness and wall clock per row.  The headline
+  invariant is re-asserted on the exported rows: no async or composed run's
   ``max_worker_staleness`` exceeds its bound.
 * **Straggler win** — with one worker slowed >= 2x, the async schedule must
   beat the synchronous one on wall clock: sync pays the straggler's delay
@@ -116,17 +117,25 @@ def test_staleness_sweep_rows(benchmark, bench_scale):
     record_rows(benchmark, result)
     modes = {(row["mode"], row["parameter"]) for row in result.rows}
     assert ("sync", 0) in modes
-    assert {mode for mode, _ in modes} == {"sync", "pipelined", "async"}
+    assert {mode for mode, _ in modes} == {
+        "sync",
+        "pipelined",
+        "async",
+        "async+pipelined",
+    }
     for row in result.rows:
         assert np.isfinite(row["fid"]) and row["fid"] > 0
         assert row["wall_seconds"] > 0
-        if row["mode"] == "async":
+        if row["mode"] in ("async", "async+pipelined"):
             # The headline invariant, re-checked on the exported rows.
             assert row["max_worker_staleness"] <= row["parameter"]
         if row["mode"] == "pipelined":
             assert row["max_staleness"] <= row["parameter"]
+        if row["mode"] == "async+pipelined":
+            assert row["depth"] > 0
     benchmark.extra_info["wall_seconds"] = {
-        f"{row['mode']}-{row['parameter']}": row["wall_seconds"] for row in result.rows
+        f"{row['mode']}-{row['parameter']}-{row['depth']}": row["wall_seconds"]
+        for row in result.rows
     }
     print()
     print(result.to_text())

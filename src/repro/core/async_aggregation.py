@@ -42,7 +42,7 @@ uniform ``1/n`` weighting exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 __all__ = ["BoundedStalenessScheduler", "Contribution", "staleness_weights"]
 
@@ -72,11 +72,24 @@ class BoundedStalenessScheduler:
     _buffer: List[Contribution] = field(default_factory=list)
 
     # -- bookkeeping -----------------------------------------------------------
-    def note_dispatch(self, key: int) -> None:
-        """Mark ``key`` in flight, reading the current model state."""
+    def note_dispatch(self, key: int, mark: Optional[int] = None) -> None:
+        """Mark ``key`` in flight; ``mark`` backdates the read point.
+
+        The default read point is the current update count (the unit reads
+        the model as of *now*).  A pipelined dispatch hands a unit that was
+        pre-generated earlier and passes the update count it was generated
+        against — the staleness of the eventual contribution is measured
+        from that mark, so pre-generation cannot hide age from the bound.
+        """
         if key in self._in_flight:
             raise RuntimeError(f"worker {key} is already in flight")
-        self._in_flight[key] = self.updates
+        if mark is None:
+            mark = self.updates
+        elif not 0 <= mark <= self.updates:
+            raise ValueError(
+                f"dispatch mark {mark} outside [0, {self.updates}] for worker {key}"
+            )
+        self._in_flight[key] = mark
 
     def note_completion(self, key: int, payload: Any) -> Contribution:
         """Move ``key``'s finished unit from in-flight to the buffer."""

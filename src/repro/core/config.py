@@ -225,18 +225,6 @@ class TrainingConfig:
             raise ValueError(
                 f"max_staleness must be >= 0, got {self.max_staleness}"
             )
-        if self.aggregation == "async":
-            if self.pipeline_depth:
-                raise ValueError(
-                    "aggregation='async' and pipeline_depth > 0 are mutually "
-                    "exclusive: the async scheduler already overlaps "
-                    "generation/merge with worker compute"
-                )
-            if self.participation_fraction != 1.0:
-                raise ValueError(
-                    "aggregation='async' runs every alive worker continuously; "
-                    "participation_fraction must be 1.0"
-                )
         from ..runtime.membership import ON_SLOT_LOSS_POLICIES
 
         if self.on_slot_loss not in ON_SLOT_LOSS_POLICIES:
@@ -250,18 +238,13 @@ class TrainingConfig:
             raise ValueError(f"rejoin_backoff must be > 0, got {self.rejoin_backoff}")
         if self.rejoin_timeout <= 0:
             raise ValueError(f"rejoin_timeout must be > 0, got {self.rejoin_timeout}")
-        if self.on_slot_loss != "fail_stop" and self.pipeline_depth:
-            raise ValueError(
-                "elastic membership (on_slot_loss != 'fail_stop') requires "
-                "pipeline_depth == 0: lookahead generation cannot span a "
-                "membership change"
-            )
-        if self.on_slot_loss == "wait" and self.aggregation == "async":
-            raise ValueError(
-                "on_slot_loss='wait' is incompatible with aggregation='async': "
-                "the async collector owns the channel streams, so a blocking "
-                "reassignment boundary cannot interleave; use 'degrade'"
-            )
+        # Mode composition (aggregation x pipeline x membership x
+        # participation) is validated against the execution engine's
+        # capability matrix — the single source of truth for which
+        # combinations run and why the rest do not.
+        from .engine import check_composition
+
+        check_composition(self)
 
     @property
     def dtype(self):

@@ -60,6 +60,9 @@ class ElasticMembershipMixin:
     #: Set when evictions/revivals changed the live fleet; cleared by the
     #: next boundary rebalance.
     _rebalance_pending: bool = False
+    #: Worker keys lost under the ``wait`` policy in an async run, awaiting
+    #: the engine's drain-barrier heal (``None`` until first used).
+    _async_heal_keys: Optional[set] = None
 
     # -- plumbing ----------------------------------------------------------------
     def _membership(self) -> Optional[PoolMembership]:
@@ -117,6 +120,12 @@ class ElasticMembershipMixin:
         iteration is discarded, like a crash) and then run the boundary
         pipeline: apply the loss policy, admit joiners / revive, rebalance
         shards, refresh mirrors.
+
+        Pipelined bodies compose through two hooks: a loss (raised or
+        pending) first drains the in-flight window via
+        :meth:`_drain_pipeline_for_membership`, and the boundary pipeline
+        only runs when :meth:`_pipeline_idle` reports a quiescent pool —
+        its mirror/rebalance operations require no in-flight work.
         """
         if self._membership() is None:
             body(iteration)
@@ -130,7 +139,11 @@ class ElasticMembershipMixin:
                 slot=exc.slot_index,
                 detail=str(exc),
             )
-        self._membership_boundary(iteration)
+            self._drain_pipeline_for_membership()
+        if self._membership().pending_loss and not self._pipeline_idle():
+            self._drain_pipeline_for_membership()
+        if self._pipeline_idle():
+            self._membership_boundary(iteration)
 
     def _membership_boundary(self, iteration: int) -> None:
         """The aggregation-boundary membership pipeline (sync loops only)."""
@@ -148,6 +161,19 @@ class ElasticMembershipMixin:
         self._membership_snapshot()
         self._sync_membership_events(iteration)
         self._check_min_workers(membership)
+
+    # -- pipeline composition hooks ------------------------------------------------
+    def _pipeline_idle(self) -> bool:
+        """Whether no pipelined work is in flight (boundary ops need this)."""
+        return True
+
+    def _drain_pipeline_for_membership(self) -> None:
+        """Flush/discard the in-flight lookahead window before a remap.
+
+        Default is a no-op (depth-0 bodies are always drained at the
+        boundary); pipelined trainers override it to merge or discard their
+        window so the membership pipeline meets a quiescent pool.
+        """
 
     # -- loss policies -----------------------------------------------------------
     def _apply_loss_policy(self, iteration: int, lost_keys: List[Any]) -> None:
@@ -189,6 +215,21 @@ class ElasticMembershipMixin:
         is gone) and the next dispatch reinstalls them on a surviving slot.
         """
         membership = self._membership()
+        slot = self._block_for_replacement(lost_keys)
+        for key in lost_keys:
+            mirror = membership.mirrors.get(key)
+            if mirror is not None:
+                self._restore_worker_from_mirror(self.workers[key], mirror)
+            membership.record("reassign", slot=slot, worker=key, detail="wait-policy heal")
+
+    def _block_for_replacement(self, lost_keys: List[Any]) -> int:
+        """Block until a joiner/replacement slot exists; return its index.
+
+        Shared by the synchronous wait-policy boundary and the async
+        drain-barrier heal; raises :class:`TransportError` when no capacity
+        appears within ``rejoin_timeout``.
+        """
+        membership = self._membership()
         resident = self._active_resident()
         policy = membership.policy
         deadline = time.monotonic() + policy.rejoin_timeout
@@ -205,11 +246,7 @@ class ElasticMembershipMixin:
                         f"workers {lost_keys!r}"
                     )
                 time.sleep(policy.rejoin_backoff)
-        for key in lost_keys:
-            mirror = membership.mirrors.get(key)
-            if mirror is not None:
-                self._restore_worker_from_mirror(self.workers[key], mirror)
-            membership.record("reassign", slot=slot, worker=key, detail="wait-policy heal")
+        return slot
 
     # -- joins and revivals --------------------------------------------------------
     def _admit_joiners(self, iteration: int) -> List[int]:
@@ -314,23 +351,67 @@ class ElasticMembershipMixin:
 
     # -- async-loop hooks --------------------------------------------------------------
     def _handle_async_losses(self, update: int, sched) -> None:
-        """Async loops: evict lost workers and drop their scheduler tracking.
+        """Async loops: consume pending slot losses under the configured policy.
 
-        The async schedulers have no rebalance boundary (the collector owns
-        the channel streams, so mirrors/rebalances cannot interleave); lost
-        workers are simply evicted — ``wait`` is rejected at config time for
-        async aggregation.
+        ``degrade`` evicts the lost workers like crashes (their in-flight
+        units are already gone).  ``wait`` instead queues them for the
+        engine's drain-barrier heal: the scheduler stops tracking them, the
+        workers stay alive, and :meth:`_async_wait_heal` restores and
+        resumes them once the collector has drained — the mid-loop path
+        here must not block or touch the pool, because the collector still
+        owns the channel streams.
         """
         membership = self._membership()
         if membership is None:
             return
         lost = membership.take_pending_loss()
+        if not lost:
+            return
+        if membership.policy.on_slot_loss == "wait":
+            if self._async_heal_keys is None:
+                self._async_heal_keys = set()
+            for key in lost:
+                sched.discard(key)
+                self._async_heal_keys.add(key)
+            self._sync_membership_events(update)
+            return
         for key in lost:
             sched.discard(key)
             self._evict_worker(update, key, detail="slot loss (async)")
-        if lost:
-            self._sync_membership_events(update)
-            self._check_min_workers(membership)
+        self._sync_membership_events(update)
+        self._check_min_workers(membership)
+
+    def _async_heal_due(self) -> bool:
+        """Whether wait-policy losses are queued for the drain-barrier heal."""
+        return bool(self._async_heal_keys)
+
+    def _async_wait_heal(self, ctx) -> None:
+        """Heal queued wait-policy losses against a drained collector.
+
+        Called by the engine once ``collector.outstanding == 0``: block for
+        replacement capacity, restore the lost workers from their last
+        merged mirror (async runs keep no mid-run mirrors, so this usually
+        keeps the trainer's current objects — the crash-discard semantics),
+        record the reassignments, and hand the keys to the trainer's
+        :meth:`_async_resume_healed` to resume dispatch.  Healed workers
+        re-enter with a fresh dispatch mark, so
+        ``max_worker_staleness() <= max_staleness`` stays pinned.
+        """
+        lost = sorted(self._async_heal_keys, key=repr)
+        self._async_heal_keys = set()
+        membership = self._membership()
+        update = ctx.sched.updates
+        slot = self._block_for_replacement(lost)
+        for key in lost:
+            mirror = membership.mirrors.get(key)
+            if mirror is not None:
+                self._restore_worker_from_mirror(self.workers[key], mirror)
+            membership.record("reassign", slot=slot, worker=key, detail="wait-policy heal")
+        self._sync_membership_events(update)
+        self._async_resume_healed(lost, ctx)
+
+    def _async_resume_healed(self, lost_keys: List[Any], ctx) -> None:
+        """Resume healed workers; default relies on the engine's idle refill."""
 
     def _admit_joiners_async(self, update: int) -> None:
         """Async loops: accept waiting joiners as extra capacity (no revival)."""

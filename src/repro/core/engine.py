@@ -1,0 +1,368 @@
+"""The unified execution engine: one dispatch → collect → merge schedule.
+
+Both trainers (:class:`~repro.core.mdgan.MDGANTrainer`,
+:class:`~repro.core.flgan.FLGANTrainer`) used to carry four hand-rolled
+loops — synchronous, pipelined, asynchronous and elastic — that were
+pairwise forbidden by ``TrainingConfig`` guards because each loop owned its
+own notion of a barrier.  :class:`ExecutionEngine` owns the schedule once
+and expresses the modes as composable policies on it:
+
+* **sync** is a depth-0 lookahead with a full-drain barrier: every
+  iteration dispatches, collects everything, merges, and only then starts
+  the next iteration;
+* **pipelining** is a lookahead window on the same schedule — up to
+  ``pipeline_depth`` units of future work (batch sets for MD-GAN, local
+  iterations for FL-GAN) run ahead of the barrier;
+* **async** replaces the full-drain barrier with the
+  :class:`~repro.core.async_aggregation.BoundedStalenessScheduler` gate:
+  the barrier "opens" (a flush is applied) whenever contributions are
+  buffered and one more update cannot push any in-flight unit past the
+  staleness bound;
+* **elastic** is a membership hook at the dispatch/merge boundaries: slot
+  losses drain whatever window is in flight, then the
+  :class:`~repro.core.elastic.ElasticMembershipMixin` boundary pipeline
+  (evict/wait, admit, revive, rebalance) runs against a quiescent pool.
+
+The engine is deliberately thin: trainer-specific bodies (what a unit *is*,
+how it merges) stay on the trainers as hook methods, declared with inert
+defaults on :class:`EngineHooks`.  Every mode that was legal before this
+engine existed runs **bitwise identical** schedules through it — the parity
+suite pins that — and the previously forbidden compositions now run through
+the same code path instead of raising.
+
+``CAPABILITY_MATRIX`` + :func:`check_composition` are the single source of
+truth for which compositions are supported; ``TrainingConfig`` validation
+delegates here so an unsupported combination fails at construction time
+with an error naming the matrix, never as a deep runtime error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..runtime.pipeline import PipelineStats
+from .async_aggregation import BoundedStalenessScheduler
+
+__all__ = [
+    "CAPABILITY_MATRIX",
+    "check_composition",
+    "AsyncContext",
+    "EngineHooks",
+    "ExecutionEngine",
+]
+
+
+#: The mode-composition support matrix.  ``TrainingConfig.__post_init__``
+#: validates against this table via :func:`check_composition`; README's
+#: support matrix and the ARCHITECTURE.md "execution engine" section render
+#: the same facts for humans.  Keep the three views in sync.
+CAPABILITY_MATRIX: Dict[str, Any] = {
+    "axes": {
+        "aggregation": ("sync", "async"),
+        "pipeline_depth": "0 (synchronous barrier) or a positive lookahead window",
+        "on_slot_loss": ("fail_stop", "degrade", "wait"),
+        "participation_fraction": "(0, 1]",
+        "backend": ("serial", "thread", "process", "resident"),
+    },
+    "supported": (
+        "sync x any pipeline_depth x any membership policy x any participation",
+        "async x pipeline_depth > 0: the server pre-generates batch sets "
+        "while the staleness gate is open (MD-GAN); FL-GAN's async unit is "
+        "already a single local iteration, so the depth is accepted and "
+        "recorded but adds no extra lookahead",
+        "async x participation_fraction < 1: units from deselected workers "
+        "are discarded through the scheduler, the same accounting as the "
+        "synchronous schedule's final-round discard",
+        "async x on_slot_loss in (degrade, wait): the engine's drain "
+        "barrier provides the blocking boundary the wait-policy heal needs",
+        "elastic (degrade/wait) x pipeline_depth > 0: the in-flight window "
+        "drains before any membership remap touches the pool",
+    ),
+    "unsupported": {
+        "elastic x non-resident backend": (
+            "only the resident pool has slots to lose and a membership "
+            "layer to heal them; on_slot_loss != 'fail_stop' requires "
+            "backend='resident'"
+        ),
+    },
+}
+
+
+def check_composition(config: Any) -> None:
+    """Validate a config's mode composition against :data:`CAPABILITY_MATRIX`.
+
+    Raises ``ValueError`` naming the capability matrix for any combination
+    listed under ``CAPABILITY_MATRIX["unsupported"]``; everything else is a
+    supported composition and passes silently.
+    """
+    if config.on_slot_loss != "fail_stop" and config.backend != "resident":
+        raise ValueError(
+            "unsupported mode composition 'elastic x non-resident backend': "
+            + CAPABILITY_MATRIX["unsupported"]["elastic x non-resident backend"]
+            + " (see repro.core.engine.CAPABILITY_MATRIX)"
+        )
+
+
+@dataclass
+class AsyncContext:
+    """Mutable per-run state threaded through the async schedule's hooks.
+
+    The engine owns the common fields (scheduler, stats, collector, the
+    lookahead store, swap bookkeeping, the participation set); trainers may
+    attach extra per-run state (FL-GAN keeps its round progress here) —
+    the dataclass is intentionally not slotted.
+    """
+
+    #: The staleness gate deciding when the barrier opens.
+    sched: BoundedStalenessScheduler
+    #: Overlap/staleness accounting shared with the pipelined schedule.
+    stats: PipelineStats
+    #: The backend's completion-order collector for this run.
+    collector: Any
+    #: The engine driving this run (hooks may reach its helpers).
+    engine: Optional["ExecutionEngine"] = None
+    #: Pre-generated units waiting for dispatch: ``(unit, dispatch_mark)``.
+    lookahead: List[Tuple[Any, int]] = field(default_factory=list)
+    #: Worker keys selected for the current participation window, or
+    #: ``None`` when every alive worker participates.
+    participants: Optional[Set[int]] = None
+    #: True while a due SWAP waits behind the drain barrier (MD-GAN).
+    swap_pending: bool = False
+    #: SWAP period in updates (0 disables), and the next due update.
+    swap_period: int = 0
+    next_swap: int = 0
+
+
+class EngineHooks:
+    """Default (inert) trainer hooks for :class:`ExecutionEngine`.
+
+    Trainers inherit this and override the hooks their schedule needs; the
+    defaults make every optional behaviour a no-op so a minimal trainer
+    only implements its unit bodies.
+    """
+
+    #: Program name handed to ``backend.open_collector`` for async runs.
+    _async_program: str = ""
+
+    # -- synchronous schedule ----------------------------------------------------
+    def _sync_schedule(self, engine: "ExecutionEngine") -> Callable[[int], None]:
+        """Return the per-iteration body for the synchronous schedule.
+
+        Called once before the iteration loop; implementations choose the
+        depth-0 or windowed body and may set ``engine.stats`` to record an
+        overlap summary.
+        """
+        raise NotImplementedError  # pragma: no cover - trainers override
+
+    def _sync_should_continue(self, iteration: int) -> bool:
+        """Pre-iteration continue check (e.g. the all-crashed early exit)."""
+        return True
+
+    # -- asynchronous schedule ---------------------------------------------------
+    def _async_begin(self, ctx: AsyncContext) -> None:
+        """Set up per-run async state and issue any initial dispatches."""
+
+    def _async_active(self, ctx: AsyncContext) -> bool:
+        """Whether the async loop should run another turn."""
+        raise NotImplementedError  # pragma: no cover - trainers override
+
+    def _async_dispatch(self, ctx: AsyncContext) -> None:
+        """Refill idle workers / the lookahead store (start of each turn)."""
+
+    def _async_collect(self, ctx: AsyncContext) -> None:
+        """Block for one completion and buffer/merge/discard it."""
+        raise NotImplementedError  # pragma: no cover - trainers override
+
+    def _async_apply(self, ctx: AsyncContext) -> int:
+        """Flush the buffer as ONE global update; return the update count."""
+        raise NotImplementedError  # pragma: no cover - trainers override
+
+    def _async_after_update(self, ctx: AsyncContext, update: int) -> None:
+        """Post-flush bookkeeping: eval cadence, crash schedule, reselection."""
+
+    def _async_barrier(self, ctx: AsyncContext) -> None:
+        """Work that runs only behind a drained barrier (e.g. MD-GAN SWAP)."""
+
+    def _async_generate_unit(self, ctx: AsyncContext) -> Any:
+        """Produce one pre-generatable unit for the lookahead store."""
+        raise NotImplementedError  # pragma: no cover - trainers override
+
+    def _async_finish(self, ctx: AsyncContext) -> None:
+        """Post-loop trainer bookkeeping (e.g. FL-GAN's final evaluation)."""
+
+
+class ExecutionEngine:
+    """Drives one training run for a trainer exposing the hook protocol.
+
+    The engine owns only control flow — loop structure, barrier placement,
+    the shared eval/cleanup/summary scaffolding.  All model math stays on
+    the trainer.  One engine instance drives one ``train()`` call.
+    """
+
+    def __init__(self, trainer: Any) -> None:
+        """Bind the engine to ``trainer`` (an :class:`EngineHooks` host)."""
+        self.trainer = trainer
+        #: Overlap stats for the run, or ``None`` when nothing overlaps.
+        self.stats: Optional[PipelineStats] = None
+
+    # -- entry point -------------------------------------------------------------
+    def run(self) -> Any:
+        """Run the configured schedule and return the trainer's history."""
+        if self.trainer.config.aggregation == "async":
+            return self._run_async()
+        return self._run_sync()
+
+    # -- shared scaffolding ------------------------------------------------------
+    def _evaluate_if_due(self, iteration: int) -> None:
+        """Record an evaluation at the shared sync-loop cadence."""
+        trainer = self.trainer
+        cfg = trainer.config
+        if (
+            trainer.evaluator is not None
+            and cfg.eval_every
+            and (iteration % cfg.eval_every == 0 or iteration == cfg.iterations)
+        ):
+            result = trainer.evaluator.evaluate(trainer.sample_images, iteration)
+            trainer.history.record_evaluation(result)
+
+    # -- the synchronous schedule (full-drain barrier, depth >= 0) ---------------
+    def _run_sync(self) -> Any:
+        """Iteration loop: barrier per iteration, lookahead inside the body."""
+        trainer = self.trainer
+        cfg = trainer.config
+        step = trainer._sync_schedule(self)
+        try:
+            for iteration in range(1, cfg.iterations + 1):
+                if not trainer._sync_should_continue(iteration):
+                    break
+                step(iteration)
+                self._evaluate_if_due(iteration)
+        except BaseException:
+            trainer._cleanup_after_failure()
+            raise
+        else:
+            # Mirror the final resident state into the trainer's worker
+            # objects without reclaiming authority: the pool stays warm for
+            # the next train() call on this trainer.
+            trainer.sync_worker_state(reclaim=False)
+        finally:
+            # Recorded on every exit path (completion, early break,
+            # exception) so early exits keep their overlap summary.
+            if self.stats is not None:
+                trainer.history.overlap = self.stats.as_overlap_dict()
+        trainer._record_run_summaries()
+        return trainer.history
+
+    # -- the asynchronous schedule (staleness-gated barrier) ---------------------
+    def _run_async(self) -> Any:
+        """Event-driven loop: dispatch, collect, heal, flush when the gate opens."""
+        trainer = self.trainer
+        cfg = trainer.config
+        sched = BoundedStalenessScheduler(cfg.max_staleness)
+        stats = PipelineStats(depth=cfg.pipeline_depth)
+        self.stats = stats
+        collector = trainer.executor.open_collector(trainer._async_program)
+        ctx = AsyncContext(sched=sched, stats=stats, collector=collector, engine=self)
+        trainer._async_begin(ctx)
+        try:
+            while trainer._async_active(ctx):
+                trainer._async_dispatch(ctx)
+                stats.observe_in_flight(collector.outstanding)
+                if collector.outstanding:
+                    trainer._async_collect(ctx)
+                if trainer._async_heal_due():
+                    self._drain_and_heal(ctx)
+                if sched.buffered and sched.gate_open:
+                    update = trainer._async_apply(ctx)
+                    trainer._admit_joiners_async(update)
+                    trainer._async_after_update(ctx, update)
+                trainer._async_barrier(ctx)
+            # Straggler units past the end of training: the work is
+            # discarded (never merged, never charged trainer-side).
+            collector.drain()
+            collector.close()
+        except BaseException:
+            trainer._cleanup_after_failure()
+            raise
+        else:
+            trainer._sync_membership_events(sched.updates)
+            trainer.sync_worker_state(reclaim=False)
+        finally:
+            trainer.history.overlap = stats.as_overlap_dict()
+        trainer._async_finish(ctx)
+        trainer._record_run_summaries()
+        return trainer.history
+
+    def _drain_and_heal(self, ctx: AsyncContext) -> None:
+        """The wait-policy drain barrier: empty the in-flight set, then heal.
+
+        Every outstanding unit is collected first — survivors buffer their
+        contributions (or advance to their round boundary) and every queued
+        ``LOST`` marker for the dead slot is consumed, so no stale ``LOST``
+        can alias a post-heal re-dispatch of the same worker key.  Only
+        against that drained collector does the membership heal (block for
+        capacity, restore, resume) run.
+        """
+        trainer = self.trainer
+        while ctx.collector.outstanding:
+            trainer._async_collect(ctx)
+        trainer._async_wait_heal(ctx)
+
+    # -- the lookahead store (async x pipelined) ---------------------------------
+    def refill_lookahead(self, ctx: AsyncContext) -> None:
+        """Pre-generate units up to ``pipeline_depth`` while the gate is open.
+
+        Each stored unit carries the update count it was generated against
+        (its dispatch mark); generation overlaps the workers' in-flight
+        compute, which is the pipelined wall-clock win carried over to the
+        async schedule.
+        """
+        trainer = self.trainer
+        cfg = trainer.config
+        sched = ctx.sched
+        while (
+            ctx.stats.depth
+            and len(ctx.lookahead) < ctx.stats.depth
+            and sched.updates < cfg.iterations
+        ):
+            ctx.lookahead.append((trainer._async_generate_unit(ctx), sched.updates))
+            ctx.stats.lookahead_generations += 1
+
+    def take_lookahead(self, ctx: AsyncContext) -> Optional[Tuple[Any, int]]:
+        """Pop the freshest usable pre-generated unit, or ``None``.
+
+        A stored unit is usable only if dispatching it now cannot do worse
+        than a fresh generation: its mark must still be inside the staleness
+        bound (``updates - mark < max_staleness``), so the gate keeps the
+        end-to-end bound exactly as for fresh dispatches.  Units that aged
+        out are dropped — regenerating is cheaper than throttling the gate.
+        """
+        sched = ctx.sched
+        while ctx.lookahead:
+            unit, mark = ctx.lookahead.pop(0)
+            if mark == sched.updates or sched.updates - mark < sched.max_staleness:
+                return unit, mark
+        return None
+
+    # -- the dispatch refill (async) ---------------------------------------------
+    def dispatch_idle(self, ctx: AsyncContext) -> None:
+        """Dispatch one unit to every idle, alive, participating worker.
+
+        Skipped entirely while a SWAP drains the barrier, and while a
+        wait-policy heal is pending — lost workers must come back through
+        the heal, not land on a survivor's slot.  A worker is idle when the
+        scheduler neither tracks it in flight nor holds its buffered
+        contribution (buffered workers wait for the flush — that is the
+        gate's blocking-dispatch back-pressure).
+        """
+        trainer = self.trainer
+        if ctx.swap_pending or trainer._async_heal_due():
+            return
+        tracked = ctx.sched.tracked_keys()
+        for worker in trainer._alive_workers():
+            if worker.index in tracked:
+                continue
+            if ctx.participants is not None and worker.index not in ctx.participants:
+                continue
+            trainer._dispatch_async_unit(worker, ctx)

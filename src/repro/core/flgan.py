@@ -27,6 +27,7 @@ from ..nn.serialize import weighted_average_parameters
 from ..runtime.membership import LOST, SlotLossError
 from ..runtime.pipeline import InflightWindow, PipelineStats
 from .elastic import ElasticMembershipMixin
+from .engine import AsyncContext, EngineHooks, ExecutionEngine
 from .lifecycle import BackendOwner
 from ..runtime.tasks import (
     FLGANLocalResult,
@@ -61,7 +62,7 @@ class FLGANWorkerState:
     rng: np.random.Generator
 
 
-class FLGANTrainer(ElasticMembershipMixin, BackendOwner):
+class FLGANTrainer(ElasticMembershipMixin, EngineHooks, BackendOwner):
     """Federated-averaging GAN trainer over ``N`` emulated workers.
 
     The trainer owns its execution backend (see
@@ -163,15 +164,11 @@ class FLGANTrainer(ElasticMembershipMixin, BackendOwner):
 
     # -- local epochs ---------------------------------------------------------------
     #
-    # Local iterations between federated rounds are independent across
-    # workers, so they run through the build -> compute -> merge protocol of
-    # ``repro.runtime`` exactly like MD-GAN's per-worker phase.  Under the
-    # ``resident`` backend the full local GAN is installed into its pool
-    # process once per round era and the per-iteration messages carry nothing
-    # at all outbound — only losses and RNG/sampler cursors come back.
-
-    # Backend ownership (executor property, close/close_backend, context
-    # manager, best-effort failure cleanup) comes from BackendOwner.
+    # Local iterations between federated rounds run through the build ->
+    # compute -> merge protocol of ``repro.runtime``; resident backends
+    # install the full local GAN once per round era and only losses plus
+    # RNG/sampler cursors come back.  Backend ownership comes from
+    # BackendOwner.
 
     def _build_local_task(self, worker: FLGANWorkerState) -> FLGANLocalTask:
         """Build phase (stateless backends): snapshot one local GAN iteration."""
@@ -403,18 +400,13 @@ class FLGANTrainer(ElasticMembershipMixin, BackendOwner):
     # -- asynchronous aggregation -------------------------------------------------
     #
     # Under ``aggregation="async"`` each worker marches through its local
-    # iterations independently over the runtime's completion-order collection
-    # API.  A worker's *unit* is one local iteration; only round boundaries
-    # touch the bounded-staleness scheduler: the round-start dispatch marks
-    # the read point (the federated merge count the worker's round started
-    # from) and the round-end upload buffers the worker's full GAN as one
-    # contribution.  Buffered contributions are folded in whole-buffer
-    # flushes — each flush is one staleness-weighted FedAvg merge anchored on
-    # the server model — so the merge leaves the critical path: fast workers
-    # never wait for a straggler's round unless the staleness gate closes.
-    # Async runs are *not* bitwise-reproducible on concurrent backends
-    # (completion order is wall-clock nondeterminism); the serial backend
-    # degenerates to a deterministic round-robin.
+    # iterations independently; only round boundaries touch the scheduler:
+    # the round-start dispatch marks the read point and the round-end
+    # upload buffers the worker's full GAN as one contribution, folded in
+    # whole-buffer staleness-weighted FedAvg flushes anchored on the server
+    # model.  Only the serial backend is bitwise deterministic.
+
+    _async_program = "flgan"
 
     def _async_worker_fn(self, worker: FLGANWorkerState):
         """The pure per-unit function dispatched for ``worker`` (stateless backends).
@@ -454,28 +446,24 @@ class FLGANTrainer(ElasticMembershipMixin, BackendOwner):
             "discriminator": worker.discriminator.get_parameters(),
         }
 
-    def _collect_async_completion(
-        self,
-        collector,
-        sched: BoundedStalenessScheduler,
-        done_iters: Dict[int, int],
-        round_losses: Dict[int, tuple],
-    ) -> None:
+    def _async_collect(self, ctx: AsyncContext) -> None:
         """Wait for any worker's local iteration and advance its round.
 
-        Mid-round completions re-dispatch immediately against the same
-        round-start mark; a round-boundary completion uploads the worker's
-        GAN as a buffered contribution (blocking further dispatch until the
-        flush); a worker finishing its *final, partial* round is discarded —
-        the synchronous schedule never merges a partial round either.  A
-        worker that crashed while its unit was in flight is discarded and
-        never re-dispatched (fail-stop loses in-flight work).
+        Mid-round completions re-dispatch against the same round-start
+        mark; a round-boundary completion buffers the worker's GAN as a
+        contribution; a final *partial* round — or a worker crashed while
+        its unit was in flight — is discarded.
         """
+        sched = ctx.sched
+        collector = ctx.collector
+        done_iters = ctx.done_iters
+        round_losses = ctx.round_losses
         key, result = collector.collect_any()
         if result is LOST:
             # The slot serving this worker died mid-unit: the round's work
             # is gone (crash semantics) and the membership layer has queued
-            # the loss — evict now so the worker is never re-dispatched.
+            # the loss — apply the loss policy now so the worker is not
+            # re-dispatched (degrade evicts; wait queues the heal).
             self._handle_async_losses(sched.updates, sched)
             sched.discard(key)
             return
@@ -533,13 +521,11 @@ class FLGANTrainer(ElasticMembershipMixin, BackendOwner):
         """Flush the contribution buffer as ONE staleness-weighted FedAvg merge.
 
         The merge averages ``[server] + contributors``: each contributor
-        weighs its shard size decayed by ``1 / (1 + staleness)``, and the
-        server anchor absorbs both the shard mass of alive workers *outside*
-        this flush and the staleness-lost mass of the contributors.  An
-        all-fresh, full-fleet flush therefore degenerates to the synchronous
-        shard-weighted FedAvg exactly.  Contributors receive the merged model
-        (broadcast + resident push) and, if they have local iterations left,
-        start their next round against the new merge count.
+        weighs its shard size decayed by ``1 / (1 + staleness)``; the server
+        anchor absorbs the non-contributing and staleness-lost mass, so an
+        all-fresh full-fleet flush degenerates to synchronous shard-weighted
+        FedAvg exactly.  Contributors receive the merged model and start
+        their next round against the new merge count.
         """
         cfg = self.config
         contributions = sched.take_buffered()
@@ -631,143 +617,156 @@ class FLGANTrainer(ElasticMembershipMixin, BackendOwner):
         if iteration % self.iterations_per_round == 0:
             self._federated_round(iteration)
 
-    def _train_async(self) -> TrainingHistory:
-        """Event-driven training loop for ``aggregation="async"``.
+    def _async_begin(self, ctx: AsyncContext) -> None:
+        """Initialise per-round progress and dispatch every active worker.
 
         Every worker runs its full ``config.iterations`` local iterations
-        (same per-worker work as a synchronous run); the loop ends when no
-        unit is in flight and no contribution is buffered.  Losses,
-        evaluations and staleness are recorded on the *merge-count* axis —
-        async federated rounds have no shared local-iteration clock.
+        (same per-worker work as a synchronous run); losses, evaluations
+        and staleness are recorded on the *merge-count* axis — async
+        federated rounds have no shared local-iteration clock.
+        """
+        ctx.done_iters = {worker.index: 0 for worker in self.workers}
+        ctx.round_losses = {worker.index: ([], []) for worker in self.workers}
+        for worker in self._active_workers():
+            ctx.sched.note_dispatch(worker.index)
+            self._dispatch_async_local_unit(worker, ctx.collector)
+
+    def _async_active(self, ctx: AsyncContext) -> bool:
+        """Run until nothing is in flight, buffered, or awaiting a heal."""
+        return bool(
+            ctx.collector.outstanding or ctx.sched.buffered or self._async_heal_due()
+        )
+
+    def _async_apply(self, ctx: AsyncContext) -> int:
+        """Flush the buffer (one FedAvg merge); return the merge count."""
+        return self._apply_async_round(ctx.sched, ctx.stats, ctx.done_iters, ctx.collector)
+
+    def _async_after_update(self, ctx: AsyncContext, update: int) -> None:
+        """Record the evaluation cadence on the merge-count axis."""
+        cfg = self.config
+        if (
+            self.evaluator is not None
+            and cfg.eval_every
+            and update % cfg.eval_every == 0
+        ):
+            self.history.record_evaluation(
+                self.evaluator.evaluate(self.sample_images, update)
+            )
+
+    def _async_resume_healed(self, lost_keys, ctx: AsyncContext) -> None:
+        """Restart healed workers' rounds from the current server model.
+
+        The lost round's progress is gone with the slot (crash-discard
+        semantics); re-seeding from the server model is exactly a fresh
+        federated broadcast, and the fresh round-start dispatch mark
+        re-pins the healed worker's staleness to the bound.
         """
         cfg = self.config
-        sched = BoundedStalenessScheduler(cfg.max_staleness)
-        stats = PipelineStats(depth=0)
-        done_iters = {worker.index: 0 for worker in self.workers}
-        round_losses = {worker.index: ([], []) for worker in self.workers}
-        collector = self.executor.open_collector("flgan")
-        try:
-            for worker in self._active_workers():
-                sched.note_dispatch(worker.index)
-                self._dispatch_async_local_unit(worker, collector)
-            while collector.outstanding or sched.buffered:
-                stats.observe_in_flight(collector.outstanding)
-                if collector.outstanding:
-                    self._collect_async_completion(
-                        collector, sched, done_iters, round_losses
-                    )
-                if sched.buffered and sched.gate_open:
-                    update = self._apply_async_round(
-                        sched, stats, done_iters, collector
-                    )
-                    self._admit_joiners_async(update)
-                    if (
-                        self.evaluator is not None
-                        and cfg.eval_every
-                        and update % cfg.eval_every == 0
-                    ):
-                        self.history.record_evaluation(
-                            self.evaluator.evaluate(self.sample_images, update)
-                        )
-            collector.drain()
-            collector.close()
-        except BaseException:
-            self._cleanup_after_failure()
-            raise
-        else:
-            self._sync_membership_events(sched.updates)
-            self.sync_worker_state(reclaim=False)
-        finally:
-            self.history.overlap = stats.as_overlap_dict()
+        for key in lost_keys:
+            worker = self.workers[key]
+            worker.generator.set_parameters(self.server_generator.get_parameters())
+            worker.discriminator.set_parameters(
+                self.server_discriminator.get_parameters()
+            )
+            ctx.round_losses[key] = ([], [])
+            if ctx.done_iters[key] < cfg.iterations:
+                ctx.sched.note_dispatch(key)
+                self._dispatch_async_local_unit(worker, ctx.collector)
+
+    def _async_finish(self, ctx: AsyncContext) -> None:
+        """Catch up the final evaluation if the last merge wasn't evaluated."""
+        cfg = self.config
         if self.evaluator is not None and cfg.eval_every:
             last = self.history.evaluations[-1] if self.history.evaluations else None
-            if last is None or last.iteration != sched.updates:
+            if last is None or last.iteration != ctx.sched.updates:
                 self.history.record_evaluation(
-                    self.evaluator.evaluate(self.sample_images, sched.updates)
+                    self.evaluator.evaluate(self.sample_images, ctx.sched.updates)
                 )
-        self._record_run_summaries()
-        return self.history
 
     def train(self) -> TrainingHistory:
         """Run ``config.iterations`` local iterations with federated rounds.
 
-        Local iterations fan out through the execution backend and merge in
-        worker-index order, so seeded runs are bitwise identical across
-        serial/thread/process/resident.  With ``pipeline_depth > 0`` on the
-        ``resident`` backend, up to ``depth`` iterations stay in flight
-        behind the newest dispatch, overlapping the trainer's merge and
-        bookkeeping with the pool's compute; because local iterations never
-        touch the server model between rounds, the window drains before
-        every federated round / evaluation and the trajectory stays
-        **bitwise identical** at every depth (unlike MD-GAN, FL-GAN
-        pipelining introduces no staleness).  On non-resident backends a
-        positive depth falls back to the synchronous schedule (in-flight
-        snapshots of mutable worker state cannot overlap safely); the
-        history's ``overlap`` summary records what actually happened.
-
-        ``train()`` does not own the execution backend: on success the
-        trainer's worker objects are refreshed with a non-reclaiming sync
-        and the pool stays warm for re-entry; on failure the cleanup is
-        best-effort and never masks the original exception.  The backend is
-        released by :meth:`close` / context-manager exit.
+        The schedule is driven by
+        :class:`repro.core.engine.ExecutionEngine`.  Local iterations merge
+        in worker-index order, so seeded runs are bitwise identical across
+        serial/thread/process/resident — including ``pipeline_depth > 0``
+        on the ``resident`` backend, where the in-flight window drains
+        before every federated round / evaluation (FL-GAN pipelining
+        introduces no staleness); non-resident backends fall back to the
+        synchronous schedule.  On success the pool stays warm for re-entry;
+        on failure cleanup is best-effort; :meth:`close` releases the
+        backend.
         """
+        return ExecutionEngine(self).run()
+
+    def _windowed_iteration(
+        self,
+        iteration: int,
+        window: InflightWindow,
+        stats: PipelineStats,
+        round_length: int,
+    ) -> None:
+        """One windowed (resident, depth > 0) iteration: push, drain, round."""
         cfg = self.config
-        if cfg.aggregation == "async":
-            return self._train_async()
-        round_length = self.iterations_per_round
+        active = self._active_workers()
+        window.push((iteration, active, self._dispatch_local_iteration(active)))
+        stats.observe_in_flight(len(window))
+        at_boundary = (
+            iteration % round_length == 0
+            or iteration == cfg.iterations
+            or (
+                self.evaluator is not None
+                and cfg.eval_every
+                and iteration % cfg.eval_every == 0
+            )
+        )
+        for it, act, handle in window.drain(0 if at_boundary else None):
+            self._merge_local_iteration(it, act, handle.result())
+        if iteration % round_length == 0:
+            self._federated_round(iteration)
+
+    def _sync_schedule(self, engine: ExecutionEngine):
+        """The windowed or depth-0 per-iteration body (both elastic-wrapped)."""
+        cfg = self.config
         depth = cfg.pipeline_depth
-        window = InflightWindow(depth)
-        stats = PipelineStats(depth=depth) if depth > 0 else None
-        try:
-            for iteration in range(1, cfg.iterations + 1):
-                backend = self.executor
-                windowed = depth > 0 and getattr(backend, "supports_resident", False)
-                if windowed:
-                    active = self._active_workers()
-                    window.push(
-                        (iteration, active, self._dispatch_local_iteration(active))
-                    )
-                    stats.observe_in_flight(len(window))
-                    at_boundary = (
-                        iteration % round_length == 0
-                        or iteration == cfg.iterations
-                        or (
-                            self.evaluator is not None
-                            and cfg.eval_every
-                            and iteration % cfg.eval_every == 0
-                        )
-                    )
-                    for it, act, handle in window.drain(0 if at_boundary else None):
-                        self._merge_local_iteration(it, act, handle.result())
-                    if iteration % round_length == 0:
-                        self._federated_round(iteration)
-                else:
-                    # Elastic membership (when configured) absorbs slot
-                    # losses here and runs its boundary pipeline after the
-                    # iteration; fail-stop runs call the body directly.
-                    self._elastic_iteration(iteration, self._sync_iteration)
-                if (
-                    self.evaluator is not None
-                    and cfg.eval_every
-                    and (iteration % cfg.eval_every == 0 or iteration == cfg.iterations)
-                ):
-                    result = self.evaluator.evaluate(self.sample_images, iteration)
-                    self.history.record_evaluation(result)
-        except BaseException:
-            self._cleanup_after_failure()
-            raise
-        else:
-            # Mirror the final resident state into the trainer's worker
-            # objects without reclaiming authority: the pool stays warm for
-            # the next train() call on this trainer.
-            self.sync_worker_state(reclaim=False)
-        finally:
-            # Recorded on every exit path (completion, exception) so early
-            # exits keep their overlap summary.
-            if stats is not None:
-                self.history.overlap = stats.as_overlap_dict()
-        self._record_run_summaries()
-        return self.history
+        round_length = self.iterations_per_round
+        if depth > 0:
+            engine.stats = PipelineStats(depth=depth)
+        if depth > 0 and getattr(self.executor, "supports_resident", False):
+            window = InflightWindow(depth)
+            self._pipeline_window = window
+            stats = engine.stats
+
+            def windowed(iteration: int) -> None:
+                self._windowed_iteration(iteration, window, stats, round_length)
+
+            return lambda iteration: self._elastic_iteration(iteration, windowed)
+        # Elastic membership (when configured) absorbs slot losses inside
+        # the wrapper and runs its boundary pipeline after the iteration;
+        # fail-stop runs call the body directly.
+        self._pipeline_window = None
+        return lambda iteration: self._elastic_iteration(iteration, self._sync_iteration)
+
+    def _pipeline_idle(self) -> bool:
+        """Quiescent only when the in-flight window has fully drained."""
+        window = getattr(self, "_pipeline_window", None)
+        return window is None or len(window) == 0
+
+    def _drain_pipeline_for_membership(self) -> None:
+        """Merge out the in-flight window (LOST entries skipped) and clear frames.
+
+        Entries collect in dispatch (FIFO) order; contributions from the
+        quarantined slot come back as ``LOST`` and are discarded by the
+        merge, so the membership boundary meets a quiescent pool with every
+        surviving iteration accounted for.
+        """
+        window = getattr(self, "_pipeline_window", None)
+        if window is not None:
+            for it, act, handle in window.drain(0):
+                self._merge_local_iteration(it, act, handle.result())
+        resident = self._active_resident()
+        if resident is not None:
+            resident.drain_inflight()
 
     def _record_run_summaries(self) -> None:
         """Fold the run's traffic meters into the history (both loops)."""

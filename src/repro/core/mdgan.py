@@ -49,6 +49,7 @@ from ..runtime.pipeline import (
     start_resident_generation,
 )
 from .elastic import ElasticMembershipMixin
+from .engine import AsyncContext, EngineHooks, ExecutionEngine
 from .lifecycle import BackendOwner
 from ..runtime.membership import LOST, SlotLossError
 from ..runtime.tasks import (
@@ -87,7 +88,7 @@ class MDGANWorkerState:
     rng: np.random.Generator
 
 
-class MDGANTrainer(ElasticMembershipMixin, BackendOwner):
+class MDGANTrainer(ElasticMembershipMixin, EngineHooks, BackendOwner):
     """MD-GAN trainer: one server-side generator versus ``N`` worker discriminators.
 
     The trainer owns its execution backend (see
@@ -229,12 +230,9 @@ class MDGANTrainer(ElasticMembershipMixin, BackendOwner):
     def _charge_generation(self, k: int) -> None:
         """Record the server's cost model for generating ``k`` batches.
 
-        Cost model of Section IV-B3: generating a batch costs O(b |w|).  The
-        stored batches occupy b*d floats each (d = object size), the same
-        convention ``_aggregate_feedback`` uses for the received feedbacks —
-        generating them costs O(b |w|) ops, but holding them does not take
-        |w| floats per image.  Shared by the serial and fanned-out generation
-        paths so their ledgers can never drift apart.
+        Section IV-B3: generating a batch costs O(b |w|) ops and the stored
+        batches occupy b*d floats each.  Shared by the serial and fanned-out
+        generation paths so their ledgers can never drift apart.
         """
         for _ in range(k):
             self.cluster.server.compute.charge(
@@ -346,23 +344,13 @@ class MDGANTrainer(ElasticMembershipMixin, BackendOwner):
 
     # -- worker side ---------------------------------------------------------------
     #
-    # Steps 2-3 run through the three-phase protocol of ``repro.runtime``:
-    # build (drain mailbox, serial) -> compute (pure task, possibly parallel)
-    # -> merge (write back state, absorb charges, send feedback; serial, in
-    # worker-index order).  Workers within an iteration are independent by
-    # construction, so any backend yields bitwise-identical trajectories.
-    #
-    # Under the ``resident`` backend the build phase splits in two: the full
-    # worker state is installed into its (sticky) pool process once, and each
-    # iteration ships only the generated batches; merge absorbs the returned
-    # delta (losses, feedback, tape, RNG/sampler cursors) without re-adopting
-    # state.  Whenever the trainer must read or mutate worker state outside
-    # the pool (SWAP, crashes, end of training, ``replace_dataset``), it goes
-    # through the pull/push/sync helpers below, which keep the state-epoch
-    # protocol honest.
-
-    # Backend ownership (executor property, close/close_backend, context
-    # manager, best-effort failure cleanup) comes from BackendOwner.
+    # Steps 2-3 run through the build -> compute -> merge protocol of
+    # ``repro.runtime`` (merge in worker-index order, so any backend yields
+    # bitwise-identical trajectories).  Resident backends install worker
+    # state once and ship only per-iteration batches; reading or mutating
+    # pooled state goes through the pull/push/sync helpers below.  Backend
+    # ownership (executor property, close, context manager) comes from
+    # BackendOwner.
 
     def _receive_generated(self, worker: MDGANWorkerState) -> Optional[Message]:
         """Drain the worker's generated-batch mailbox; latest message wins."""
@@ -425,14 +413,10 @@ class MDGANTrainer(ElasticMembershipMixin, BackendOwner):
     ) -> tuple[List[MDGANWorkerState], PendingResult]:
         """Dispatch the per-worker phase (Algorithm 1 steps 2-3) asynchronously.
 
-        Drains each participant's mailbox (serial build phase), then hands
-        the per-worker work to the backend without blocking: resident
-        backends get only the per-iteration step inputs via ``start_steps``,
-        stateless backends get full-snapshot tasks via ``submit_ordered``.
-        Returns ``(live_workers, handle)``; ``handle.result()`` yields the
-        results in worker-index order.  The synchronous loop collects the
-        handle immediately; the pipelined loop generates future batch sets in
-        between.
+        Drains each participant's mailbox, then hands the work to the
+        backend without blocking (resident ``start_steps`` vs stateless
+        ``submit_ordered``).  Returns ``(live_workers, handle)``;
+        ``handle.result()`` yields the results in worker-index order.
         """
         backend = self.executor
         if getattr(backend, "supports_resident", False):
@@ -487,16 +471,12 @@ class MDGANTrainer(ElasticMembershipMixin, BackendOwner):
         """Pull resident worker state back into the trainer's own objects.
 
         No-op for stateless backends.  With ``reclaim`` (the default) the
-        trainer becomes authoritative again (the pool copies are dropped and
-        the state epoch bumped), so callers may freely mutate worker state —
-        e.g. ``worker.sampler.replace_dataset(...)`` — before training
-        resumes; the next participation re-installs the mutated state.  With
-        ``reclaim=False`` the trainer's objects merely *mirror* the pool's
-        current state via the program's light-weight mirror payload (final
-        discriminator + optimizer, RNG/sampler cursors — the immutable shard
-        never re-crosses the pipe): the residents stay warm (a second
-        ``train()`` ships no installs), and any trainer-side mutation still
-        requires a reclaiming sync first, exactly as before.
+        trainer becomes authoritative again (pool copies dropped, state
+        epoch bumped), so callers may freely mutate worker state before
+        training resumes.  With ``reclaim=False`` the trainer's objects
+        merely *mirror* the pool's current state (final discriminator +
+        optimizer, RNG/sampler cursors — the immutable shard never
+        re-crosses the pipe) and the residents stay warm.
         """
         resident = self._active_resident()
         if resident is None:
@@ -535,12 +515,9 @@ class MDGANTrainer(ElasticMembershipMixin, BackendOwner):
     ) -> Dict[str, float]:
         """Merge phase: adopt worker state/cursors, absorb charges, ship feedback.
 
-        For a full-snapshot :class:`MDGANWorkerResult`, re-assigning the
-        stateful objects is a no-op under ``serial``/``thread`` (same
-        objects) and a state transfer under ``process`` (pickle round-tripped
-        copies).  For a resident :class:`MDGANStepResult` the state stayed in
-        the pool; only the RNG/sampler cursors are folded back so the
-        trainer's local accounting stays exact.
+        A full-snapshot :class:`MDGANWorkerResult` replaces the worker's
+        objects; a resident :class:`MDGANStepResult` only folds the
+        RNG/sampler cursors back — the state stayed in the pool.
         """
         if isinstance(result, MDGANWorkerResult):
             worker.discriminator = result.discriminator
@@ -565,13 +542,9 @@ class MDGANTrainer(ElasticMembershipMixin, BackendOwner):
     def _swap_discriminators(self, iteration: int) -> None:
         """The SWAP procedure: gossip discriminator parameters between workers.
 
-        Every alive worker sends its discriminator parameters to another
-        worker chosen uniformly at random; to keep exactly one discriminator
-        per worker the destination assignment is a random permutation of the
-        alive workers (a worker mapped to itself simply keeps its own
-        parameters, which matches the "choose randomly another worker"
-        description in expectation while preserving the one-discriminator-
-        per-worker invariant).
+        The destination assignment is a random permutation of the alive
+        workers (a self-mapped worker keeps its own parameters), preserving
+        the one-discriminator-per-worker invariant.
         """
         alive = self._alive_workers()
         if len(alive) < 2:
@@ -680,12 +653,10 @@ class MDGANTrainer(ElasticMembershipMixin, BackendOwner):
     def _generate_batches_fanned(self, k: int) -> tuple[List[GeneratedBatch], bool]:
         """Generate ``k`` batches, fanned across backend slots when possible.
 
-        Bitwise identical to :meth:`_generate_batches` (noise-draw order,
-        images, BatchNorm running stats and the server's cost-model charges
-        all match).  Resident backends run the per-batch forwards on their
-        pool slots (dispatch + immediate collect — the pool is idle on a
-        queue miss); ``thread``/``process`` use the map-based fan-out; the
-        serial loop is the fallback.  Returns ``(batches, fanned)``.
+        Bitwise identical to :meth:`_generate_batches`.  Resident backends
+        run the forwards on their pool slots, ``thread``/``process`` use the
+        map-based fan-out, the serial loop is the fallback.  Returns
+        ``(batches, fanned)``.
         """
         pending = start_resident_generation(
             self.executor,
@@ -721,19 +692,12 @@ class MDGANTrainer(ElasticMembershipMixin, BackendOwner):
         """One global iteration under the pipelined schedule (depth > 0).
 
         Identical to :meth:`train_iteration` except for *when* batches are
-        generated: the iteration consumes the batch set pre-generated for it
-        (recording the realised staleness), dispatches the workers
-        asynchronously, and fills the lookahead queue for future iterations
-        **while the workers compute** — that overlap is the wall-clock win.
-        On the ``resident`` backend the lookahead forwards are dispatched
-        onto the pool slots (queued behind this iteration's worker steps) and
-        collected after the merge, so lookahead generation leaves the trainer
-        thread entirely; elsewhere it runs inline as before.  On a queue miss
-        (cold start, post-skip) the batches are generated on the spot — the
-        pool is idle at that moment, so resident backends route the forwards
-        through their slots and backends with a concurrent map
-        (``thread``/``process``) fan the generation out; ``serial`` generates
-        inline.  All paths are bitwise identical.
+        generated: the iteration consumes the batch set pre-generated for
+        it (recording the realised staleness) and fills the lookahead queue
+        **while the workers compute** — resident backends run those
+        forwards on their pool slots, others fan out or run inline.  On a
+        queue miss the batches are generated on the spot.  All paths are
+        bitwise identical.
         """
         cfg = self.config
         participants = self._begin_iteration(iteration)
@@ -753,15 +717,10 @@ class MDGANTrainer(ElasticMembershipMixin, BackendOwner):
         self._distribute_batches(iteration, batches, participants)
         live_workers, handle = self._dispatch_worker_phase(participants)
         # Overlap window: while the workers compute iteration t, generate
-        # the batch sets for iterations t+1 .. t+depth.  k is resolved from
-        # the population alive *now* — crashes inside the lookahead window
-        # leave some batches unused, which is sound (workers share batches
-        # round-robin mod k and the aggregation only touches batches that
-        # actually received feedback).  Noise draws happen here, at dispatch,
-        # in the exact serial order; resident-side generations are collected
-        # (and their BatchNorm stats folded, in batch order) after the merge
-        # — the merge never touches the generator, so the trajectory is
-        # bitwise identical to the inline schedule.
+        # batch sets for t+1 .. t+depth.  Noise draws happen here, at
+        # dispatch, in exact serial order; resident-side generations are
+        # collected after the merge, which never touches the generator, so
+        # the trajectory is bitwise identical to the inline schedule.
         lookahead: List[tuple] = []
         next_target = max(queue.last_target, iteration)
         while len(queue) + len(lookahead) < stats.depth and next_target < cfg.iterations:
@@ -799,19 +758,15 @@ class MDGANTrainer(ElasticMembershipMixin, BackendOwner):
 
     # -- asynchronous aggregation (bounded staleness) ---------------------------------
     #
-    # ``config.aggregation="async"`` replaces the rigid begin -> dispatch ->
-    # merge -> finish phase sequence with an event-driven loop over the
-    # backend's completion-order collector: each worker continuously runs
-    # single-iteration units (fresh batches generated against the *current*
-    # generator at dispatch), finished feedbacks are buffered, and the
-    # buffer is folded into the generator in whole-buffer flushes — each
-    # flush is one global generator update, weighted by staleness decay
-    # (see :mod:`repro.core.async_aggregation`).  The merge thereby leaves
-    # the critical path: fast workers never wait for a straggler unless the
-    # staleness gate closes, which is exactly the bounded-staleness
-    # contract.  Async runs are *not* bitwise-reproducible on concurrent
-    # backends (completion order is wall-clock nondeterminism); the serial
-    # backend degenerates to a deterministic round-robin.
+    # ``config.aggregation="async"`` replaces the phase sequence with the
+    # engine's event-driven loop over the completion-order collector:
+    # finished feedbacks are buffered and folded into whole-buffer,
+    # staleness-weighted generator updates (see
+    # :mod:`repro.core.async_aggregation`).  With ``pipeline_depth > 0`` the
+    # lookahead store dispatches with backdated marks, so the bound holds
+    # end to end.  Only the serial backend is bitwise deterministic.
+
+    _async_program = "mdgan"
 
     def _async_worker_fn(self, worker: MDGANWorkerState):
         """The pure per-unit function dispatched for ``worker`` (stateless backends).
@@ -821,24 +776,72 @@ class MDGANTrainer(ElasticMembershipMixin, BackendOwner):
         """
         return run_mdgan_worker_task
 
-    def _dispatch_async_unit(
-        self,
-        worker: MDGANWorkerState,
-        collector,
-        sched: BoundedStalenessScheduler,
-        batch_store: Dict[int, List[GeneratedBatch]],
-    ) -> None:
-        """Generate fresh batches for one worker and dispatch one unit of work.
+    def _async_participants(self) -> Optional[set]:
+        """The current participation selection (worker keys), or ``None`` for all.
 
-        The unit reads the *current* generator: its dispatch mark is
-        ``sched.updates``, which is what the staleness of the eventual
-        contribution is measured against.  ``k`` degenerates to at most two
-        batches per unit — the worker only ever consumes ``X_d``/``X_g``, and
-        per-worker generation replaces the shared round-robin assignment of
-        the synchronous schedule.
+        Reselected after every applied update, mirroring the synchronous
+        schedule's per-iteration draw; full participation never touches the
+        RNG, keeping pure-async runs bitwise identical.
         """
-        k_unit = min(self.num_batches, 2)
-        batches = self._generate_batches(k_unit)
+        if self.config.participation_fraction >= 1.0:
+            return None
+        return {w.index for w in self._participating_workers()}
+
+    def _async_begin(self, ctx: AsyncContext) -> None:
+        """Arm SWAP/participation bookkeeping and apply the first crash window."""
+        ctx.batch_store = {}
+        period = self.swap_period
+        ctx.swap_period = period
+        ctx.next_swap = period if period else 0
+        ctx.participants = self._async_participants()
+        for name in self.cluster.apply_crashes(1):
+            self.history.record_event(1, "crash", worker=name)
+
+    def _async_active(self, ctx: AsyncContext) -> bool:
+        """Run until ``config.iterations`` generator updates (or a dead fleet)."""
+        sched = ctx.sched
+        if sched.updates >= self.config.iterations:
+            return False
+        if (
+            not self._alive_workers()
+            and not ctx.collector.outstanding
+            and not sched.buffered
+        ):
+            self.history.record_event(sched.updates + 1, "all_workers_crashed")
+            return False
+        return True
+
+    def _async_dispatch(self, ctx: AsyncContext) -> None:
+        """Refill idle participating workers, then top up the lookahead store.
+
+        The lookahead refill runs even while a SWAP drains the barrier —
+        SWAP never touches the generator, so pre-generated batch sets stay
+        valid across it.
+        """
+        ctx.engine.dispatch_idle(ctx)
+        ctx.engine.refill_lookahead(ctx)
+
+    def _async_generate_unit(self, ctx: AsyncContext) -> List[GeneratedBatch]:
+        """One pre-generated batch-set unit for the async lookahead store."""
+        return self._generate_batches(min(self.num_batches, 2))
+
+    def _dispatch_async_unit(self, worker: MDGANWorkerState, ctx: AsyncContext) -> None:
+        """Dispatch one unit of work, from the lookahead store or generated fresh.
+
+        The unit's dispatch mark is the update count its batches were
+        generated against — that is what the eventual contribution's
+        staleness is measured against.  ``k`` degenerates to at most two
+        batches per unit (the worker only consumes ``X_d``/``X_g``).
+        """
+        sched = ctx.sched
+        entry = ctx.engine.take_lookahead(ctx)
+        if entry is None:
+            batches = self._generate_batches(min(self.num_batches, 2))
+            mark = sched.updates
+            if ctx.stats.depth:
+                ctx.stats.immediate_generations += 1
+        else:
+            batches, mark = entry
         g_batch, d_batch = batches[0], batches[-1]
         node = self.cluster.workers[worker.index]
         self.cluster.server.send(
@@ -856,7 +859,7 @@ class MDGANTrainer(ElasticMembershipMixin, BackendOwner):
             message = self._receive_generated(worker)
             if message is None:
                 return
-            collector.dispatch(
+            ctx.collector.dispatch(
                 worker.index,
                 lambda w=worker: self._resident_state(w),
                 self._resident_step_input(message),
@@ -865,35 +868,42 @@ class MDGANTrainer(ElasticMembershipMixin, BackendOwner):
             task = self._build_worker_task(worker)
             if task is None:
                 return
-            collector.dispatch(worker.index, self._async_worker_fn(worker), task)
-        batch_store[worker.index] = batches
-        sched.note_dispatch(worker.index)
+            ctx.collector.dispatch(worker.index, self._async_worker_fn(worker), task)
+        ctx.batch_store[worker.index] = batches
+        sched.note_dispatch(worker.index, mark=mark)
 
-    def _collect_async_completion(
-        self,
-        collector,
-        sched: BoundedStalenessScheduler,
-        batch_store: Dict[int, List[GeneratedBatch]],
-    ) -> None:
+    def _async_collect(self, ctx: AsyncContext) -> None:
         """Wait for any worker's unit to finish and buffer its contribution.
 
         A worker that crashed while its unit was in flight is discarded —
         the fail-stop model loses in-flight work — and never re-dispatched.
+        A worker deselected by partial participation while in flight keeps
+        its merged state, but the contribution is discarded through the
+        scheduler: the same accounting as the synchronous schedule, which
+        never folds a non-participant's feedback into an update.
         """
-        key, result = collector.collect_any()
+        sched = ctx.sched
+        key, result = ctx.collector.collect_any()
         if result is LOST:
             # The slot serving this worker died mid-unit: the contribution
             # is gone (crash semantics) and the membership layer has queued
-            # the loss — evict now so the dispatch loop stops refilling it.
-            batch_store.pop(key, None)
+            # the loss — apply the loss policy now so the dispatch loop
+            # stops refilling it (degrade evicts; wait queues the heal).
+            ctx.batch_store.pop(key, None)
             self._handle_async_losses(sched.updates, sched)
             return
         worker = self.workers[key]
-        batches = batch_store.pop(key)
+        batches = ctx.batch_store.pop(key)
         if not self.cluster.workers[key].alive:
             sched.discard(key)
             return
         stats = self._merge_worker_result(sched.updates, worker, result)
+        if ctx.participants is not None and key not in ctx.participants:
+            sched.discard(key)
+            self.history.record_event(
+                sched.updates, "participation_discard", worker=key
+            )
+            return
         sched.note_completion(
             key,
             {"batch": batches[0], "feedback": result.feedback, "losses": stats},
@@ -940,151 +950,106 @@ class MDGANTrainer(ElasticMembershipMixin, BackendOwner):
         for contribution, staleness in zip(contributions, stalenesses):
             self.history.record_worker_staleness(contribution.key, staleness)
 
-    def _train_async(self) -> TrainingHistory:
-        """Event-driven training loop for ``aggregation="async"``.
+    def _async_apply(self, ctx: AsyncContext) -> int:
+        """Flush the buffer (one generator update); return the update count."""
+        self._apply_async_update(ctx.sched, ctx.stats)
+        return ctx.sched.updates
 
-        Terminates after ``config.iterations`` generator updates (the same
-        update count a synchronous run performs).  SWAP runs at its usual
-        update period behind a drain barrier: due swaps stop re-dispatch,
-        wait for the in-flight set to empty, gossip, then refill the fleet.
+    def _async_after_update(self, ctx: AsyncContext, update: int) -> None:
+        """Reselect participants, arm due SWAPs, evaluate, apply crashes.
+
         Scheduled crashes apply at update boundaries (the async axis is
         updates, not lockstep iterations); crashed residents are not
         reclaimed mid-run — the final mirror refresh reconciles the
         trainer's objects.
         """
         cfg = self.config
-        sched = BoundedStalenessScheduler(cfg.max_staleness)
-        stats = PipelineStats(depth=0)
-        batch_store: Dict[int, List[GeneratedBatch]] = {}
-        period = self.swap_period
-        next_swap = period if period else 0
-        swap_pending = False
-        collector = self.executor.open_collector("mdgan")
-        for name in self.cluster.apply_crashes(1):
-            self.history.record_event(1, "crash", worker=name)
-        try:
-            while sched.updates < cfg.iterations:
-                alive = self._alive_workers()
-                if not alive and not collector.outstanding and not sched.buffered:
-                    self.history.record_event(
-                        sched.updates + 1, "all_workers_crashed"
-                    )
-                    break
-                if not swap_pending:
-                    tracked = sched.tracked_keys()
-                    for worker in alive:
-                        if worker.index not in tracked:
-                            self._dispatch_async_unit(
-                                worker, collector, sched, batch_store
-                            )
-                stats.observe_in_flight(collector.outstanding)
-                if collector.outstanding:
-                    self._collect_async_completion(collector, sched, batch_store)
-                if sched.buffered and sched.gate_open:
-                    self._apply_async_update(sched, stats)
-                    update = sched.updates
-                    self._admit_joiners_async(update)
-                    if period and update >= next_swap:
-                        swap_pending = True
-                    if (
-                        self.evaluator is not None
-                        and cfg.eval_every
-                        and (
-                            update % cfg.eval_every == 0
-                            or update == cfg.iterations
-                        )
-                    ):
-                        self.history.record_evaluation(
-                            self.evaluator.evaluate(self.sample_images, update)
-                        )
-                    if update < cfg.iterations:
-                        for name in self.cluster.apply_crashes(update + 1):
-                            self.history.record_event(
-                                update + 1, "crash", worker=name
-                            )
-                if (
-                    swap_pending
-                    and not collector.outstanding
-                    and not sched.buffered
-                ):
-                    try:
-                        self._swap_discriminators(sched.updates)
-                    except SlotLossError:
-                        # A gossip partner's slot died mid-swap: the swap is
-                        # abandoned for this period (state already pushed to
-                        # survivors stands) and the lost workers are evicted.
-                        self._handle_async_losses(sched.updates, sched)
-                    next_swap = period * (sched.updates // period + 1)
-                    swap_pending = False
-            # Straggler units past the end of training: the work is
-            # discarded (never merged, never charged trainer-side).
-            collector.drain()
-            collector.close()
-        except BaseException:
-            self._cleanup_after_failure()
-            raise
-        else:
-            self._sync_membership_events(sched.updates)
-            self.sync_worker_state(reclaim=False)
-        finally:
-            self.history.overlap = stats.as_overlap_dict()
-        self._record_run_summaries()
-        return self.history
+        ctx.participants = self._async_participants()
+        if ctx.swap_period and update >= ctx.next_swap:
+            ctx.swap_pending = True
+        if (
+            self.evaluator is not None
+            and cfg.eval_every
+            and (update % cfg.eval_every == 0 or update == cfg.iterations)
+        ):
+            self.history.record_evaluation(
+                self.evaluator.evaluate(self.sample_images, update)
+            )
+        if update < cfg.iterations:
+            for name in self.cluster.apply_crashes(update + 1):
+                self.history.record_event(update + 1, "crash", worker=name)
 
-    def train(self) -> TrainingHistory:
-        """Train for ``config.iterations`` global iterations and return the history.
+    def _async_barrier(self, ctx: AsyncContext) -> None:
+        """Run a due SWAP once the barrier has fully drained.
 
-        With ``config.pipeline_depth == 0`` every iteration runs the
-        synchronous :meth:`train_iteration`; a positive depth switches to the
-        pipelined schedule (see :mod:`repro.runtime.pipeline`), which records
-        per-iteration staleness and an overlap summary in the history.
-
-        ``train()`` does not own the execution backend: on success the
-        trainer's worker objects are refreshed with a non-reclaiming sync and
-        the pool stays **warm**, so a second ``train()`` on the same trainer
-        re-enters with matching state epochs and ships no install payloads.
-        On failure the cleanup is best-effort (reclaim what the pool still
-        holds, close it) and never masks the original exception.  The
-        backend is released by :meth:`close` / context-manager exit.
+        Due swaps stop re-dispatch (see the engine's idle refill), wait for
+        the in-flight set and buffer to empty, gossip, then the fleet
+        refills on the next turn.
         """
+        sched = ctx.sched
+        if ctx.swap_pending and not ctx.collector.outstanding and not sched.buffered:
+            try:
+                self._swap_discriminators(sched.updates)
+            except SlotLossError:
+                # A gossip partner's slot died mid-swap: the swap is
+                # abandoned for this period (state already pushed to
+                # survivors stands) and the loss policy runs.
+                self._handle_async_losses(sched.updates, sched)
+            ctx.next_swap = ctx.swap_period * (sched.updates // ctx.swap_period + 1)
+            ctx.swap_pending = False
+
+    # -- the engine-driven schedules ------------------------------------------------
+    def train(self) -> TrainingHistory:
+        """Train for ``config.iterations`` global updates and return the history.
+
+        The schedule — synchronous, pipelined, async, elastic, or any
+        composition the capability matrix supports — is driven by
+        :class:`repro.core.engine.ExecutionEngine`; this trainer supplies
+        the MD-GAN bodies through the engine's hook protocol.  On success
+        the pool stays **warm** (a second ``train()`` ships no installs);
+        on failure cleanup is best-effort and never masks the original
+        exception.  :meth:`close` / context-manager exit releases the
+        backend.
+        """
+        return ExecutionEngine(self).run()
+
+    def _sync_schedule(self, engine: ExecutionEngine):
+        """The depth-0 or pipelined per-iteration body (both elastic-wrapped)."""
         cfg = self.config
-        if cfg.aggregation == "async":
-            return self._train_async()
-        pipelined = cfg.pipeline_depth > 0
-        if pipelined:
+        if cfg.pipeline_depth > 0:
             queue = BatchAheadQueue()
             stats = PipelineStats(depth=cfg.pipeline_depth)
-        try:
-            for iteration in range(1, cfg.iterations + 1):
-                if not self._alive_workers():
-                    self.history.record_event(iteration, "all_workers_crashed")
-                    break
-                if pipelined:
-                    self._train_iteration_pipelined(iteration, queue, stats)
-                else:
-                    self._elastic_iteration(iteration, self.train_iteration)
-                if (
-                    self.evaluator is not None
-                    and cfg.eval_every
-                    and (iteration % cfg.eval_every == 0 or iteration == cfg.iterations)
-                ):
-                    result = self.evaluator.evaluate(self.sample_images, iteration)
-                    self.history.record_evaluation(result)
-        except BaseException:
-            self._cleanup_after_failure()
-            raise
-        else:
-            # Mirror the final resident state into the trainer's worker
-            # objects without reclaiming authority: the pool stays warm for
-            # the next train() call on this trainer.
-            self.sync_worker_state(reclaim=False)
-        finally:
-            # Recorded on every exit path (completion, all-crash break,
-            # exception) so early exits keep their overlap/staleness summary.
-            if pipelined:
-                self.history.overlap = stats.as_overlap_dict()
-        self._record_run_summaries()
-        return self.history
+            engine.stats = stats
+            self._pipeline_queue = queue
+
+            def pipelined(iteration: int) -> None:
+                self._train_iteration_pipelined(iteration, queue, stats)
+
+            return lambda iteration: self._elastic_iteration(iteration, pipelined)
+        self._pipeline_queue = None
+        return lambda iteration: self._elastic_iteration(iteration, self.train_iteration)
+
+    def _sync_should_continue(self, iteration: int) -> bool:
+        """Stop (and record) once every worker has crashed."""
+        if not self._alive_workers():
+            self.history.record_event(iteration, "all_workers_crashed")
+            return False
+        return True
+
+    def _drain_pipeline_for_membership(self) -> None:
+        """Discard the lookahead queue and any in-flight pool frames.
+
+        Pre-generated batch sets may assume the pre-loss fleet; dropping
+        them is sound (the pipelined body regenerates on a queue miss), and
+        the resident drain clears frames the quarantined slot will never
+        answer, so the membership boundary meets a quiescent pool.
+        """
+        queue = getattr(self, "_pipeline_queue", None)
+        if queue is not None:
+            queue.clear()
+        resident = self._active_resident()
+        if resident is not None:
+            resident.drain_inflight()
 
     def _record_run_summaries(self) -> None:
         """Fold the run's traffic/compute meters into the history (both loops)."""

@@ -297,9 +297,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.transport_address is not None and args.transport != "tcp":
         print("error: --transport-address requires --transport tcp", file=sys.stderr)
         return 2
-    if args.on_slot_loss != "fail_stop" and args.pipeline_depth:
+    if args.on_slot_loss != "fail_stop" and args.backend != "resident":
         print(
-            "error: --on-slot-loss degrade/wait requires --pipeline-depth 0",
+            "error: --on-slot-loss degrade/wait requires --backend resident "
+            "(see repro.core.engine.CAPABILITY_MATRIX)",
             file=sys.stderr,
         )
         return 2

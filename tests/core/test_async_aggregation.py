@@ -116,6 +116,32 @@ class TestScheduler:
         with pytest.raises(RuntimeError, match="staleness bound 0 violated"):
             sched.note_applied()
 
+    def test_backdated_dispatch_mark_ages_against_gate(self):
+        # The lookahead store dispatches units generated *before* the
+        # current update count; their backdated mark must age against the
+        # gate exactly like a fresh dispatch at that earlier point.
+        sched = BoundedStalenessScheduler(max_staleness=1)
+        sched.note_dispatch(0, mark=0)
+        sched.note_dispatch(9)
+        sched.note_completion(9, None)
+        sched.take_buffered()
+        sched.note_applied()
+        # Worker 0's backdated unit is now 1 update old: one more update
+        # would cross the bound, so the gate closes until it completes.
+        assert not sched.gate_open
+        sched.note_completion(0, None)
+        assert sched.gate_open
+        assert sched.staleness_of(sched.take_buffered()[0]) == 1
+
+    def test_dispatch_mark_outside_update_range_rejected(self):
+        sched = BoundedStalenessScheduler(max_staleness=1)
+        with pytest.raises(ValueError, match="dispatch mark"):
+            sched.note_dispatch(0, mark=1)  # from the future
+        with pytest.raises(ValueError, match="dispatch mark"):
+            sched.note_dispatch(0, mark=-1)
+        sched.note_dispatch(0, mark=0)  # mark == updates is a fresh dispatch
+        assert sched.in_flight == 1
+
     def test_discard_removes_in_flight_mark(self):
         sched = BoundedStalenessScheduler(max_staleness=0)
         sched.note_dispatch(0)
@@ -146,13 +172,17 @@ class TestAsyncConfigValidation:
         with pytest.raises(ValueError, match="max_staleness"):
             TrainingConfig(max_staleness=-1)
 
-    def test_async_excludes_pipelining(self):
-        with pytest.raises(ValueError, match="mutually exclusive"):
-            TrainingConfig(aggregation="async", pipeline_depth=2)
+    def test_async_composes_with_pipelining(self):
+        # Once mutually exclusive; the execution engine's lookahead store
+        # (backdated dispatch marks) made the combination legal.
+        config = TrainingConfig(aggregation="async", pipeline_depth=2)
+        assert config.pipeline_depth == 2
 
-    def test_async_requires_full_participation(self):
-        with pytest.raises(ValueError, match="participation_fraction"):
-            TrainingConfig(aggregation="async", participation_fraction=0.5)
+    def test_async_allows_partial_participation(self):
+        # Once required full participation; the engine discards deselected
+        # in-flight units through the scheduler instead.
+        config = TrainingConfig(aggregation="async", participation_fraction=0.5)
+        assert config.participation_fraction == 0.5
 
     def test_async_excludes_per_feedback_updates(self, small_shards_and_factory):
         shards, factory = small_shards_and_factory

@@ -144,14 +144,23 @@ class TestTrainingRunners:
             max_workers=3,
         )
         modes = [(row["mode"], row["parameter"]) for row in result.rows]
-        assert modes == [("sync", 0), ("pipelined", 1), ("async", 1), ("async", 2)]
+        assert modes == [
+            ("sync", 0),
+            ("pipelined", 1),
+            ("async", 1),
+            ("async", 2),
+            ("async+pipelined", 1),
+            ("async+pipelined", 2),
+        ]
         for row in result.rows:
             assert np.isfinite(row["fid"])
             assert row["wall_seconds"] > 0
-            if row["mode"] == "async":
+            if row["mode"] in ("async", "async+pipelined"):
                 assert row["max_worker_staleness"] <= row["parameter"]
             if row["mode"] == "pipelined":
                 assert row["max_staleness"] <= row["parameter"]
+            if row["mode"] == "async+pipelined":
+                assert row["depth"] > 0
         assert "histories" in result.extras
 
     def test_fig4_rows_cover_grid(self):

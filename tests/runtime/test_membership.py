@@ -618,6 +618,179 @@ class TestAsyncElastic:
                 joiner.join(timeout=10)
 
 
+# -- composed modes under chaos ----------------------------------------------------
+
+
+class TestComposedElastic:
+    """Elastic policies composed with the pipelined and async schedules.
+
+    The execution engine drains whatever window is in flight before any
+    membership remap touches the pool, so the elastic boundary pipeline
+    (evict/wait, admit, revive, rebalance) always runs against a quiescent
+    collector — these tests pin that composition under scripted faults.
+    """
+
+    pytestmark = pytest.mark.composition
+
+    def test_mdgan_pipelined_degrade_redistributes_shards(self, ring_setup3):
+        # MD-GAN at pipeline_depth 1 under "degrade": a scripted mid-run
+        # disconnect drains the in-flight window, evicts the lost worker at
+        # the boundary, redistributes its shard, and the run completes.
+        shards, factory = ring_setup3
+        config = _config(pipeline_depth=1, on_slot_loss="degrade")
+        trainer = MDGANTrainer(factory, shards, config)
+        schedule = ChaosSchedule(
+            (ChaosAction(slot=1, frame_index=3, kind="disconnect"),)
+        )
+        try:
+            transport = ChaosTransport(
+                LocalPipeTransport(serve_slot), schedule=schedule
+            )
+            backend = ResidentBackend(
+                max_workers=2,
+                transport=transport,
+                membership_policy=config.membership_policy(),
+            )
+            trainer.adopt_backend(backend, owned=True)
+            history = trainer.train()
+            assert len(schedule) == 0  # the scripted disconnect fired
+            assert history.membership["slot_loss"] >= 1
+            evicts = history.events_of_kind("membership_evict")
+            assert [e["worker"] for e in evicts] == [1]
+            assert not trainer.cluster.workers[1].alive
+            # The evicted worker's shard moved to a survivor: the live
+            # fleet still covers every training sample.
+            alive = [
+                w for w in trainer.workers if trainer.cluster.workers[w.index].alive
+            ]
+            assert sum(len(w.sampler) for w in alive) == 160
+            assert history.events_of_kind("membership_rebalance")
+            # The run completed its full schedule with finite losses and
+            # the pipelined overlap summary intact.
+            assert len(history.iterations) == config.iterations
+            assert np.isfinite(history.generator_loss).all()
+            assert history.overlap["pipeline_depth"] == 1.0
+        finally:
+            trainer.close_backend()
+
+    def test_mdgan_async_wait_heals_without_eviction(self, ring_setup4):
+        # "wait" under async: the engine's drain barrier empties the
+        # collector (consuming every queued LOST), blocks for a replacement
+        # slot, reassigns the lost workers there, and the loop resumes with
+        # the full fleet — no evictions, bound intact.
+        shards, factory = ring_setup4
+        config = _config(
+            aggregation="async",
+            max_staleness=2,
+            on_slot_loss="wait",
+            rejoin_backoff=0.05,
+            rejoin_timeout=10.0,
+        )
+        trainer = MDGANTrainer(factory, shards, config)
+        schedule = ChaosSchedule(
+            (ChaosAction(slot=1, frame_index=3, kind="disconnect"),)
+        )
+        try:
+            transport = ChaosTransport(
+                LocalPipeTransport(serve_slot), schedule=schedule
+            )
+            backend = ResidentBackend(
+                max_workers=2,
+                transport=transport,
+                membership_policy=config.membership_policy(),
+            )
+            trainer.adopt_backend(backend, owned=True)
+            history = trainer.train()
+            assert len(schedule) == 0
+            assert history.membership["slot_loss"] == 1
+            assert history.membership["join"] >= 1
+            assert all(node.alive for node in trainer.cluster.workers)
+            assert not history.events_of_kind("membership_evict")
+            reassigns = history.events_of_kind("membership_reassign")
+            assert any(e.get("detail") == "wait-policy heal" for e in reassigns)
+            assert len(history.iterations) == config.iterations
+            assert history.max_worker_staleness() <= config.max_staleness
+            assert np.isfinite(history.generator_loss).all()
+        finally:
+            trainer.close_backend()
+
+    def test_flgan_async_wait_heals_without_eviction(self, ring_setup3):
+        shards, factory = ring_setup3
+        config = _config(
+            epochs_per_swap=0.4,
+            aggregation="async",
+            max_staleness=2,
+            on_slot_loss="wait",
+            rejoin_backoff=0.05,
+            rejoin_timeout=10.0,
+        )
+        trainer = FLGANTrainer(factory, shards, config)
+        schedule = ChaosSchedule(
+            (ChaosAction(slot=1, frame_index=3, kind="disconnect"),)
+        )
+        try:
+            transport = ChaosTransport(
+                LocalPipeTransport(serve_slot), schedule=schedule
+            )
+            backend = ResidentBackend(
+                max_workers=2,
+                transport=transport,
+                membership_policy=config.membership_policy(),
+            )
+            trainer.adopt_backend(backend, owned=True)
+            history = trainer.train()
+            assert len(schedule) == 0
+            assert history.membership["slot_loss"] == 1
+            assert history.membership["join"] >= 1
+            assert all(node.alive for node in trainer.cluster.workers)
+            assert not history.events_of_kind("membership_evict")
+            reassigns = history.events_of_kind("membership_reassign")
+            assert any(e.get("detail") == "wait-policy heal" for e in reassigns)
+            assert history.max_worker_staleness() <= config.max_staleness
+            assert np.isfinite(history.generator_loss).all()
+        finally:
+            trainer.close_backend()
+
+    def test_async_degrade_with_pipeline_depth(self, ring_setup3):
+        # The full composition: async aggregation x lookahead window x
+        # elastic degrade, in one run.  The bound and the discard
+        # accounting must survive the eviction.
+        shards, factory = ring_setup3
+        config = _config(
+            aggregation="async",
+            max_staleness=2,
+            pipeline_depth=1,
+            on_slot_loss="degrade",
+        )
+        trainer = MDGANTrainer(factory, shards, config)
+        # Worker 1's dispatch frames carry its install inline, so slot 1
+        # sees only a handful of frames in this 3-worker run: frame 1 is
+        # its second in-flight unit, squarely mid-training.
+        schedule = ChaosSchedule(
+            (ChaosAction(slot=1, frame_index=1, kind="disconnect"),)
+        )
+        try:
+            transport = ChaosTransport(
+                LocalPipeTransport(serve_slot), schedule=schedule
+            )
+            backend = ResidentBackend(
+                max_workers=2,
+                transport=transport,
+                membership_policy=config.membership_policy(),
+            )
+            trainer.adopt_backend(backend, owned=True)
+            history = trainer.train()
+            assert len(schedule) == 0
+            assert history.membership["slot_loss"] >= 1
+            assert history.membership["evict"] >= 1
+            assert not trainer.cluster.workers[1].alive
+            assert len(history.iterations) == config.iterations
+            assert history.max_worker_staleness() <= config.max_staleness
+            assert np.isfinite(history.generator_loss).all()
+        finally:
+            trainer.close_backend()
+
+
 # -- fail-stop stays bitwise identical ---------------------------------------------
 
 

@@ -260,6 +260,116 @@ class TestPipelineDepthZeroParity:
         assert got["traffic"] == reference["traffic"]
 
 
+class TestComposedModes:
+    """The previously forbidden mode compositions, pinned per backend.
+
+    ``aggregation="async"`` now composes with ``pipeline_depth > 0`` (the
+    engine's lookahead store, dispatched with backdated staleness marks) and
+    with ``participation_fraction < 1`` (deselected in-flight units merge
+    state but discard their contribution, sync's discard accounting).  The
+    staleness bound must hold unchanged under both.
+    """
+
+    pytestmark = pytest.mark.composition
+
+    @pytest.mark.parametrize("backend", ("serial",) + PARALLEL_BACKENDS)
+    def test_async_pipelined_bound_holds_on_every_backend(
+        self, backend, small_shards_and_factory
+    ):
+        shards, factory = small_shards_and_factory
+        config = _config(
+            backend,
+            iterations=6,
+            aggregation="async",
+            max_staleness=1,
+            pipeline_depth=2,
+        )
+        with MDGANTrainer(factory, shards, config) as trainer:
+            history = trainer.train()
+        assert len(history.iterations) == config.iterations
+        assert history.max_worker_staleness() <= config.max_staleness
+        assert history.overlap["p95_staleness"] <= config.max_staleness
+        # The lookahead window actually overlapped: the recorded summary
+        # carries the depth and at least one pre-generated batch set.
+        assert history.overlap["pipeline_depth"] == 2.0
+        assert history.overlap["lookahead_generations"] > 0
+
+    def test_async_pipelined_serial_is_deterministic(self, small_shards_and_factory):
+        shards, factory = small_shards_and_factory
+        runs = []
+        for _ in range(2):
+            config = _config(
+                "serial",
+                iterations=6,
+                aggregation="async",
+                max_staleness=2,
+                pipeline_depth=2,
+            )
+            with MDGANTrainer(factory, shards, config) as trainer:
+                history = trainer.train()
+            runs.append(
+                (
+                    history.generator_loss,
+                    history.discriminator_loss,
+                    trainer.generator.get_parameters().tobytes(),
+                )
+            )
+        assert runs[0] == runs[1]
+
+    def test_async_partial_participation_discard_accounting(
+        self, small_shards_and_factory
+    ):
+        shards, factory = small_shards_and_factory
+        runs = []
+        for _ in range(2):
+            config = _config(
+                "serial",
+                iterations=6,
+                aggregation="async",
+                max_staleness=2,
+                participation_fraction=0.5,
+            )
+            with MDGANTrainer(factory, shards, config) as trainer:
+                history = trainer.train()
+            runs.append(
+                (
+                    history.generator_loss,
+                    history.events,
+                    trainer.generator.get_parameters().tobytes(),
+                )
+            )
+        # The run still applies exactly `iterations` global updates; units
+        # from deselected workers merged their state but discarded their
+        # contribution, each recorded as a participation_discard event.
+        assert len(history.iterations) == config.iterations
+        assert history.max_worker_staleness() <= config.max_staleness
+        assert history.events_of_kind("participation_discard")
+        assert runs[0] == runs[1]
+
+    def test_flgan_async_depth_is_identity(self, small_shards_and_factory):
+        # FL-GAN's async unit is already a single local iteration; a depth
+        # is accepted (and recorded) but must not change the trajectory.
+        shards, factory = small_shards_and_factory
+
+        def final(depth):
+            config = _config(
+                "serial",
+                iterations=6,
+                aggregation="async",
+                max_staleness=2,
+                epochs_per_swap=0.5,
+                pipeline_depth=depth,
+            )
+            with FLGANTrainer(factory, shards, config) as trainer:
+                history = trainer.train()
+            return history.generator_loss, trainer.server_generator.get_parameters()
+
+        base_losses, base_params = final(0)
+        depth_losses, depth_params = final(2)
+        assert depth_losses == base_losses
+        assert np.array_equal(depth_params, base_params)
+
+
 class TestBackendStateRoundTrip:
     @pytest.mark.parametrize("backend", ("process", "resident", "resident-tcp"))
     def test_backend_advances_parent_rng_and_sampler(
